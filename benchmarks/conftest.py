@@ -1,0 +1,22 @@
+"""Shared state for the benchmark harness.
+
+One :class:`ExperimentRunner` serves the whole session, so artifacts
+that share run points (Table 2 / Figure 8 / Figure 9) never re-simulate.
+Each paper artifact is regenerated inside a pytest-benchmark measurement
+(single round -- these are minutes-long simulations, not microbenchmarks)
+and its headline claims are asserted.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+def once(benchmark, function):
+    """Run *function* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,77 @@
+"""Ablation: the §3.4 cache-structure design space.
+
+The paper argues the circular queue beats a stack ("most-recently
+cached" eviction fights temporal locality and call-stack integrity) and
+sketches priority-based structures as future work. This bench races the
+three implemented policies across a benchmark subset.
+"""
+
+import pytest
+from conftest import once
+
+from repro.bench import get_benchmark
+from repro.core import build_swapram
+from repro.core.policy import (
+    CircularQueuePolicy,
+    CostAwareQueuePolicy,
+    StackPolicy,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import geo_mean_ratio
+from repro.toolchain import PLANS, build_baseline
+
+BENCHES = ("crc", "rc4", "bitcount", "rsa", "aes")
+POLICIES = (CircularQueuePolicy, StackPolicy, CostAwareQueuePolicy)
+
+
+def collect():
+    rows = []
+    for name in BENCHES:
+        bench = get_benchmark(name)
+        baseline = build_baseline(bench.source, PLANS["unified"]).run()
+        row = {"benchmark": name}
+        for policy in POLICIES:
+            system = build_swapram(
+                bench.source, PLANS["unified"], policy_class=policy
+            )
+            result = system.run()
+            assert result.debug_words == bench.expected, (name, policy.name)
+            stats = system.stats
+            row[policy.name] = {
+                "speed": baseline.runtime_us / result.runtime_us,
+                "aborts": stats.aborts,
+                "evictions": stats.evictions,
+            }
+        rows.append(row)
+    return rows
+
+
+def test_policy_ablation(benchmark):
+    rows = once(benchmark, collect)
+    table = []
+    for row in rows:
+        cells = [row["benchmark"]]
+        for policy in POLICIES:
+            data = row[policy.name]
+            cells.append(
+                f"{data['speed']:.2f}x (a{data['aborts']}/e{data['evictions']})"
+            )
+        table.append(cells)
+    print()
+    print(
+        format_table(
+            ["Benchmark"] + [policy.name for policy in POLICIES],
+            table,
+            title="Ablation: replacement policy (speed vs baseline, aborts/evictions)",
+        )
+    )
+
+    queue_speed = geo_mean_ratio([row["queue"]["speed"] for row in rows])
+    stack_speed = geo_mean_ratio([row["stack"]["speed"] for row in rows])
+    # §3.4's argument: the queue's least-recently-cached behaviour beats
+    # the stack's most-recently-cached eviction.
+    assert queue_speed > stack_speed
+    # The stack repeatedly tries to evict recent (often active) code.
+    queue_aborts = sum(row["queue"]["aborts"] for row in rows)
+    stack_aborts = sum(row["stack"]["aborts"] for row in rows)
+    assert stack_aborts >= queue_aborts

@@ -1,0 +1,25 @@
+"""Regenerate Figure 1: the memory-placement design space."""
+
+from conftest import once
+
+from repro.experiments import fig1
+
+
+def test_fig1(runner, benchmark):
+    rows = once(benchmark, fig1.collect)
+    print()
+    print(fig1.render(rows))
+
+    by_key = {(row["plan"], row["frequency_mhz"]): row for row in rows}
+    for frequency in (8, 24):
+        unified = by_key[("unified", frequency)]["runtime_us"]
+        standard = by_key[("standard", frequency)]["runtime_us"]
+        code_sram = by_key[("code_sram", frequency)]["runtime_us"]
+        all_sram = by_key[("all_sram", frequency)]["runtime_us"]
+        # The paper's ordering: unified worst even at 8 MHz (contention);
+        # moving code beats moving data; everything-SRAM is fastest.
+        assert unified > standard > code_sram >= all_sram
+
+    # Unified pays even with zero wait states: >10% slower than standard.
+    at8 = by_key[("unified", 8)]["runtime_us"] / by_key[("standard", 8)]["runtime_us"]
+    assert at8 > 1.1

@@ -1,0 +1,39 @@
+"""Regenerate Figure 9: end-to-end speed and energy at 24 and 8 MHz."""
+
+from conftest import once
+
+from repro.experiments import fig9
+from repro.experiments.runner import BLOCK, SWAPRAM
+
+
+def test_fig9(runner, benchmark):
+    rows = once(benchmark, lambda: fig9.collect(runner))
+    print()
+    print(fig9.render(rows))
+
+    at24 = fig9.averages(rows, 24)
+    at8 = fig9.averages(rows, 8)
+
+    # SwapRAM's headline numbers (paper: 1.26x speed, -24% energy @24MHz).
+    assert at24[SWAPRAM]["speed"] > 1.10
+    assert at24[SWAPRAM]["energy"] < 0.85
+    # The win shrinks but persists at 8 MHz (paper: 1.13x, -20%).
+    assert 1.0 < at8[SWAPRAM]["speed"] < at24[SWAPRAM]["speed"]
+    assert at8[SWAPRAM]["energy"] < 0.90
+
+    # The block cache loses on average at both frequencies (paper: 13%
+    # slower / 12% more energy; deeper collapse on our scaled platform).
+    assert at24[BLOCK]["speed"] < 1.0
+    assert at24[BLOCK]["energy"] > 1.0
+
+    # AES is the outlier: at or below baseline speed under SwapRAM.
+    aes24 = next(
+        row for row in rows
+        if row["benchmark"] == "aes" and row["frequency_mhz"] == 24
+    )
+    assert aes24[SWAPRAM]["speed"] < 1.05
+
+    # Everything else improves at 24 MHz.
+    for row in rows:
+        if row["frequency_mhz"] == 24 and row["benchmark"] != "aes":
+            assert row[SWAPRAM]["speed"] > 1.0, row["benchmark"]

@@ -1,0 +1,33 @@
+"""SwapRAM reproduction: software instruction caching for NVRAM MCUs.
+
+A full reimplementation of "A Software Caching Runtime for Embedded
+NVRAM Systems" (Williams & Hicks, ASPLOS 2024) and every substrate it
+depends on -- MSP430 simulator, assembler, C-subset compiler, linker,
+benchmark suite, prior-work baseline, and the complete evaluation.
+
+Typical entry points::
+
+    from repro.toolchain import PLANS, build_baseline
+    from repro.core import build_swapram
+
+    baseline = build_baseline(source, PLANS["unified"]).run()
+    system = build_swapram(source, PLANS["unified"])
+    result = system.run()
+
+See README.md for the tour, DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asm",
+    "bench",
+    "blockcache",
+    "core",
+    "experiments",
+    "isa",
+    "machine",
+    "minic",
+    "toolchain",
+]

@@ -1,0 +1,43 @@
+"""MSP430 assembly layer: AST, parser, two-pass assembler, disassembler.
+
+This is the substrate the paper's toolchain lives in: SwapRAM is an
+*assembly-level* transformation, so programs flow through this package
+as structured assembly (functions of labeled instructions plus data
+items), get instrumented by ``repro.core`` / ``repro.blockcache``, and
+are finally assembled into a loadable memory image.
+"""
+
+from repro.asm.ast import (
+    DataItem,
+    Function,
+    Label,
+    Program,
+    SourceComment,
+    function_items,
+)
+from repro.asm.parser import AsmSyntaxError, parse_asm, parse_operand
+from repro.asm.assembler import (
+    AssemblyError,
+    Image,
+    SectionLayout,
+    assemble,
+)
+from repro.asm.disasm import disassemble_range, format_instruction
+
+__all__ = [
+    "DataItem",
+    "Function",
+    "Label",
+    "Program",
+    "SourceComment",
+    "function_items",
+    "AsmSyntaxError",
+    "parse_asm",
+    "parse_operand",
+    "AssemblyError",
+    "Image",
+    "SectionLayout",
+    "assemble",
+    "disassemble_range",
+    "format_instruction",
+]

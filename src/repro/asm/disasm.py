@@ -1,0 +1,57 @@
+"""Disassembler: memory bytes back to readable MSP430 assembly.
+
+Used three ways in the reproduction:
+
+* round-trip property tests against the assembler/encoder;
+* the *library instrumentation* workflow (paper §4): recover
+  instructions and function boundaries from "precompiled" images so
+  library code can join SwapRAM's caching candidates;
+* debugging listings of instrumented/self-modified images.
+"""
+
+from repro.isa.encoding import EncodingError, decode_instruction
+
+
+def format_instruction(instruction):
+    """Render an instruction in the same dialect the parser accepts."""
+    return str(instruction)
+
+
+def disassemble_range(read_word, start, end, symbols=None):
+    """Decode ``[start, end)`` into ``(address, instruction, length)`` rows.
+
+    *read_word* maps a byte address to the 16-bit word stored there.
+    Decoding stops early (with a synthetic row) at an illegal opcode --
+    data interleaved with code shows up that way.
+    """
+    rows = []
+    address = start
+    while address < end:
+        try:
+            instruction, length = decode_instruction(read_word, address)
+        except EncodingError:
+            rows.append((address, None, 2))
+            address += 2
+            continue
+        rows.append((address, instruction, length))
+        address += length
+    return rows
+
+
+def listing(read_word, start, end, symbols=None):
+    """Return a printable listing of ``[start, end)``.
+
+    When *symbols* (name -> address) is given, labels are interleaved.
+    """
+    by_address = {}
+    for name, value in (symbols or {}).items():
+        by_address.setdefault(value, []).append(name)
+    lines = []
+    for address, instruction, _length in disassemble_range(read_word, start, end):
+        for name in sorted(by_address.get(address, [])):
+            lines.append(f"{name}:")
+        if instruction is None:
+            lines.append(f"    {address:#06x}: .word {read_word(address):#06x}")
+        else:
+            lines.append(f"    {address:#06x}: {format_instruction(instruction)}")
+    return "\n".join(lines)

@@ -1,0 +1,300 @@
+"""Text parser for MSP430 assembly.
+
+Accepts the gcc-flavoured dialect the rest of the toolchain emits::
+
+    .section .data
+    counter: .word 0
+    .section .text
+    .func main
+    main:
+        MOV  #0, R12
+    loop:
+        ADD  #1, R12
+        CMP  #10, R12
+        JNE  loop
+        CALL #helper
+        RET
+    .endfunc
+
+Comments start with ``;`` or ``//``. Emulated mnemonics are expanded to
+core instructions during parsing, so downstream passes only ever see the
+27 core operations.
+"""
+
+import re
+
+from repro.asm.ast import BSS, DATA, RODATA, TEXT, DataItem, Label, Program
+from repro.isa.instructions import (
+    EMULATED_MNEMONICS,
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    JUMP_CONDITIONS,
+    Instruction,
+    expand_emulated,
+)
+from repro.isa.operands import (
+    Sym,
+    absolute,
+    autoinc,
+    imm,
+    indexed,
+    indirect,
+    reg,
+    symbolic,
+)
+from repro.isa.registers import is_register_name, register_number
+
+
+class AsmSyntaxError(ValueError):
+    """Raised with file/line context when the source does not parse."""
+
+    def __init__(self, message, line_number=None, line=None):
+        location = f"line {line_number}: " if line_number else ""
+        detail = f" in {line!r}" if line else ""
+        super().__init__(f"{location}{message}{detail}")
+        self.line_number = line_number
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_SECTION_ALIASES = {
+    ".text": TEXT,
+    ".rodata": RODATA,
+    ".data": DATA,
+    ".bss": BSS,
+    "text": TEXT,
+    "rodata": RODATA,
+    "data": DATA,
+    "bss": BSS,
+}
+
+
+def parse_expression(text):
+    """Parse an integer / symbol / symbol±offset expression.
+
+    Returns an int or a :class:`Sym`. Supports decimal, ``0x`` hex,
+    ``'c'`` character literals and negative values.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty expression")
+    if len(text) == 3 and text[0] == text[2] == "'":
+        return ord(text[1])
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*(?:0[xX][0-9a-fA-F]+|\d+))?$", text)
+    if not match:
+        raise ValueError(f"bad expression: {text!r}")
+    name, offset = match.groups()
+    addend = int(offset.replace(" ", ""), 0) if offset else 0
+    return Sym(name, addend)
+
+
+def parse_operand(text):
+    """Parse a single operand string into an :class:`Operand`."""
+    text = text.strip()
+    if not text:
+        raise ValueError("empty operand")
+    if text.startswith("#"):
+        return imm(parse_expression(text[1:]))
+    if text.startswith("&"):
+        return absolute(parse_expression(text[1:]))
+    if text.startswith("@"):
+        body = text[1:].strip()
+        if body.endswith("+"):
+            return autoinc(register_number(body[:-1]))
+        return indirect(register_number(body))
+    match = re.match(r"^(.*)\(\s*([A-Za-z][\w]*)\s*\)$", text)
+    if match:
+        displacement, register = match.groups()
+        return indexed(parse_expression(displacement), register_number(register))
+    if is_register_name(text):
+        return reg(register_number(text))
+    return symbolic(parse_expression(text))
+
+
+def _split_operands(text):
+    """Split an operand field on top-level commas."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def parse_instruction(text):
+    """Parse one instruction line (mnemonic + operands) to an Instruction."""
+    parts = text.split(None, 1)
+    mnemonic = parts[0].upper()
+    byte = False
+    if mnemonic.endswith(".B"):
+        mnemonic = mnemonic[:-2]
+        byte = True
+    elif mnemonic.endswith(".W"):
+        mnemonic = mnemonic[:-2]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(operand_text)
+
+    if mnemonic in JUMP_CONDITIONS:
+        if len(operands) != 1:
+            raise ValueError(f"{mnemonic} needs one target")
+        return Instruction(mnemonic, target=parse_expression(operands[0]))
+    if mnemonic in EMULATED_MNEMONICS:
+        operand = parse_operand(operands[0]) if operands else None
+        return expand_emulated(mnemonic, operand, byte=byte)
+    if mnemonic == "RETI":
+        return Instruction("RETI")
+    if mnemonic in FORMAT_II_OPCODES:
+        if len(operands) != 1:
+            raise ValueError(f"{mnemonic} needs one operand")
+        return Instruction(mnemonic, src=parse_operand(operands[0]), byte=byte)
+    if mnemonic in FORMAT_I_OPCODES:
+        if len(operands) != 2:
+            raise ValueError(f"{mnemonic} needs two operands")
+        return Instruction(
+            mnemonic,
+            src=parse_operand(operands[0]),
+            dst=parse_operand(operands[1]),
+            byte=byte,
+        )
+    raise ValueError(f"unknown mnemonic: {mnemonic}")
+
+
+def _parse_data_directive(directive, argument):
+    """Parse a ``.word``/``.byte``/``.space``/``.ascii(z)`` directive."""
+    if directive in (".word", ".byte"):
+        values = [parse_expression(part) for part in _split_operands(argument)]
+        return DataItem(directive[1:], values)
+    if directive == ".space":
+        return DataItem("space", [int(argument.strip(), 0)])
+    if directive in (".ascii", ".asciz", ".string"):
+        text = argument.strip()
+        if not (text.startswith('"') and text.endswith('"')):
+            raise ValueError("string literal expected")
+        raw = text[1:-1].encode().decode("unicode_escape")
+        values = [ord(char) & 0xFF for char in raw]
+        if directive in (".asciz", ".string"):
+            values.append(0)
+        return DataItem("byte", values)
+    raise ValueError(f"unknown directive: {directive}")
+
+
+def _strip_comment(line):
+    for marker in (";", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def parse_asm(source, entry="main"):
+    """Parse assembly *source* text into a :class:`Program`.
+
+    Functions are delimited by ``.func name`` / ``.endfunc``; a label in
+    ``.text`` outside any function also opens a function of that name
+    (closed at the next function label), which keeps simple hand-written
+    listings terse.
+    """
+    program = Program(entry=entry)
+    section = TEXT
+    current_function = None
+    explicit_function = False
+    pending_data_label = None
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        try:
+            # Peel a leading label.
+            match = _LABEL_RE.match(line)
+            label_name = None
+            if match:
+                label_name, line = match.group(1), match.group(2).strip()
+
+            if label_name is not None:
+                if section == TEXT:
+                    if (
+                        current_function is not None
+                        and label_name == current_function.name
+                        and not current_function.items
+                    ):
+                        pass  # redundant `name:` right after `.func name`
+                    elif current_function is None or (
+                        not explicit_function and _looks_like_function(label_name)
+                    ):
+                        current_function = program.add_function(label_name)
+                        explicit_function = False
+                    else:
+                        current_function.emit(Label(label_name))
+                else:
+                    pending_data_label = label_name
+            if not line:
+                continue
+
+            if line.startswith("."):
+                parts = line.split(None, 1)
+                directive = parts[0].lower()
+                argument = parts[1] if len(parts) > 1 else ""
+                if directive == ".section":
+                    name = argument.strip()
+                    if name not in _SECTION_ALIASES:
+                        raise ValueError(f"unknown section: {name}")
+                    section = _SECTION_ALIASES[name]
+                    if section != TEXT:
+                        current_function = None
+                        explicit_function = False
+                elif directive == ".func":
+                    current_function = program.add_function(argument.strip())
+                    explicit_function = True
+                elif directive == ".endfunc":
+                    current_function = None
+                    explicit_function = False
+                elif directive in (".global", ".globl", ".align", ".p2align"):
+                    pass  # accepted and ignored; layout handles alignment
+                elif directive == ".entry":
+                    program.entry = argument.strip()
+                else:
+                    item = _parse_data_directive(directive, argument)
+                    if section == TEXT:
+                        raise ValueError("data directive inside .text")
+                    if pending_data_label is not None:
+                        program.sections[section].append(Label(pending_data_label))
+                        pending_data_label = None
+                    program.sections[section].append(item)
+                continue
+
+            # Instruction line.
+            if section != TEXT:
+                raise ValueError("instruction outside .text")
+            if current_function is None:
+                raise ValueError("instruction outside any function")
+            instruction = parse_instruction(line)
+            instruction.validate()
+            current_function.emit(instruction)
+        except AsmSyntaxError:
+            raise
+        except Exception as error:  # noqa: BLE001 - re-raised with context
+            raise AsmSyntaxError(str(error), line_number, raw_line.strip()) from error
+
+    # Flush a trailing data label with no item (points at section end).
+    if pending_data_label is not None:
+        program.sections[section].append(Label(pending_data_label))
+    return program
+
+
+def _looks_like_function(name):
+    """Heuristic: bare ``.text`` labels not starting with '.' open functions."""
+    return not name.startswith(".")

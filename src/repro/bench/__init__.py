@@ -1,0 +1,23 @@
+"""MiBench2-style benchmark suite (paper §4, Table 1).
+
+The nine workloads the paper evaluates -- stringsearch, dijkstra, crc,
+rc4, fft, aes, lzfx, bitcount, rsa -- reimplemented in the toolchain's
+mini-C dialect with deterministic embedded inputs and pure-Python
+reference implementations. Input sizes are scaled down so runs complete
+in seconds under the Python simulator; every reported comparison in the
+paper is a ratio, which survives the scaling (see DESIGN.md).
+"""
+
+from repro.bench.suite import (
+    BENCHMARK_NAMES,
+    BenchmarkProgram,
+    PAPER_TABLE1,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkProgram",
+    "PAPER_TABLE1",
+    "get_benchmark",
+]

@@ -1,0 +1,55 @@
+"""Deterministic input generation shared by mini-C sources and references.
+
+Both sides of every benchmark -- the embedded const arrays in the
+generated mini-C and the pure-Python reference implementation -- draw
+from the same seeded linear congruential generator, so expected outputs
+are computed without ever running the simulator.
+"""
+
+
+class Lcg:
+    """glibc-style LCG delivering 16-bit and 8-bit values."""
+
+    def __init__(self, seed=1):
+        self.state = seed & 0x7FFFFFFF
+
+    def next_word(self):
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return (self.state >> 8) & 0xFFFF
+
+    def next_byte(self):
+        return self.next_word() & 0xFF
+
+    def words(self, count, limit=0x10000):
+        return [self.next_word() % limit for _ in range(count)]
+
+    def bytes(self, count, limit=0x100):
+        return [self.next_byte() % limit for _ in range(count)]
+
+
+def c_array(ctype, name, values, const=True, per_line=12):
+    """Render a mini-C array definition with an initialiser list."""
+    prefix = "const " if const else ""
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("    " + ", ".join(str(value) for value in chunk))
+    body = ",\n".join(lines)
+    return f"{prefix}{ctype} {name}[{len(values)}] = {{\n{body}\n}};\n"
+
+
+def printable_text(generator, length, words):
+    """Deterministic lowercase text with spaces, embedding given words."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    out = []
+    while len(out) < length:
+        if words and generator.next_byte() < 24:
+            for char in words[generator.next_byte() % len(words)]:
+                out.append(ord(char))
+            out.append(ord(" "))
+            continue
+        run = 2 + generator.next_byte() % 8
+        for _ in range(run):
+            out.append(ord(letters[generator.next_byte() % 26]))
+        out.append(ord(" "))
+    return out[:length]

@@ -1,0 +1,1 @@
+"""The nine benchmark program generators (one module per workload)."""

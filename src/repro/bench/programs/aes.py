@@ -1,0 +1,292 @@
+"""AES benchmark: AES-128 encryption in CBC-style chaining.
+
+The paper's thrashing outlier (§5.4): the round functions (sub_bytes,
+shift_rows, mix_columns, add_round_key, xtime) call each other in a
+tight rotation whose combined footprint exceeds the SRAM cache, so the
+circular queue keeps evicting code that is about to run again -- and
+active ancestors force NVM-execution fallbacks. The Python reference
+implementation asserts the FIPS-197 test vector at build time, so the
+device checksum is validated against a known-good AES.
+"""
+
+from repro.bench.datagen import Lcg, c_array
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+#: FIPS-197 appendix test vector.
+_FIPS_KEY = [
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6,
+    0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C,
+]
+_FIPS_PLAIN = [
+    0x6B, 0xC1, 0xBE, 0xE2, 0x2E, 0x40, 0x9F, 0x96,
+    0xE9, 0x3D, 0x7E, 0x11, 0x73, 0x93, 0x17, 0x2A,
+]
+_FIPS_CIPHER = [
+    0x3A, 0xD7, 0x7B, 0xB4, 0x0D, 0x7A, 0x36, 0x60,
+    0xA8, 0x9E, 0xCA, 0xF3, 0x24, 0x66, 0xEF, 0x97,
+]
+
+_TEMPLATE = """
+#define BLOCKS {blocks}
+#define PASSES {passes}
+
+{sbox_array}
+{rcon_array}
+{key_array}
+{plain_array}
+
+unsigned char round_keys[176];
+unsigned char state[16];
+unsigned char chain[16];
+
+void copy16(unsigned char *dst, const unsigned char *src) {{
+    int i;
+    for (i = 0; i < 16; i++) {{
+        dst[i] = src[i];
+    }}
+}}
+
+unsigned char mix_one(unsigned char value, unsigned char next, unsigned char all) {{
+    /* xtime() folded in, as MiBench's macro version does */
+    unsigned pair = value ^ next;
+    unsigned wide = pair << 1;
+    if (pair & 0x80) {{
+        wide = wide ^ 0x1B;
+    }}
+    return (unsigned char)((value ^ all ^ wide) & 0xFF);
+}}
+
+void key_expand(const unsigned char *key) {{
+    int i;
+    unsigned char temp[4];
+    for (i = 0; i < 16; i++) {{
+        round_keys[i] = key[i];
+    }}
+    for (i = 4; i < 44; i++) {{
+        int base = 4 * i;
+        int j;
+        for (j = 0; j < 4; j++) {{
+            temp[j] = round_keys[base - 4 + j];
+        }}
+        if (i % 4 == 0) {{
+            unsigned char rotated = temp[0];
+            temp[0] = aes_sbox[temp[1]] ^ aes_rcon[i / 4 - 1];
+            temp[1] = aes_sbox[temp[2]];
+            temp[2] = aes_sbox[temp[3]];
+            temp[3] = aes_sbox[rotated];
+        }}
+        for (j = 0; j < 4; j++) {{
+            round_keys[base + j] = round_keys[base - 16 + j] ^ temp[j];
+        }}
+    }}
+}}
+
+void add_round_key(int round) {{
+    int i;
+    int base = 16 * round;
+    for (i = 0; i < 16; i++) {{
+        state[i] = state[i] ^ round_keys[base + i];
+    }}
+}}
+
+void sub_bytes(void) {{
+    int i;
+    for (i = 0; i < 16; i++) {{
+        state[i] = aes_sbox[state[i]];
+    }}
+}}
+
+void rotate_row(int row) {{
+    int t = state[row];
+    state[row] = state[row + 4];
+    state[row + 4] = state[row + 8];
+    state[row + 8] = state[row + 12];
+    state[row + 12] = (unsigned char)t;
+}}
+
+void shift_rows(void) {{
+    int row;
+    int times;
+    for (row = 1; row < 4; row++) {{
+        for (times = 0; times < row; times++) {{
+            rotate_row(row);
+        }}
+    }}
+}}
+
+void mix_columns(void) {{
+    int col;
+    for (col = 0; col < 4; col++) {{
+        int base = 4 * col;
+        unsigned char a0 = state[base];
+        unsigned char a1 = state[base + 1];
+        unsigned char a2 = state[base + 2];
+        unsigned char a3 = state[base + 3];
+        unsigned char all = a0 ^ a1 ^ a2 ^ a3;
+        state[base] = mix_one(a0, a1, all);
+        state[base + 1] = mix_one(a1, a2, all);
+        state[base + 2] = mix_one(a2, a3, all);
+        state[base + 3] = mix_one(a3, a0, all);
+    }}
+}}
+
+void aes_encrypt_state(void) {{
+    int round;
+    add_round_key(0);
+    for (round = 1; round < 10; round++) {{
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }}
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned pass;
+    int i;
+    key_expand(aes_key);
+    for (pass = 0; pass < PASSES; pass++) {{
+        for (i = 0; i < 16; i++) {{
+            chain[i] = (unsigned char)(pass & 0xFF);
+        }}
+        for (i = 0; i < BLOCKS; i++) {{
+            int j;
+            for (j = 0; j < 16; j++) {{
+                state[j] = aes_plain[16 * i + j] ^ chain[j];
+            }}
+            aes_encrypt_state();
+            copy16(chain, state);
+            acc = (acc + state[0] + (state[15] << 8)) & 0xFFFF;
+        }}
+        acc = (acc ^ (pass + 1)) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+
+def _xtime(value):
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _encrypt_block(round_keys, block):
+    state = list(block)
+
+    def add_round_key(round_index):
+        for i in range(16):
+            state[i] ^= round_keys[16 * round_index + i]
+
+    def sub_bytes():
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    def shift_rows():
+        s = state
+        s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+        s[2], s[10] = s[10], s[2]
+        s[6], s[14] = s[14], s[6]
+        s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+
+    def mix_columns():
+        for col in range(4):
+            base = 4 * col
+            a = state[base : base + 4]
+            total = a[0] ^ a[1] ^ a[2] ^ a[3]
+            state[base] ^= total ^ _xtime(a[0] ^ a[1])
+            state[base + 1] ^= total ^ _xtime(a[1] ^ a[2])
+            state[base + 2] ^= total ^ _xtime(a[2] ^ a[3])
+            state[base + 3] ^= total ^ _xtime(a[3] ^ a[0])
+
+    add_round_key(0)
+    for round_index in range(1, 10):
+        sub_bytes()
+        shift_rows()
+        mix_columns()
+        add_round_key(round_index)
+    sub_bytes()
+    shift_rows()
+    add_round_key(10)
+    return state
+
+
+def _key_expand(key):
+    words = list(key)
+    for i in range(4, 44):
+        temp = words[4 * i - 4 : 4 * i]
+        if i % 4 == 0:
+            temp = [
+                _SBOX[temp[1]] ^ _RCON[i // 4 - 1],
+                _SBOX[temp[2]],
+                _SBOX[temp[3]],
+                _SBOX[temp[0]],
+            ]
+        for j in range(4):
+            words.append(words[4 * (i - 4) + j] ^ temp[j])
+    return words
+
+
+def _reference(key, plain, blocks, passes):
+    round_keys = _key_expand(key)
+    assert _encrypt_block(_key_expand(_FIPS_KEY), _FIPS_PLAIN) == _FIPS_CIPHER
+    acc = 0
+    for pass_index in range(passes):
+        chain = [pass_index & 0xFF] * 16
+        for block_index in range(blocks):
+            block = [
+                plain[16 * block_index + j] ^ chain[j] for j in range(16)
+            ]
+            chain = _encrypt_block(round_keys, block)
+            acc = (acc + chain[0] + ((chain[15] << 8) & 0xFFFF)) & 0xFFFF
+        acc = (acc ^ (pass_index + 1)) & 0xFFFF
+    return acc
+
+
+def build(scale=1):
+    blocks = 4
+    passes = 2 * scale
+    generator = Lcg(0xAE5)
+    key = generator.bytes(16)
+    plain = generator.bytes(16 * blocks)
+    source = _TEMPLATE.format(
+        blocks=blocks,
+        passes=passes,
+        sbox_array=c_array("unsigned char", "aes_sbox", _SBOX),
+        rcon_array=c_array("unsigned char", "aes_rcon", _RCON),
+        key_array=c_array("unsigned char", "aes_key", key),
+        plain_array=c_array("unsigned char", "aes_plain", plain),
+    )
+    return source, [_reference(key, plain, blocks, passes)]

@@ -1,0 +1,130 @@
+"""Bitcount benchmark: seven bit-counting algorithms over a word stream.
+
+MiBench's bitcnts selects counters through a function-pointer jump
+table; the paper rewrites that as a switch because SwapRAM needs call
+destinations at compile time (§4). We mirror the rewritten form: a
+dispatch function with an if/else chain over the algorithm index,
+including a recursive counter so the active-counter machinery sees
+counts greater than one.
+"""
+
+from repro.bench.datagen import Lcg, c_array
+
+_TEMPLATE = """
+#define N {n}
+#define PASSES {passes}
+
+{data_array}
+{table_array}
+
+int count_shift(unsigned value) {{
+    int total = 0;
+    int i;
+    for (i = 0; i < 16; i++) {{
+        if (value & 1) {{
+            total++;
+        }}
+        value = value >> 1;
+    }}
+    return total;
+}}
+
+int count_kernighan(unsigned value) {{
+    int total = 0;
+    while (value) {{
+        value = value & (value - 1);
+        total++;
+    }}
+    return total;
+}}
+
+int count_table8(unsigned value) {{
+    return bits_table[value & 0xFF] + bits_table[(value >> 8) & 0xFF];
+}}
+
+int count_nibble(unsigned value) {{
+    int total = 0;
+    while (value) {{
+        total += bits_table[value & 0xF];
+        value = value >> 4;
+    }}
+    return total;
+}}
+
+int count_parallel(unsigned value) {{
+    value = (value & 0x5555) + ((value >> 1) & 0x5555);
+    value = (value & 0x3333) + ((value >> 2) & 0x3333);
+    value = (value & 0x0F0F) + ((value >> 4) & 0x0F0F);
+    return (int)((value + (value >> 8)) & 0x1F);
+}}
+
+int count_recursive(unsigned value) {{
+    if (value == 0) {{
+        return 0;
+    }}
+    return (int)(value & 1) + count_recursive(value >> 1);
+}}
+
+int count_dense(unsigned value) {{
+    int total = 16;
+    value = value ^ 0xFFFF;
+    while (value) {{
+        value = value & (value - 1);
+        total--;
+    }}
+    return total;
+}}
+
+int dispatch(int which, unsigned value) {{
+    /* MiBench selects counters through a function-pointer jump table;
+       the paper replaces it with a switch over the original index (§4)
+       so every call destination is visible at compile time. */
+    switch (which) {{
+    case 0: return count_shift(value);
+    case 1: return count_kernighan(value);
+    case 2: return count_table8(value);
+    case 3: return count_nibble(value);
+    case 4: return count_parallel(value);
+    case 5: return count_recursive(value);
+    default: return count_dense(value);
+    }}
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned pass;
+    for (pass = 0; pass < PASSES; pass++) {{
+        int which;
+        for (which = 0; which < 7; which++) {{
+            unsigned sum = 0;
+            int i;
+            for (i = 0; i < N; i++) {{
+                sum += dispatch(which, bit_data[i]);
+            }}
+            acc = (acc ^ sum) & 0xFFFF;
+            acc = (acc + which) & 0xFFFF;
+        }}
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+
+def build(scale=1):
+    n = 48
+    passes = 2 * scale
+    data = Lcg(0xB17).words(n)
+    table = [bin(value).count("1") for value in range(256)]
+    source = _TEMPLATE.format(
+        n=n,
+        passes=passes,
+        data_array=c_array("unsigned", "bit_data", data),
+        table_array=c_array("unsigned char", "bits_table", table),
+    )
+    acc = 0
+    for _pass in range(passes):
+        for which in range(7):
+            total = sum(bin(value).count("1") for value in data) & 0xFFFF
+            acc = ((acc ^ total) + which) & 0xFFFF
+    return source, [acc]

@@ -1,0 +1,293 @@
+"""FFT benchmark: Q15 fixed-point radix-2 FFT with analysis stages.
+
+The largest benchmark in Table 1 (23 KB -- float emulation in the
+original; Q15 with ``__fixmul`` library calls here). The pipeline per
+pass: Hamming-style window, in-place iterative FFT over a const twiddle
+table, magnitude estimation (alpha-max beta-min), peak finding, inverse
+FFT, and a direct-DFT cross-check of selected bins. One of the four
+block-cache DNF binaries.
+"""
+
+import math
+
+from repro.bench.datagen import Lcg, c_array
+
+N = 64
+LOG2N = 6
+Q = 15
+
+
+def _q15(value):
+    scaled = int(round(value * 32767))
+    return scaled & 0xFFFF
+
+
+_TEMPLATE = """
+#define N {n}
+#define LOG2N {log2n}
+#define PASSES {passes}
+
+{input_array}
+{cos_array}
+{sin_array}
+{window_array}
+
+int re[N];
+int im[N];
+int scratch_re[N];
+int scratch_im[N];
+
+unsigned bit_reverse(unsigned value, int bits) {{
+    unsigned result = 0;
+    int i;
+    for (i = 0; i < bits; i++) {{
+        result = (result << 1) | (value & 1);
+        value = value >> 1;
+    }}
+    return result;
+}}
+
+void load_input(void) {{
+    int i;
+    for (i = 0; i < N; i++) {{
+        re[i] = __fixmul(fft_input[i], fft_window[i]);
+        im[i] = 0;
+    }}
+}}
+
+void reorder(void) {{
+    int i;
+    for (i = 0; i < N; i++) {{
+        int j = (int)bit_reverse(i, LOG2N);
+        if (j > i) {{
+            int t = re[i];
+            re[i] = re[j];
+            re[j] = t;
+            t = im[i];
+            im[i] = im[j];
+            im[j] = t;
+        }}
+    }}
+}}
+
+void butterflies(int inverse) {{
+    int stage;
+    for (stage = 1; stage <= LOG2N; stage++) {{
+        int span = 1 << stage;
+        int half = span >> 1;
+        int step = N / span;
+        int start;
+        for (start = 0; start < N; start += span) {{
+            int k;
+            for (k = 0; k < half; k++) {{
+                int tw = k * step;
+                int wr = fft_cos[tw];
+                int wi = fft_sin[tw];
+                int a = start + k;
+                int b = a + half;
+                int tr;
+                int ti;
+                if (inverse) {{
+                    wi = 0 - wi;
+                }}
+                tr = __fixmul(re[b], wr) - __fixmul(im[b], wi);
+                ti = __fixmul(re[b], wi) + __fixmul(im[b], wr);
+                /* scale by 1/2 each stage to avoid overflow */
+                re[b] = (re[a] - tr) >> 1;
+                im[b] = (im[a] - ti) >> 1;
+                re[a] = (re[a] + tr) >> 1;
+                im[a] = (im[a] + ti) >> 1;
+            }}
+        }}
+    }}
+}}
+
+void fft(int inverse) {{
+    reorder();
+    butterflies(inverse);
+}}
+
+int magnitude_estimate(int real, int imag) {{
+    int abs_re = real < 0 ? 0 - real : real;
+    int abs_im = imag < 0 ? 0 - imag : imag;
+    int big = abs_re > abs_im ? abs_re : abs_im;
+    int small = abs_re > abs_im ? abs_im : abs_re;
+    /* alpha-max beta-min: |z| ~ max + 3/8 min */
+    return big + ((small >> 2) + (small >> 3));
+}}
+
+int peak_bin(void) {{
+    int best = 0;
+    int best_mag = 0;
+    int i;
+    for (i = 0; i < N / 2; i++) {{
+        int mag = magnitude_estimate(re[i], im[i]);
+        scratch_re[i] = mag;
+        if (mag > best_mag) {{
+            best_mag = mag;
+            best = i;
+        }}
+    }}
+    return best;
+}}
+
+void dft_bin(int k, int *out_re, int *out_im) {{
+    int sum_re = 0;
+    int sum_im = 0;
+    int i;
+    for (i = 0; i < N; i++) {{
+        int angle = (i * k) % N;
+        int sample = __fixmul(fft_input[i], fft_window[i]);
+        sum_re += __fixmul(sample, fft_cos[angle]) >> LOG2N;
+        sum_im += __fixmul(sample, fft_sin[angle]) >> LOG2N;
+    }}
+    *out_re = sum_re;
+    *out_im = sum_im;
+}}
+
+int close_enough(int a, int b) {{
+    int d = a - b;
+    if (d < 0) {{
+        d = 0 - d;
+    }}
+    return d <= 320;
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned pass;
+    for (pass = 0; pass < PASSES; pass++) {{
+        int peak;
+        int check_re;
+        int check_im;
+        int i;
+        load_input();
+        fft(0);
+        peak = peak_bin();
+        acc = (acc + peak) & 0xFFFF;
+        for (i = 0; i < N / 2; i += 7) {{
+            acc = (acc ^ (scratch_re[i] & 0xFFFF)) & 0xFFFF;
+        }}
+        /* cross-check the peak bin against a direct DFT */
+        dft_bin(peak, &check_re, &check_im);
+        if (!close_enough(check_re, re[peak]) || !close_enough(check_im, im[peak])) {{
+            __debug_out(0xDEAD);
+            __debug_out(peak);
+            return 1;
+        }}
+        /* round trip: inverse FFT should recover the windowed input */
+        fft(1);
+        for (i = 0; i < N; i += 5) {{
+            int expect = __fixmul(fft_input[i], fft_window[i]) >> LOG2N;
+            if (!close_enough(re[i], expect)) {{
+                __debug_out(0xBEEF);
+                __debug_out(i);
+                return 1;
+            }}
+        }}
+        acc = (acc + pass) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+
+def _reference(samples, window, cos_table, sin_table, passes):
+    """Mirror of the device pipeline with 16-bit wrap semantics."""
+    acc = 0
+    for pass_index in range(passes):
+        re = [_fixmul_raw(samples[i], window[i]) for i in range(N)]
+        im = [0] * N
+        for i in range(N):
+            j = int(format(i, f"0{LOG2N}b")[::-1], 2)
+            if j > i:
+                re[i], re[j] = re[j], re[i]
+                im[i], im[j] = im[j], im[i]
+        for stage in range(1, LOG2N + 1):
+            span = 1 << stage
+            half = span >> 1
+            step = N // span
+            for start in range(0, N, span):
+                for k in range(half):
+                    tw = k * step
+                    wr, wi = cos_table[tw], sin_table[tw]
+                    a, b = start + k, start + k + half
+                    tr = _wrap(_fixmul_raw(re[b], wr) - _fixmul_raw(im[b], wi))
+                    ti = _wrap(_fixmul_raw(re[b], wi) + _fixmul_raw(im[b], wr))
+                    re[b] = _sar(re[a] - tr)
+                    im[b] = _sar(im[a] - ti)
+                    re[a] = _sar(re[a] + tr)
+                    im[a] = _sar(im[a] + ti)
+        best, best_mag = 0, 0
+        mags = []
+        for i in range(N // 2):
+            mag = _magnitude(re[i], im[i])
+            mags.append(mag)
+            if mag > best_mag:
+                best_mag, best = mag, i
+        acc = (acc + best) & 0xFFFF
+        for i in range(0, N // 2, 7):
+            acc = (acc ^ (mags[i] & 0xFFFF)) & 0xFFFF
+        acc = (acc + pass_index) & 0xFFFF
+    return acc
+
+
+def _wrap(value):
+    return ((value + 0x8000) & 0xFFFF) - 0x8000
+
+
+def _sar(value):
+    return _wrap(value) >> 1
+
+
+def _fixmul_raw(a, b):
+    """Q15 multiply exactly as ``__fixmul`` computes it.
+
+    The assembly helper works on magnitudes and re-applies the sign, so
+    negative products truncate toward zero (Python's ``>>`` would floor).
+    """
+    a, b = _wrap(a), _wrap(b)
+    sign = (a < 0) != (b < 0)
+    magnitude = (abs(a) * abs(b)) >> Q
+    return _wrap(-magnitude if sign else magnitude)
+
+
+def _magnitude(real, imag):
+    abs_re = -_wrap(real) if _wrap(real) < 0 else _wrap(real)
+    abs_im = -_wrap(imag) if _wrap(imag) < 0 else _wrap(imag)
+    big, small = (abs_re, abs_im) if abs_re > abs_im else (abs_im, abs_re)
+    return _wrap(big + ((small >> 2) + (small >> 3)))
+
+
+def build(scale=1):
+    passes = 1 * scale
+    generator = Lcg(0xFF7)
+    # Two tones plus noise, in Q15.
+    samples = []
+    for i in range(N):
+        value = (
+            0.45 * math.sin(2 * math.pi * 5 * i / N)
+            + 0.25 * math.sin(2 * math.pi * 11 * i / N)
+            + 0.04 * ((generator.next_byte() / 255.0) - 0.5)
+        )
+        samples.append(_q15(value))
+    window = [_q15(0.54 - 0.46 * math.cos(2 * math.pi * i / (N - 1))) for i in range(N)]
+    cos_table = [_q15(math.cos(2 * math.pi * k / N) * 0.9999) for k in range(N)]
+    sin_table = [_q15(math.sin(2 * math.pi * k / N) * 0.9999) for k in range(N)]
+
+    source = _TEMPLATE.format(
+        n=N,
+        log2n=LOG2N,
+        passes=passes,
+        input_array=c_array("int", "fft_input", samples),
+        cos_array=c_array("int", "fft_cos", cos_table),
+        sin_array=c_array("int", "fft_sin", sin_table),
+        window_array=c_array("int", "fft_window", window),
+    )
+    signed_samples = [_wrap(s) for s in samples]
+    signed_window = [_wrap(w) for w in window]
+    signed_cos = [_wrap(c) for c in cos_table]
+    signed_sin = [_wrap(s) for s in sin_table]
+    expected = _reference(signed_samples, signed_window, signed_cos, signed_sin, passes)
+    return source, [expected]

@@ -1,0 +1,383 @@
+"""LZFX benchmark: LZF-style compression round trip.
+
+Hash-table driven LZ77 compressor with literal runs and two/three-byte
+back-references, plus the matching decompressor. Each pass compresses
+the corpus, decompresses it, verifies the round trip byte-for-byte and
+checksums the compressed stream. The most RAM-hungry benchmark in
+Table 1 (10794 B) and a block-cache DNF.
+"""
+
+from repro.bench.datagen import Lcg, c_array
+
+HASH_BITS = 8
+HASH_SIZE = 1 << HASH_BITS
+MAX_LIT = 32
+MAX_OFF = 0x1FFF
+MIN_MATCH = 3
+
+
+_TEMPLATE = """
+#define INLEN {inlen}
+#define OUTCAP {outcap}
+#define PASSES {passes}
+#define HASH_SIZE {hash_size}
+#define MAX_LIT {max_lit}
+#define MAX_OFF {max_off}
+
+{input_array}
+
+unsigned char comp[OUTCAP];
+unsigned char back[INLEN];
+int hash_tab[HASH_SIZE];
+
+int hash3(int pos) {{
+    unsigned h = (lz_input[pos] << 8) ^ (lz_input[pos + 1] << 4) ^ lz_input[pos + 2];
+    return (int)(h & (HASH_SIZE - 1));
+}}
+
+int match_length(int a, int b, int limit) {{
+    int len = 0;
+    while (len < limit && lz_input[a + len] == lz_input[b + len]) {{
+        len++;
+    }}
+    return len;
+}}
+
+int lz_compress(void) {{
+    int out = 0;
+    int pos = 0;
+    int lit_start = 0;
+    int i;
+    for (i = 0; i < HASH_SIZE; i++) {{
+        hash_tab[i] = -1;
+    }}
+    while (pos + 2 < INLEN) {{
+        int slot = hash3(pos);
+        int candidate = hash_tab[slot];
+        int len = 0;
+        hash_tab[slot] = pos;
+        if (candidate >= 0 && pos - candidate <= MAX_OFF) {{
+            int limit = INLEN - pos;
+            if (limit > 264) {{
+                limit = 264;
+            }}
+            len = match_length(candidate, pos, limit);
+        }}
+        if (len >= 3) {{
+            int offset = pos - candidate - 1;
+            int run = pos - lit_start;
+            /* flush pending literals */
+            while (run > 0) {{
+                int chunk = run > MAX_LIT ? MAX_LIT : run;
+                int j;
+                comp[out++] = (unsigned char)(chunk - 1);
+                for (j = 0; j < chunk; j++) {{
+                    comp[out++] = lz_input[lit_start++];
+                }}
+                run -= chunk;
+            }}
+            /* encode the back-reference */
+            if (len < 9) {{
+                comp[out++] = (unsigned char)(((len - 2) << 5) | (offset >> 8));
+            }} else {{
+                comp[out++] = (unsigned char)((7 << 5) | (offset >> 8));
+                comp[out++] = (unsigned char)(len - 9);
+            }}
+            comp[out++] = (unsigned char)(offset & 0xFF);
+            pos += len;
+            lit_start = pos;
+        }} else {{
+            pos++;
+        }}
+    }}
+    /* trailing literals */
+    {{
+        int run = INLEN - lit_start;
+        while (run > 0) {{
+            int chunk = run > MAX_LIT ? MAX_LIT : run;
+            int j;
+            comp[out++] = (unsigned char)(chunk - 1);
+            for (j = 0; j < chunk; j++) {{
+                comp[out++] = lz_input[lit_start++];
+            }}
+            run -= chunk;
+        }}
+    }}
+    return out;
+}}
+
+int lz_decompress(int comp_len) {{
+    int in_pos = 0;
+    int out_pos = 0;
+    while (in_pos < comp_len) {{
+        int token = comp[in_pos++];
+        if (token < MAX_LIT) {{
+            int count = token + 1;
+            while (count--) {{
+                back[out_pos++] = comp[in_pos++];
+            }}
+        }} else {{
+            int len = token >> 5;
+            int offset;
+            if (len == 7) {{
+                len = 7 + comp[in_pos++];
+            }}
+            len = len + 2;
+            offset = ((token & 0x1F) << 8) | comp[in_pos++];
+            offset = out_pos - offset - 1;
+            while (len--) {{
+                back[out_pos] = back[offset];
+                out_pos++;
+                offset++;
+            }}
+        }}
+    }}
+    return out_pos;
+}}
+
+/* Byte histogram + a cheap log2 proxy: estimates whether LZ or plain
+   RLE should win before spending the effort (mirrors lzfx's adaptive
+   framing). */
+
+unsigned histogram[256];
+
+int int_log2(unsigned value) {{
+    int bits = 0;
+    while (value > 1) {{
+        value = value >> 1;
+        bits++;
+    }}
+    return bits;
+}}
+
+unsigned entropy_proxy(void) {{
+    int i;
+    unsigned score = 0;
+    for (i = 0; i < 256; i++) {{
+        histogram[i] = 0;
+    }}
+    for (i = 0; i < INLEN; i++) {{
+        histogram[lz_input[i]]++;
+    }}
+    for (i = 0; i < 256; i++) {{
+        if (histogram[i]) {{
+            score += histogram[i] * int_log2(histogram[i]);
+        }}
+    }}
+    return score & 0xFFFF;
+}}
+
+int rle_compress_size(void) {{
+    /* Size RLE would need (run = 2 bytes, literal = 1 + escape). */
+    int size = 0;
+    int pos = 0;
+    while (pos < INLEN) {{
+        int run = 1;
+        while (pos + run < INLEN && run < 255 && lz_input[pos + run] == lz_input[pos]) {{
+            run++;
+        }}
+        if (run >= 3) {{
+            size += 3;
+        }} else {{
+            size += 2 * run;
+        }}
+        pos += run;
+    }}
+    return size;
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned pass;
+    for (pass = 0; pass < PASSES; pass++) {{
+        int comp_len;
+        int back_len;
+        unsigned score = entropy_proxy();
+        int rle_len = rle_compress_size();
+        acc = (acc + score + rle_len) & 0xFFFF;
+        comp_len = lz_compress();
+        if (comp_len >= rle_len && rle_len < INLEN / 2) {{
+            /* the corpus generator never produces this */
+            __debug_out(0xFADE);
+        }}
+        back_len = lz_decompress(comp_len);
+        int i;
+        if (back_len != INLEN) {{
+            __debug_out(0xDEAD);
+            return 1;
+        }}
+        for (i = 0; i < INLEN; i++) {{
+            if (back[i] != lz_input[i]) {{
+                __debug_out(0xBEEF);
+                __debug_out(i);
+                return 1;
+            }}
+        }}
+        for (i = 0; i < comp_len; i++) {{
+            acc = ((acc << 1 | acc >> 15) ^ comp[i]) & 0xFFFF;
+        }}
+        acc = (acc + comp_len + pass) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+
+def _compress(data):
+    out = []
+    hash_tab = [-1] * HASH_SIZE
+    pos = 0
+    lit_start = 0
+    n = len(data)
+
+    def flush(run):
+        nonlocal lit_start
+        while run > 0:
+            chunk = min(run, MAX_LIT)
+            out.append(chunk - 1)
+            out.extend(data[lit_start : lit_start + chunk])
+            lit_start += chunk
+            run -= chunk
+
+    while pos + 2 < n:
+        slot = ((data[pos] << 8) ^ (data[pos + 1] << 4) ^ data[pos + 2]) & (
+            HASH_SIZE - 1
+        )
+        candidate = hash_tab[slot]
+        hash_tab[slot] = pos
+        length = 0
+        if candidate >= 0 and pos - candidate <= MAX_OFF:
+            limit = min(n - pos, 264)
+            while length < limit and data[candidate + length] == data[pos + length]:
+                length += 1
+        if length >= MIN_MATCH:
+            offset = pos - candidate - 1
+            flush(pos - lit_start)
+            if length < 9:
+                out.append(((length - 2) << 5) | (offset >> 8))
+            else:
+                out.append((7 << 5) | (offset >> 8))
+                out.append(length - 9)
+            out.append(offset & 0xFF)
+            pos += length
+            lit_start = pos
+        else:
+            pos += 1
+    flush(n - lit_start)
+    return out
+
+
+def _decompress(blob, expect_len):
+    out = []
+    in_pos = 0
+    while in_pos < len(blob):
+        token = blob[in_pos]
+        in_pos += 1
+        if token < MAX_LIT:
+            count = token + 1
+            out.extend(blob[in_pos : in_pos + count])
+            in_pos += count
+        else:
+            length = token >> 5
+            if length == 7:
+                length = 7 + blob[in_pos]
+                in_pos += 1
+            length += 2
+            offset = ((token & 0x1F) << 8) | blob[in_pos]
+            in_pos += 1
+            start = len(out) - offset - 1
+            for i in range(length):
+                out.append(out[start + i])
+    assert len(out) == expect_len
+    return out
+
+
+def _make_corpus(length):
+    """Compressible sensor-log-like data: runs, ramps and repeats."""
+    generator = Lcg(0x12F)
+    data = []
+    phrases = [
+        [0x10, 0x22, 0x33, 0x44, 0x55, 0x10, 0x22, 0x33],
+        [ord(c) for c in "temp=021 "],
+        [ord(c) for c in "node-7 ok "],
+        [0, 0, 0, 0, 1, 1, 2, 2],
+    ]
+    while len(data) < length:
+        kind = generator.next_byte() % 4
+        if kind == 0:
+            data.extend([generator.next_byte()] * (4 + generator.next_byte() % 12))
+        elif kind == 1:
+            base = generator.next_byte()
+            data.extend([(base + i) & 0xFF for i in range(generator.next_byte() % 10)])
+        elif kind == 2:
+            data.extend(phrases[generator.next_byte() % len(phrases)])
+        else:
+            data.extend(generator.bytes(1 + generator.next_byte() % 6))
+    return data[:length]
+
+
+def _int_log2(value):
+    bits = 0
+    while value > 1:
+        value >>= 1
+        bits += 1
+    return bits
+
+
+def _entropy_proxy(data):
+    histogram = [0] * 256
+    for byte in data:
+        histogram[byte] += 1
+    score = 0
+    for count in histogram:
+        if count:
+            score += count * _int_log2(count)
+    return score & 0xFFFF
+
+
+def _rle_size(data):
+    size = 0
+    pos = 0
+    while pos < len(data):
+        run = 1
+        while pos + run < len(data) and run < 255 and data[pos + run] == data[pos]:
+            run += 1
+        size += 3 if run >= 3 else 2 * run
+        pos += run
+    return size
+
+
+def _reference(data, passes):
+    compressed = _compress(data)
+    restored = _decompress(compressed, len(data))
+    assert restored == list(data)
+    score = _entropy_proxy(data)
+    rle_len = _rle_size(data)
+    words = []
+    acc = 0
+    for pass_index in range(passes):
+        acc = (acc + score + rle_len) & 0xFFFF
+        if len(compressed) >= rle_len and rle_len < len(data) // 2:
+            words.append(0xFADE)
+        for byte in compressed:
+            acc = ((((acc << 1) | (acc >> 15)) & 0xFFFF) ^ byte) & 0xFFFF
+        acc = (acc + len(compressed) + pass_index) & 0xFFFF
+    words.append(acc)
+    return words
+
+
+def build(scale=1):
+    inlen = 448
+    passes = 1 * scale
+    data = _make_corpus(inlen)
+    source = _TEMPLATE.format(
+        inlen=inlen,
+        outcap=inlen + inlen // 16 + 64,
+        passes=passes,
+        hash_size=HASH_SIZE,
+        max_lit=MAX_LIT,
+        max_off=MAX_OFF,
+        input_array=c_array("unsigned char", "lz_input", data),
+    )
+    return source, _reference(data, passes)

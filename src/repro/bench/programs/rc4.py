@@ -1,0 +1,112 @@
+"""RC4 benchmark: key schedule + keystream encryption of a buffer.
+
+Byte-oriented state machine over a 256-byte S array in RAM -- the
+second-lowest code/data ratio in Table 1 (1.944) because nearly every
+operation is a data byte access.
+"""
+
+from repro.bench.datagen import Lcg, c_array
+
+_TEMPLATE = """
+#define KEYLEN {keylen}
+#define MSGLEN {msglen}
+#define ROUNDS {rounds}
+
+{key_array}
+{msg_array}
+
+unsigned char rc4_state[256];
+unsigned char workbuf[MSGLEN];
+
+void rc4_init(void) {{
+    int i;
+    int j = 0;
+    for (i = 0; i < 256; i++) {{
+        rc4_state[i] = (unsigned char)i;
+    }}
+    for (i = 0; i < 256; i++) {{
+        int t;
+        j = (j + rc4_state[i] + rc4_key[i % KEYLEN]) & 0xFF;
+        t = rc4_state[i];
+        rc4_state[i] = rc4_state[j];
+        rc4_state[j] = (unsigned char)t;
+    }}
+}}
+
+unsigned rc4_crypt(void) {{
+    int i = 0;
+    int j = 0;
+    int k;
+    unsigned check = 0;
+    for (k = 0; k < MSGLEN; k++) {{
+        int t;
+        unsigned key;
+        i = (i + 1) & 0xFF;
+        j = (j + rc4_state[i]) & 0xFF;
+        t = rc4_state[i];
+        rc4_state[i] = rc4_state[j];
+        rc4_state[j] = (unsigned char)t;
+        key = rc4_state[(rc4_state[i] + rc4_state[j]) & 0xFF];
+        workbuf[k] = workbuf[k] ^ key;
+        check = (check + workbuf[k]) & 0xFFFF;
+    }}
+    return check;
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned round;
+    int k;
+    for (k = 0; k < MSGLEN; k++) {{
+        workbuf[k] = rc4_msg[k];
+    }}
+    for (round = 0; round < ROUNDS; round++) {{
+        rc4_init();
+        acc = acc ^ rc4_crypt();
+        acc = (acc + round) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    __debug_out(workbuf[0] | (workbuf[MSGLEN - 1] << 8));
+    return 0;
+}}
+"""
+
+
+def _reference(key, message, rounds):
+    work = list(message)
+    acc = 0
+    for round_index in range(rounds):
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        i = j = 0
+        check = 0
+        for k in range(len(work)):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            stream = state[(state[i] + state[j]) & 0xFF]
+            work[k] ^= stream
+            check = (check + work[k]) & 0xFFFF
+        acc = ((acc ^ check) + round_index) & 0xFFFF
+    return acc, work
+
+
+def build(scale=1):
+    keylen = 16
+    msglen = 96
+    rounds = 2 * scale
+    generator = Lcg(0x4C4)
+    key = generator.bytes(keylen)
+    message = generator.bytes(msglen)
+    source = _TEMPLATE.format(
+        keylen=keylen,
+        msglen=msglen,
+        rounds=rounds,
+        key_array=c_array("unsigned char", "rc4_key", key),
+        msg_array=c_array("unsigned char", "rc4_msg", message),
+    )
+    acc, work = _reference(key, message, rounds)
+    return source, [acc, work[0] | (work[-1] << 8)]

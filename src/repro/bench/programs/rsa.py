@@ -1,0 +1,131 @@
+"""RSA benchmark: textbook RSA over 16-bit moduli.
+
+Square-and-multiply modular exponentiation built on a shift-add
+``mulmod`` (the modulus is kept below 2^15 so modular additions never
+overflow 16 bits). Encrypt/decrypt/sign round trips over a message
+block, checking every recovered word -- multiplication-heavy code with
+almost no data, like the paper's RSA (332 B RAM, ratio 2.53).
+"""
+
+from repro.bench.datagen import Lcg, c_array
+
+#: Toy key: p=61, q=53 -> n=3233, phi=3120, e=17 (the classic example).
+P, Q = 61, 53
+N_MOD = P * Q
+PHI = (P - 1) * (Q - 1)
+E_PUB = 17
+D_PRIV = pow(E_PUB, -1, PHI)
+
+_TEMPLATE = """
+#define MSGS {msgs}
+#define ROUNDS {rounds}
+#define N_MOD {n_mod}
+#define E_PUB {e_pub}
+#define D_PRIV {d_priv}
+
+{msg_array}
+
+unsigned cipher[MSGS];
+unsigned opened[MSGS];
+
+unsigned modadd(unsigned x, unsigned y) {{
+    /* x, y < N_MOD < 2^15, so x + y never wraps 16 bits. */
+    unsigned sum = x + y;
+    if (sum >= N_MOD) {{
+        sum -= N_MOD;
+    }}
+    return sum;
+}}
+
+unsigned mulmod(unsigned a, unsigned b) {{
+    unsigned result = 0;
+    a = a % N_MOD;
+    while (b) {{
+        if (b & 1) {{
+            result = modadd(result, a);
+        }}
+        a = modadd(a, a);
+        b = b >> 1;
+    }}
+    return result;
+}}
+
+unsigned powmod(unsigned base, unsigned exponent) {{
+    unsigned result = 1;
+    base = base % N_MOD;
+    while (exponent) {{
+        if (exponent & 1) {{
+            result = mulmod(result, base);
+        }}
+        base = mulmod(base, base);
+        exponent = exponent >> 1;
+    }}
+    return result;
+}}
+
+unsigned rsa_encrypt(unsigned message) {{
+    return powmod(message, E_PUB);
+}}
+
+unsigned rsa_decrypt(unsigned ciphertext) {{
+    return powmod(ciphertext, D_PRIV);
+}}
+
+unsigned rsa_sign(unsigned digest) {{
+    return powmod(digest, D_PRIV);
+}}
+
+int rsa_verify(unsigned signature, unsigned digest) {{
+    return powmod(signature, E_PUB) == digest;
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned round;
+    for (round = 0; round < ROUNDS; round++) {{
+        int i;
+        for (i = 0; i < MSGS; i++) {{
+            cipher[i] = rsa_encrypt(rsa_msgs[i]);
+        }}
+        for (i = 0; i < MSGS; i++) {{
+            opened[i] = rsa_decrypt(cipher[i]);
+            if (opened[i] != rsa_msgs[i]) {{
+                __debug_out(0xDEAD);
+                return 1;
+            }}
+        }}
+        for (i = 0; i < MSGS; i++) {{
+            unsigned sig = rsa_sign(rsa_msgs[i]);
+            if (!rsa_verify(sig, rsa_msgs[i])) {{
+                __debug_out(0xBAD);
+                return 1;
+            }}
+            acc = (acc ^ sig) & 0xFFFF;
+        }}
+        acc = (acc + round) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+
+def build(scale=1):
+    msgs = 4
+    rounds = 1 * scale
+    messages = [value % (N_MOD - 2) + 2 for value in Lcg(0x25A).words(msgs)]
+    source = _TEMPLATE.format(
+        msgs=msgs,
+        rounds=rounds,
+        n_mod=N_MOD,
+        e_pub=E_PUB,
+        d_priv=D_PRIV,
+        msg_array=c_array("unsigned", "rsa_msgs", messages),
+    )
+    acc = 0
+    for round_index in range(rounds):
+        for message in messages:
+            signature = pow(message, D_PRIV, N_MOD)
+            acc = (acc ^ signature) & 0xFFFF
+        acc = (acc + round_index) & 0xFFFF
+    return source, [acc]

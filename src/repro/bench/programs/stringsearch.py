@@ -1,0 +1,284 @@
+"""Stringsearch benchmark: pattern matching over an embedded corpus.
+
+Four searchers -- Boyer-Moore-Horspool (MiBench's core), Knuth-Morris-
+Pratt, Sunday quick-search and Rabin-Karp -- each count occurrences of
+every pattern and are cross-checked. Byte loads dominate, producing the suite's lowest
+code/data access ratio (1.620 in Table 1); like the paper's version it
+is too large for the block cache (DNF).
+"""
+
+from repro.bench.datagen import Lcg, c_array, printable_text
+
+_TEMPLATE = """
+#define TEXTLEN {textlen}
+#define NPATTERNS {npatterns}
+#define MAXPAT {maxpat}
+#define PASSES {passes}
+
+{text_array}
+{patterns_array}
+{offsets_array}
+{lengths_array}
+
+unsigned char bad_shift[256];
+unsigned char sunday_shift[256];
+int kmp_fail[MAXPAT];
+
+int match_at(const unsigned char *pattern, int patlen, int start) {{
+    int i = 0;
+    while (i < patlen && corpus[start + i] == pattern[i]) {{
+        i++;
+    }}
+    return i == patlen;
+}}
+
+int search_sunday(const unsigned char *pattern, int patlen) {{
+    int count = 0;
+    int pos = 0;
+    int limit = TEXTLEN - patlen;
+    int i;
+    for (i = 0; i < 256; i++) {{
+        sunday_shift[i] = (unsigned char)(patlen + 1);
+    }}
+    for (i = 0; i < patlen; i++) {{
+        sunday_shift[pattern[i]] = (unsigned char)(patlen - i);
+    }}
+    while (pos <= limit) {{
+        if (match_at(pattern, patlen, pos)) {{
+            count++;
+        }}
+        if (pos + patlen >= TEXTLEN) {{
+            break;
+        }}
+        pos += sunday_shift[corpus[pos + patlen]];
+    }}
+    return count;
+}}
+
+unsigned hash_mul31(unsigned value) {{
+    return ((value << 5) - value) & 0xFFFF;
+}}
+
+int search_rabin_karp(const unsigned char *pattern, int patlen) {{
+    int count = 0;
+    unsigned target = 0;
+    unsigned rolling = 0;
+    unsigned msb_weight = 1;
+    int i;
+    for (i = 0; i < patlen - 1; i++) {{
+        msb_weight = hash_mul31(msb_weight);
+    }}
+    for (i = 0; i < patlen; i++) {{
+        target = (hash_mul31(target) + pattern[i]) & 0xFFFF;
+        rolling = (hash_mul31(rolling) + corpus[i]) & 0xFFFF;
+    }}
+    for (i = 0; i + patlen <= TEXTLEN; i++) {{
+        if (rolling == target && match_at(pattern, patlen, i)) {{
+            count++;
+        }}
+        if (i + patlen < TEXTLEN) {{
+            unsigned gone = (corpus[i] * msb_weight) & 0xFFFF;
+            rolling = (hash_mul31(rolling - gone) + corpus[i + patlen]) & 0xFFFF;
+        }}
+    }}
+    return count;
+}}
+
+void bmh_prepare(const unsigned char *pattern, int patlen) {{
+    int i;
+    for (i = 0; i < 256; i++) {{
+        bad_shift[i] = (unsigned char)patlen;
+    }}
+    for (i = 0; i < patlen - 1; i++) {{
+        bad_shift[pattern[i]] = (unsigned char)(patlen - 1 - i);
+    }}
+}}
+
+int search_bmh(const unsigned char *pattern, int patlen) {{
+    int count = 0;
+    int pos = 0;
+    int limit = TEXTLEN - patlen;
+    bmh_prepare(pattern, patlen);
+    while (pos <= limit) {{
+        int i = patlen - 1;
+        while (i >= 0 && corpus[pos + i] == pattern[i]) {{
+            i--;
+        }}
+        if (i < 0) {{
+            count++;
+            pos++;
+        }} else {{
+            pos += bad_shift[corpus[pos + patlen - 1]];
+        }}
+    }}
+    return count;
+}}
+
+void kmp_prepare(const unsigned char *pattern, int patlen) {{
+    int k = 0;
+    int i;
+    kmp_fail[0] = 0;
+    for (i = 1; i < patlen; i++) {{
+        while (k > 0 && pattern[k] != pattern[i]) {{
+            k = kmp_fail[k - 1];
+        }}
+        if (pattern[k] == pattern[i]) {{
+            k++;
+        }}
+        kmp_fail[i] = k;
+    }}
+}}
+
+int search_kmp(const unsigned char *pattern, int patlen) {{
+    int count = 0;
+    int k = 0;
+    int i;
+    kmp_prepare(pattern, patlen);
+    for (i = 0; i < TEXTLEN; i++) {{
+        while (k > 0 && pattern[k] != corpus[i]) {{
+            k = kmp_fail[k - 1];
+        }}
+        if (pattern[k] == corpus[i]) {{
+            k++;
+        }}
+        if (k == patlen) {{
+            count++;
+            k = kmp_fail[k - 1];
+        }}
+    }}
+    return count;
+}}
+
+unsigned corpus_stats(void) {{
+    /* Word count, longest run of one character, and a vowel tally --
+       the kind of scan MiBench's stringsearch driver performs. */
+    unsigned words = 0;
+    unsigned longest = 0;
+    unsigned run = 0;
+    unsigned vowels = 0;
+    int in_word = 0;
+    int i;
+    for (i = 0; i < TEXTLEN; i++) {{
+        unsigned ch = corpus[i];
+        if (ch == ' ') {{
+            in_word = 0;
+        }} else {{
+            if (!in_word) {{
+                words++;
+            }}
+            in_word = 1;
+        }}
+        if (i > 0 && corpus[i] == corpus[i - 1]) {{
+            run++;
+            if (run > longest) {{
+                longest = run;
+            }}
+        }} else {{
+            run = 0;
+        }}
+        if (ch == 'a' || ch == 'e' || ch == 'i' || ch == 'o' || ch == 'u') {{
+            vowels++;
+        }}
+    }}
+    return (words + (longest << 8) + vowels) & 0xFFFF;
+}}
+
+int main(void) {{
+    unsigned acc = 0;
+    unsigned pass;
+    acc = corpus_stats();
+    for (pass = 0; pass < PASSES; pass++) {{
+        int p;
+        for (p = 0; p < NPATTERNS; p++) {{
+            const unsigned char *pattern = patterns + pat_offset[p];
+            int patlen = pat_length[p];
+            int a = search_bmh(pattern, patlen);
+            int b = search_kmp(pattern, patlen);
+            int c = search_sunday(pattern, patlen);
+            int d = a;
+            if ((p & 3) == 0) {{
+                /* Rabin-Karp is the costly cross-check: sample it */
+                d = search_rabin_karp(pattern, patlen);
+            }}
+            if (a != b || a != c || a != d) {{
+                __debug_out(0xDEAD);
+                __debug_out(p);
+                return 1;
+            }}
+            acc = (acc + a * (p + 1)) & 0xFFFF;
+        }}
+        acc = (acc ^ (pass + 0x51)) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+_WORDS = ["sensor", "energy", "cache", "swap", "ram", "nvm", "edge", "node"]
+
+
+def _corpus_stats(text):
+    words = longest = run = vowels = 0
+    in_word = False
+    for i, ch in enumerate(text):
+        if ch == ord(" "):
+            in_word = False
+        else:
+            if not in_word:
+                words += 1
+            in_word = True
+        if i > 0 and text[i] == text[i - 1]:
+            run += 1
+            longest = max(longest, run)
+        else:
+            run = 0
+        if ch in (ord("a"), ord("e"), ord("i"), ord("o"), ord("u")):
+            vowels += 1
+    return (words + (longest << 8) + vowels) & 0xFFFF
+
+
+def _reference(text, patterns, passes):
+    blob = bytes(text)
+    acc = _corpus_stats(text)
+    for pass_index in range(passes):
+        for index, pattern in enumerate(patterns):
+            needle = bytes(pattern)
+            count = 0
+            start = 0
+            while True:
+                found = blob.find(needle, start)
+                if found < 0:
+                    break
+                count += 1
+                start = found + 1
+            acc = (acc + count * (index + 1)) & 0xFFFF
+        acc = (acc ^ (pass_index + 0x51)) & 0xFFFF
+    return acc
+
+
+def build(scale=1):
+    textlen = 512
+    passes = 1 * scale
+    generator = Lcg(0x57A)
+    text = printable_text(generator, textlen, _WORDS)
+    patterns = [[ord(c) for c in word] for word in _WORDS]
+    patterns.append([ord(c) for c in "zzq"])  # never matches
+    flat = []
+    offsets = []
+    lengths = []
+    for pattern in patterns:
+        offsets.append(len(flat))
+        lengths.append(len(pattern))
+        flat.extend(pattern)
+    maxpat = max(lengths) + 1
+    source = _TEMPLATE.format(
+        textlen=textlen,
+        npatterns=len(patterns),
+        maxpat=maxpat,
+        passes=passes,
+        text_array=c_array("unsigned char", "corpus", text),
+        patterns_array=c_array("unsigned char", "patterns", flat),
+        offsets_array=c_array("int", "pat_offset", offsets),
+        lengths_array=c_array("int", "pat_length", lengths),
+    )
+    return source, [_reference(text, patterns, passes)]

@@ -1,0 +1,51 @@
+"""Benchmark registry and paper-reported Table 1 reference values."""
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class BenchmarkProgram:
+    """A generated benchmark: mini-C source plus its expected output."""
+
+    name: str
+    key: str
+    source: str
+    expected: List[int]
+    scale: int = 1
+
+
+#: Paper Table 1 (binary size B, RAM usage B, code/data access ratio).
+PAPER_TABLE1 = {
+    "stringsearch": ("STR", 12232, 7586, 1.620),
+    "dijkstra": ("DIJ", 21956, 8324, 4.679),
+    "crc": ("CRC", 1470, 562, 3.448),
+    "rc4": ("RC4", 3724, 4444, 1.944),
+    "fft": ("FFT", 23014, 4768, 3.749),
+    "aes": ("AES", 9608, 674, 3.947),
+    "lzfx": ("LZFX", 11085, 10794, 2.656),
+    "bitcount": ("BIT", 4344, 720, 2.740),
+    "rsa": ("RSA", 6331, 332, 2.530),
+}
+
+BENCHMARK_NAMES = list(PAPER_TABLE1)
+
+
+def _module(name):
+    import importlib
+
+    return importlib.import_module(f"repro.bench.programs.{name}")
+
+
+def get_benchmark(name, scale=1):
+    """Build benchmark *name* at *scale*; returns a BenchmarkProgram."""
+    if name not in PAPER_TABLE1:
+        raise KeyError(f"unknown benchmark {name!r} (one of {BENCHMARK_NAMES})")
+    source, expected = _module(name).build(scale=scale)
+    return BenchmarkProgram(
+        name=name,
+        key=PAPER_TABLE1[name][0],
+        source=source,
+        expected=expected,
+        scale=scale,
+    )

@@ -1,0 +1,398 @@
+"""Block-cache instrumentation pass (the paper's §4 port of Miller et al.).
+
+Every candidate function is split into basic blocks no larger than a
+cache slot. Control flow is rewritten so that *no* application code
+executes from FRAM:
+
+* conditional CFIs become a short conditional jump over two absolute
+  branches -- the Figure 6 transformation (conditional jumps cannot
+  span the SRAM);
+* every absolute branch initially targets that CFI's unique FRAM *stub*,
+  which signals the CFI id to the runtime and enters it;
+* calls become ``PUSH #<continuation stub>`` + branch, so returns always
+  land on an FRAM stub -- a full cache flush can then never strand a
+  return address inside a discarded SRAM copy;
+* the runtime later *chains* cached blocks by overwriting branch
+  immediates inside the SRAM copies.
+
+Stubs are emitted as pre-encoded instruction words in their own FRAM
+section: together with the CFI->block tables they are the "jump table"
+the paper identifies as the dominant memory overhead of this approach.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.asm.ast import DataItem, Label
+from repro.isa.encoding import instruction_length
+from repro.isa.instructions import Instruction
+from repro.isa.operands import AddressingMode, Sym, imm, reg
+from repro.isa.registers import PC, SP
+
+META_SECTION = "bbmeta"
+STUB_SECTION = "bbstubs"
+RUNTIME_SECTION = "bbruntime"
+CUR_CFI = "__bb_cur"
+CFI_TABLE = "__bb_cfitab"
+BLOCK_TABLE = "__bb_blocktab"
+HASH_TABLE = "__bb_hash"
+RUNTIME_ENTRY = "__bb_runtime"
+MEMCPY_AREA = "__bb_memcpy"
+
+#: Raw encodings used inside stub words.
+_MOV_IMM_TO_ABS = 0x40B2  # MOV #imm, &abs
+MOV_IMM_TO_PC = 0x4030  # BR #imm (MOV #imm, PC)
+STUB_BYTES = 10
+
+#: Room reserved in each slot for the rewritten terminator sequence.
+_TERMINATOR_RESERVE = 10
+
+
+@dataclass(frozen=True)
+class BlockCostModel:
+    """Modelled instruction costs and sizes for the block-cache runtime."""
+
+    entry_instructions: int = 6
+    probe_instructions: int = 3  # per hash probe
+    insert_instructions: int = 5
+    chain_instructions: int = 3
+    flush_instructions_per_entry: int = 1
+    memcpy_instructions_per_word: int = 3
+    memcpy_setup_instructions: int = 5
+    exit_instructions: int = 3
+    cycles_per_instruction: int = 3
+    handler_bytes: int = 1150
+    memcpy_bytes: int = 64
+
+
+class BlockTransformError(ValueError):
+    """Code the block transformation cannot handle."""
+
+
+@dataclass
+class BlockInfo:
+    """One basic block: its FRAM label and post-rewrite size."""
+
+    block_id: int
+    label: str
+    function: str
+    size: int = 0
+
+
+@dataclass
+class BlockCacheMeta:
+    """Program-wide results of the instrumentation pass."""
+
+    blocks: List[BlockInfo]
+    cfi_targets: List[int]  # cfi id -> target block id
+    entry_blocks: Dict[str, int]  # function name -> entry block id
+    slot_bytes: int
+    hash_entries: int
+    cost_model: BlockCostModel = field(default=None)
+
+    @property
+    def stub_bytes(self):
+        return STUB_BYTES * len(self.cfi_targets)
+
+    @property
+    def metadata_bytes(self):
+        """Stubs + tables + hash storage (Figure 7's Metadata bar)."""
+        tables = 2 + 2 * len(self.cfi_targets) + 4 * len(self.blocks)
+        return self.stub_bytes + tables + 4 * self.hash_entries
+
+
+def _is_ret(item):
+    return (
+        item.mnemonic == "MOV"
+        and item.dst is not None
+        and item.dst.mode is AddressingMode.REGISTER
+        and item.dst.register == PC
+        and item.src.mode is AddressingMode.AUTOINC
+        and item.src.register == SP
+    )
+
+
+def _is_cfi(item):
+    if not isinstance(item, Instruction):
+        return False
+    return item.is_jump or item.mnemonic == "CALL" or item.writes_pc()
+
+
+class _Transformer:
+    def __init__(self, program, candidate_names, slot_bytes):
+        self.program = program
+        self.candidates = candidate_names
+        self.slot_bytes = slot_bytes
+        self.blocks: List[BlockInfo] = []
+        self.cfi_targets: List[int] = []
+        self.entry_blocks: Dict[str, int] = {}
+        self._block_by_label: Dict[str, int] = {}
+        self._serial = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fresh_label(self, hint):
+        self._serial += 1
+        return f".Lbb_{hint}_{self._serial}"
+
+    def _block_id_for(self, label, function_name):
+        if label not in self._block_by_label:
+            info = BlockInfo(len(self.blocks), label, function_name)
+            self._block_by_label[label] = info.block_id
+            self.blocks.append(info)
+        return self._block_by_label[label]
+
+    def _stub_for(self, target_label, function_name):
+        """Allocate a CFI id; its stub routes to *target_label*'s block."""
+        block_id = self._block_id_for(target_label, function_name)
+        cfi_id = len(self.cfi_targets)
+        self.cfi_targets.append(block_id)
+        return Sym(f"__bb_stub_{cfi_id}")
+
+    def _branch(self, target_label, function_name):
+        """``BR #stub`` -- the chainable absolute branch."""
+        stub = self._stub_for(target_label, function_name)
+        return Instruction("MOV", src=imm(stub), dst=reg(PC))
+
+    # -- segmentation -----------------------------------------------------------
+
+    def _segment(self, function):
+        """Split *function* into ``(label, body, terminator)`` segments.
+
+        A ``None`` terminator means fallthrough to the next segment.
+        Bodies are capped so that body + rewritten terminator fits a slot.
+        """
+        name = function.name
+        segments = []
+        current_label = name
+        body = []
+        body_bytes = 0
+        limit = self.slot_bytes - _TERMINATOR_RESERVE
+
+        def close(terminator, next_label):
+            nonlocal current_label, body, body_bytes
+            segments.append((current_label, body, terminator))
+            current_label = next_label
+            body = []
+            body_bytes = 0
+
+        for item in function.items:
+            if isinstance(item, Label):
+                if current_label is None:
+                    current_label = item.name
+                else:
+                    close(None, item.name)  # fallthrough into the label
+                continue
+            if not isinstance(item, Instruction):
+                continue
+            if current_label is None:
+                current_label = self._fresh_label(name)
+            length = instruction_length(item)
+            if _is_cfi(item):
+                close(item, None)
+                continue
+            if body_bytes + length > limit:
+                close(None, self._fresh_label(name))
+            body.append(item)
+            body_bytes += length
+        if current_label is not None and body:
+            close(None, None)
+        return segments
+
+    # -- function transformation ---------------------------------------------------
+
+    def transform_function(self, function):
+        name = function.name
+        segments = self._segment(function)
+        if not segments:
+            raise BlockTransformError(f"{name}: empty function")
+        self.entry_blocks[name] = self._block_id_for(name, name)
+
+        out = []
+        segment_labels = [segment[0] for segment in segments]
+        for index, (label, body, terminator) in enumerate(segments):
+            next_label = (
+                segment_labels[index + 1] if index + 1 < len(segments) else None
+            )
+            if label != name:
+                out.append(Label(label))
+            out.extend(body)
+            out.extend(self._rewrite_terminator(terminator, next_label, name))
+        function.items = out
+        self._measure_blocks(function, set(segment_labels))
+
+    def _rewrite_terminator(self, terminator, next_label, function_name):
+        if terminator is None:
+            if next_label is None:
+                return []
+            return [self._branch(next_label, function_name)]
+
+        if terminator.is_jump:
+            target = terminator.target
+            if not isinstance(target, Sym):
+                raise BlockTransformError("jump with non-symbolic target")
+            if terminator.mnemonic == "JMP":
+                return [self._branch(target.name, function_name)]
+            if next_label is None:
+                raise BlockTransformError(
+                    f"{function_name}: conditional jump with no fallthrough"
+                )
+            # Figure 6: conditional hop over the two chainable branches.
+            take = self._fresh_label(function_name)
+            return [
+                Instruction(terminator.mnemonic, target=Sym(take)),
+                self._branch(next_label, function_name),
+                Label(take),
+                self._branch(target.name, function_name),
+            ]
+
+        if terminator.mnemonic == "CALL":
+            source = terminator.src
+            if source.mode is not AddressingMode.IMMEDIATE or not isinstance(
+                source.value, Sym
+            ):
+                raise BlockTransformError(f"unsupported call form: {terminator}")
+            if next_label is None:
+                raise BlockTransformError(
+                    f"{function_name}: call with no continuation block"
+                )
+            callee = source.value.name
+            continuation = self._stub_for(next_label, function_name)
+            push = Instruction("PUSH", src=imm(continuation))
+            if callee in self.candidates:
+                return [push, self._branch(callee, callee)]
+            # Blacklisted callee stays in FRAM: branch to it directly.
+            return [push, Instruction("MOV", src=imm(Sym(callee)), dst=reg(PC))]
+
+        if _is_ret(terminator):
+            return [terminator]
+        # Other PC writes (none generated by the toolchain) pass through.
+        return [terminator]
+
+    def _measure_blocks(self, function, segment_labels):
+        """Record final byte sizes for every registered block."""
+        current = function.name
+        cursor = 0
+
+        def flush():
+            block_id = self._block_by_label.get(current)
+            if block_id is not None:
+                self.blocks[block_id].size = cursor
+
+        for item in function.items:
+            if isinstance(item, Label) and item.name in segment_labels:
+                flush()
+                current, cursor = item.name, 0
+            elif isinstance(item, Instruction):
+                cursor += instruction_length(item)
+        flush()
+
+    # -- blacklisted functions ---------------------------------------------------------
+
+    def rewrite_blacklisted_calls(self, function):
+        """Route a non-candidate's calls to candidates through entry stubs."""
+        rewritten = []
+        for item in function.items:
+            if (
+                isinstance(item, Instruction)
+                and item.mnemonic == "CALL"
+                and item.src.mode is AddressingMode.IMMEDIATE
+                and isinstance(item.src.value, Sym)
+                and item.src.value.name in self.candidates
+            ):
+                callee = item.src.value.name
+                stub = self._stub_for(callee, callee)
+                rewritten.append(Instruction("CALL", src=imm(stub)))
+            else:
+                rewritten.append(item)
+        function.items = rewritten
+
+
+def _next_pow2(value):
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+def instrument_for_blockcache(
+    program,
+    blacklist=(),
+    slot_bytes=48,
+    expected_cache_bytes=0x1000,
+    cost_model=None,
+):
+    """Apply the block-cache transformation.
+
+    Returns ``(instrumented_program, BlockCacheMeta)``. The hash table
+    is sized for a 0.5 load factor over the slot count implied by
+    *expected_cache_bytes* (paper §4).
+    """
+    cost_model = cost_model or BlockCostModel()
+    instrumented = program.clone()
+    blacklist = set(blacklist)
+    candidate_names = {
+        function.name
+        for function in instrumented.functions
+        if not function.blacklisted and function.name not in blacklist
+    }
+    if not candidate_names:
+        raise BlockTransformError("no cacheable functions")
+
+    transformer = _Transformer(instrumented, candidate_names, slot_bytes)
+    for function in instrumented.functions:
+        if function.name in candidate_names:
+            transformer.transform_function(function)
+        else:
+            transformer.rewrite_blacklisted_calls(function)
+
+    num_slots = max(expected_cache_bytes // slot_bytes, 1)
+    hash_entries = _next_pow2(2 * num_slots)
+
+    # Stubs: unique runtime entry points, one per CFI (pre-encoded words).
+    stub_items = []
+    for cfi_id in range(len(transformer.cfi_targets)):
+        stub_items.append(Label(f"__bb_stub_{cfi_id}"))
+        stub_items.append(
+            DataItem(
+                "word",
+                [
+                    _MOV_IMM_TO_ABS,
+                    cfi_id,
+                    Sym(CUR_CFI),
+                    MOV_IMM_TO_PC,
+                    Sym(RUNTIME_ENTRY),
+                ],
+            )
+        )
+    instrumented.sections[STUB_SECTION] = stub_items
+
+    blocktab = []
+    for block in transformer.blocks:
+        blocktab += [Sym(block.label), block.size]
+    instrumented.sections[META_SECTION] = [
+        Label(CUR_CFI),
+        DataItem("word", [0xFFFF]),
+        Label(CFI_TABLE),
+        DataItem("word", list(transformer.cfi_targets) or [0]),
+        Label(BLOCK_TABLE),
+        DataItem("word", blocktab or [0]),
+        Label(HASH_TABLE),
+        DataItem("space", [4 * hash_entries]),
+    ]
+    instrumented.sections[RUNTIME_SECTION] = [
+        Label(RUNTIME_ENTRY),
+        DataItem("space", [cost_model.handler_bytes]),
+        Label(MEMCPY_AREA),
+        DataItem("space", [cost_model.memcpy_bytes]),
+    ]
+
+    meta = BlockCacheMeta(
+        blocks=transformer.blocks,
+        cfi_targets=list(transformer.cfi_targets),
+        entry_blocks=transformer.entry_blocks,
+        slot_bytes=slot_bytes,
+        hash_entries=hash_entries,
+        cost_model=cost_model,
+    )
+    return instrumented, meta

@@ -1,0 +1,148 @@
+"""Command-line interface: compile and run mini-C on the simulated platform.
+
+::
+
+    python -m repro program.c                        # baseline, unified, 24 MHz
+    python -m repro program.c --system swapram       # with the software cache
+    python -m repro program.c --system block         # prior-work block cache
+    python -m repro program.c --plan standard --mhz 8
+    python -m repro program.c --system swapram --stats --listing
+
+Prints the program's debug-port output and a run report (cycles,
+accesses, energy); ``--stats`` adds cache-runtime statistics, and
+``--listing`` disassembles the final (possibly self-modified) code.
+"""
+
+import argparse
+import sys
+
+from repro.blockcache import build_blockcache
+from repro.core import ThrashGuard, build_swapram
+from repro.toolchain import FitError, PLANS, build_baseline
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run mini-C programs on the simulated FRAM platform "
+        "(SwapRAM reproduction).",
+    )
+    parser.add_argument("source", help="mini-C source file (or '-' for stdin)")
+    parser.add_argument(
+        "--system",
+        choices=("baseline", "swapram", "block"),
+        default="baseline",
+        help="execution system (default: baseline)",
+    )
+    parser.add_argument(
+        "--plan",
+        choices=sorted(PLANS),
+        default="unified",
+        help="memory placement plan (default: unified)",
+    )
+    parser.add_argument(
+        "--mhz", type=float, default=24, help="CPU clock in MHz (default: 24)"
+    )
+    parser.add_argument(
+        "--cache-limit", type=int, default=None, help="cap the SRAM cache (bytes)"
+    )
+    parser.add_argument(
+        "--thrash-guard",
+        action="store_true",
+        help="enable the freeze-on-thrash extension (swapram only)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print cache-runtime statistics"
+    )
+    parser.add_argument(
+        "--listing",
+        action="store_true",
+        help="disassemble the text section after the run",
+    )
+    parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=50_000_000,
+        help="runaway guard (default: 5e7)",
+    )
+    return parser
+
+
+def _build(args, source):
+    if args.system == "baseline":
+        board = build_baseline(source, PLANS[args.plan], frequency_mhz=args.mhz)
+        return board, board, None
+    if args.system == "swapram":
+        system = build_swapram(
+            source,
+            PLANS[args.plan],
+            frequency_mhz=args.mhz,
+            cache_limit=args.cache_limit,
+            thrash_guard=ThrashGuard() if args.thrash_guard else None,
+        )
+        return system, system.board, system.stats
+    system = build_blockcache(
+        source,
+        PLANS[args.plan],
+        frequency_mhz=args.mhz,
+        cache_limit=args.cache_limit,
+    )
+    return system, system.board, system.stats
+
+
+def _print_report(result, out):
+    print("debug output :", " ".join(f"{word:#06x}" for word in result.debug_words)
+          or "(none)", file=out)
+    if result.output_text:
+        print("text output  :", result.output_text, file=out)
+    print(f"instructions : {result.instructions}", file=out)
+    print(
+        f"cycles       : {result.total_cycles} "
+        f"({result.unstalled_cycles} + {result.stall_cycles} stalls)",
+        file=out,
+    )
+    print(
+        f"accesses     : {result.fram_accesses} FRAM, "
+        f"{result.sram_accesses} SRAM "
+        f"(code/data ratio {result.code_data_ratio:.2f})",
+        file=out,
+    )
+    print(f"runtime      : {result.runtime_us:.1f} us @ "
+          f"{result.frequency_mhz:g} MHz", file=out)
+    print(f"energy       : {result.energy_nj / 1000:.2f} uJ", file=out)
+
+
+def main(argv=None, out=sys.stdout):
+    args = _parser().parse_args(argv)
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            source = handle.read()
+
+    try:
+        system, board, stats = _build(args, source)
+    except FitError as error:
+        print(f"DNF: {error}", file=out)
+        return 2
+
+    result = system.run(max_instructions=args.max_instructions)
+    _print_report(result, out)
+
+    if args.stats and stats is not None:
+        print(f"cache stats  : {stats}", file=out)
+    if args.listing:
+        from repro.asm.disasm import listing
+
+        image = board.linked.image
+        base, size = image.section_extents["text"]
+        print(file=out)
+        print(
+            listing(board.memory.read_word, base, base + size, image.symbols),
+            file=out,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Cycle/fetch cost model for the hosted cache runtimes.
+
+The paper's runtimes are C+assembly executing from FRAM; ours run
+host-side (see DESIGN.md). To keep every reported quantity honest, each
+modelled runtime instruction is *charged*: one or two instruction-word
+fetches at real FRAM addresses inside the reserved runtime area (so the
+hardware FRAM cache and wait-state machinery see them), plus unstalled
+cycles, plus a dynamic-instruction count under the right attribution
+(Figure 8's "miss handler" and "memcpy" categories).
+
+Instruction-count constants approximate the MSP430 code each phase
+would compile to; handler *size* constants are calibrated to the
+paper's reported range (972-1844 bytes, average 1378 -- §5.2).
+"""
+
+from dataclasses import dataclass
+
+from repro.machine.trace import Attribution
+
+
+@dataclass(frozen=True)
+class RuntimeCostModel:
+    """Tunable constants for the SwapRAM runtime's modelled costs."""
+
+    # Dynamic instruction counts per handler phase.
+    entry_instructions: int = 10  # save args, load funcId, functab lookup
+    decision_instructions: int = 6  # placement decision
+    scan_instructions_per_node: int = 3  # queue walk per node inspected
+    active_check_instructions: int = 3  # per flagged victim
+    evict_instructions: int = 10  # per evicted function (metadata reset)
+    reloc_instructions: int = 5  # per relocation entry written
+    exit_instructions: int = 6  # restore args, branch out
+    # Copy loop: MOV @Rs+, 0(Rd); ADD #2, Rd; DEC Rn; JNZ -- about nine
+    # cycles per word, modelled as three average instructions.
+    memcpy_instructions_per_word: int = 3
+    memcpy_setup_instructions: int = 6
+
+    # Average unstalled cycles per modelled instruction (mem-heavy code).
+    cycles_per_instruction: int = 3
+
+    # Static size model (bytes) for Figure 7's Runtime bar.
+    handler_base_bytes: int = 900
+    handler_bytes_per_reloc: int = 12
+    memcpy_bytes: int = 64
+
+    def handler_size(self, total_relocs):
+        """Miss-handler code size: grows with relocatable branches (§5.2)."""
+        return self.handler_base_bytes + self.handler_bytes_per_reloc * total_relocs
+
+
+class CostCharger:
+    """Charges modelled instructions against the bus at real addresses."""
+
+    def __init__(self, bus, area_base, area_bytes, cycles_per_instruction):
+        self.bus = bus
+        self.area_base = area_base
+        self.area_words = max(area_bytes // 2, 1)
+        self.cycles_per_instruction = cycles_per_instruction
+        self._cursor = 0
+
+    def begin_invocation(self):
+        """Restart at the area base: each handler invocation re-executes
+        the same code path, so repeated invocations touch the same FRAM
+        addresses and benefit from the hardware read cache exactly as the
+        real handler would."""
+        self._cursor = 0
+
+    def charge(self, instructions, attribution=Attribution.RUNTIME):
+        """Charge *instructions* modelled instructions (fetches + cycles)."""
+        bus = self.bus
+        counters = bus.counters
+        region_kind = bus.memory_map.kind_at(self.area_base)
+        for index in range(instructions):
+            bus.begin_instruction()
+            address = self.area_base + 2 * (self._cursor % self.area_words)
+            # Alternate 1- and 2-word instructions (realistic mix).
+            words = 1 + (index & 1)
+            with bus.attributed(attribution):
+                bus.account_fetch(address, words)
+            self._cursor += words
+            counters.record_instruction(
+                attribution, region_kind, self.cycles_per_instruction
+            )

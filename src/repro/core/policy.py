@@ -1,0 +1,214 @@
+"""Cache memory structures / replacement policies (paper §3.4).
+
+The data structure organising cached functions in SRAM *is* the
+replacement policy. The paper's proof-of-concept uses a circular queue
+("least-recently-cached" eviction, good density, evicts ancestors
+rarely); it explicitly argues a stack ("most-recently-cached") is
+counterproductive -- we implement both so the ablation benchmark can
+show the difference -- and sketches priority-based schemes as future
+work, which :class:`CostAwareQueuePolicy` explores.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class CacheNode:
+    """One cached function: its id and SRAM placement."""
+
+    func_id: int
+    address: int
+    size: int
+
+    @property
+    def end(self):
+        return self.address + self.size
+
+
+@dataclass
+class Placement:
+    """A planned insertion: where to put the function, whom to evict."""
+
+    address: int
+    victims: List[CacheNode] = field(default_factory=list)
+    nodes_scanned: int = 0
+
+
+class CachePolicy:
+    """Common bookkeeping for SRAM function caches."""
+
+    name = "abstract"
+
+    def __init__(self, base, size):
+        self.base = base
+        self.size = size
+        self.end = base + size
+        self.nodes: List[CacheNode] = []
+
+    def reset(self):
+        self.nodes = []
+
+    def lookup(self, func_id) -> Optional[CacheNode]:
+        for node in self.nodes:
+            if node.func_id == func_id:
+                return node
+        return None
+
+    def used_bytes(self):
+        return sum(node.size for node in self.nodes)
+
+    def _overlapping(self, address, size):
+        lo, hi = address, address + size
+        return [node for node in self.nodes if node.address < hi and node.end > lo]
+
+    def plan(self, size, is_active=None) -> Optional[Placement]:
+        """Choose a landing zone for *size* bytes.
+
+        *is_active* (func_id -> bool) lets the policy avoid planning an
+        eviction the runtime would have to abort (paper §3.3.2: flagging
+        a function does not guarantee it can be evicted). A returned
+        placement may still contain active victims -- the runtime's
+        charged active-counter check is the authority and falls back to
+        NVM execution.
+        """
+        raise NotImplementedError
+
+    def commit(self, func_id, placement, size) -> CacheNode:
+        """Apply a planned insertion after the caller evicted the victims."""
+        for victim in placement.victims:
+            self.nodes.remove(victim)
+        node = CacheNode(func_id, placement.address, size)
+        self.nodes.append(node)
+        self._after_commit(node)
+        return node
+
+    def _after_commit(self, node):
+        pass
+
+
+class CircularQueuePolicy(CachePolicy):
+    """The paper's design: FIFO placement around a circular buffer.
+
+    New functions go after the most recently cached one, wrapping to the
+    bottom of the cache when the end is reached (leaving a small gap --
+    the density cost Figure 5 shows). Anything physically overlapping
+    the landing zone is flagged for eviction, which makes replacement
+    least-recently-cached.
+    """
+
+    name = "queue"
+
+    def __init__(self, base, size):
+        super().__init__(base, size)
+        self.tail = base
+
+    def reset(self):
+        super().reset()
+        self.tail = self.base
+
+    def plan(self, size, is_active=None):
+        if size > self.size:
+            return None
+        address = self.tail
+        wrapped = False
+        if address + size > self.end:
+            address = self.base  # wrap, leaving a gap at the top
+            wrapped = True
+        scanned = 0
+        best = None
+        for _attempt in range(len(self.nodes) + 2):
+            victims = self._overlapping(address, size)
+            scanned += len(victims) + 1
+            best = Placement(address, victims, nodes_scanned=scanned + 1)
+            if is_active is None:
+                return best
+            blocker = next(
+                (victim for victim in victims if is_active(victim.func_id)), None
+            )
+            if blocker is None:
+                return best
+            # Skip past the live function and retry after it (§3.3.2's
+            # "flagged but not evictable" case) instead of giving up.
+            address = blocker.end
+            if address + size > self.end:
+                if wrapped:
+                    return best  # nowhere is free of live code: runtime aborts
+                address = self.base
+                wrapped = True
+        return best
+
+    def _after_commit(self, node):
+        self.tail = node.end
+
+
+class StackPolicy(CachePolicy):
+    """The §3.4 strawman: contiguous stack, most-recently-cached eviction.
+
+    Maximises density (no gaps) but evicts the newest functions first --
+    exactly the code most likely to be hot or on the call stack, so
+    expect more eviction aborts and worse hit behaviour.
+    """
+
+    name = "stack"
+
+    def __init__(self, base, size):
+        super().__init__(base, size)
+        self.top = base
+
+    def reset(self):
+        super().reset()
+        self.top = self.base
+
+    def plan(self, size, is_active=None):
+        if size > self.size:
+            return None
+        if self.top + size <= self.end:
+            return Placement(self.top, [], nodes_scanned=len(self.nodes))
+        # Pop newest entries until the new function fits below the end.
+        victims = []
+        top = self.top
+        ordered = sorted(self.nodes, key=lambda node: node.address)
+        while ordered and top + size > self.end:
+            victim = ordered.pop()  # most recently cached is highest
+            victims.append(victim)
+            top = victim.address
+        if top + size > self.end:
+            victims = list(self.nodes)
+            top = self.base
+        return Placement(top, victims, nodes_scanned=len(self.nodes))
+
+    def _after_commit(self, node):
+        self.top = node.end
+
+
+class CostAwareQueuePolicy(CircularQueuePolicy):
+    """Future-work variant (§3.4): discourage evicting large functions.
+
+    Planning proceeds like the circular queue, but when the flagged
+    victims' total size is disproportionate to the incoming function
+    (re-copying them later would cost more than the expected saving),
+    the plan is marked not-worth-it by returning None -- the runtime
+    then executes the function from NVM instead of thrashing the cache.
+    """
+
+    name = "cost_aware"
+
+    def __init__(self, base, size, max_victim_ratio=3.0):
+        super().__init__(base, size)
+        self.max_victim_ratio = max_victim_ratio
+
+    def plan(self, size, is_active=None):
+        placement = super().plan(size, is_active)
+        if placement is None:
+            return None
+        victim_bytes = sum(victim.size for victim in placement.victims)
+        if victim_bytes > self.max_victim_ratio * max(size, 1):
+            return None
+        return placement
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (CircularQueuePolicy, StackPolicy, CostAwareQueuePolicy)
+}

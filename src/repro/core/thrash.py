@@ -1,0 +1,55 @@
+"""Thrash detection and cache freezing (paper §5.4's future-work sketch).
+
+On AES-like call patterns the circular queue keeps evicting code that is
+about to run again; the paper suggests "temporarily pausing eviction to
+'freeze' cache state". :class:`ThrashGuard` implements that: it watches
+the fraction of recent misses that had to evict, and when the fraction
+crosses a threshold it freezes the cache -- misses that would evict are
+served from NVM instead (cheap: entry + decision + branch), while misses
+that fit free space still cache. The freeze expires after a fixed number
+of misses so phase changes can refill the cache.
+
+Enabled via ``build_swapram(..., thrash_guard=ThrashGuard())``; off by
+default to match the paper's evaluated system.
+"""
+
+from collections import deque
+
+
+class ThrashGuard:
+    """Sliding-window eviction-rate detector with timed freezes."""
+
+    def __init__(self, window=48, threshold=0.6, freeze_misses=192):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.window = window
+        self.threshold = threshold
+        self.freeze_misses = freeze_misses
+        self._history = deque(maxlen=window)
+        self._frozen_remaining = 0
+        self.freezes = 0
+
+    @property
+    def frozen(self):
+        return self._frozen_remaining > 0
+
+    def observe_miss(self, evicted):
+        """Record one miss; returns True when the cache is (now) frozen.
+
+        Call once per miss-handler invocation with whether the planned
+        placement would evict live cache contents.
+        """
+        if self._frozen_remaining > 0:
+            self._frozen_remaining -= 1
+            if self._frozen_remaining == 0:
+                self._history.clear()
+            return True
+        self._history.append(1 if evicted else 0)
+        if (
+            len(self._history) == self.window
+            and sum(self._history) / self.window >= self.threshold
+        ):
+            self.freezes += 1
+            self._frozen_remaining = self.freeze_misses
+            return True
+        return False

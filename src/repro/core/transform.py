@@ -1,0 +1,404 @@
+"""SwapRAM's compile-time assembly pass (paper §3.2, Figure 3).
+
+Four rewrites make every candidate function runtime-relocatable and
+route its calls through the runtime:
+
+1. **Call redirection** -- each ``CALL #f`` to a cacheable function
+   becomes::
+
+       MOV  #funcId, &__sr_cur_func   ; signal the callee to the runtime
+       ADD  #1, &__sr_active+2k       ; call-stack integrity (§3.3.3)
+       CALL &__sr_redir+2k            ; indirect through the redirection entry
+       SUB  #1, &__sr_active+2k
+
+   Redirection entries initially hold the miss handler's address; the
+   runtime repoints them at the SRAM copy once cached, so later calls
+   bypass the handler entirely.
+2. **Jump legalisation** -- instrumentation growth can push conditional
+   jumps past the MSP430's +-512-word PC-relative range; such jumps are
+   rewritten to an inverted jump over an absolute branch (the same
+   trick the paper applies, §4/Figure 6).
+3. **Absolute-branch relocation** -- every remaining absolute branch
+   (``MOV #label, PC``) inside a candidate is replaced with
+   ``MOV &__sr_reloc+2r, PC``; the runtime maintains each entry as
+   ``function_base + offset`` for wherever the function currently lives.
+4. **Relocatability check** -- any other instruction materialising an
+   intra-function code address (e.g. a jump table) is rejected, which
+   is exactly why the paper rewrites bitcount's jump table (§4).
+
+Metadata tables and the reserved runtime area are appended as extra
+FRAM sections so Figure 7's application/runtime/metadata split falls
+out of the section sizes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.asm.ast import DataItem, Function, Label, Program
+from repro.core.costs import RuntimeCostModel
+from repro.isa.encoding import instruction_length
+from repro.isa.instructions import Instruction
+from repro.isa.operands import (
+    AddressingMode,
+    Sym,
+    absolute,
+    imm,
+    reg,
+)
+from repro.isa.registers import PC
+
+# Section and symbol names (program-global).
+META_SECTION = "srmeta"
+RUNTIME_SECTION = "srruntime"
+CUR_FUNC = "__sr_cur_func"
+REDIR_TABLE = "__sr_redir"
+ACTIVE_TABLE = "__sr_active"
+FUNC_TABLE = "__sr_functab"
+RELOC_TABLE = "__sr_reloc"
+MISS_HANDLER = "__sr_miss_handler"
+MEMCPY_AREA = "__sr_memcpy"
+
+#: Jump-condition inversion (condition-code pairs); JN has no inverse.
+_INVERT = {
+    "JNE": "JEQ",
+    "JNZ": "JEQ",
+    "JEQ": "JNE",
+    "JZ": "JNE",
+    "JNC": "JC",
+    "JLO": "JHS",
+    "JC": "JNC",
+    "JHS": "JLO",
+    "JGE": "JL",
+    "JL": "JGE",
+}
+
+#: PC-relative jump reach in words (10-bit signed offset).
+_JUMP_MIN_WORDS = -512
+_JUMP_MAX_WORDS = 511
+
+
+class TransformError(ValueError):
+    """The program cannot be made safely relocatable."""
+
+
+@dataclass
+class RelocInfo:
+    """One absolute branch: global entry index and intra-function target."""
+
+    index: int
+    target_label: str
+    target_offset: int
+
+
+@dataclass
+class FuncMeta:
+    """Per-candidate metadata mirroring the runtime's function table."""
+
+    name: str
+    func_id: int
+    size: int
+    relocs: List[RelocInfo] = field(default_factory=list)
+    #: Static call graph edge list: candidate funcIds this function
+    #: calls, ordered by call-site count (§3's prefetch direction).
+    callees: List[int] = field(default_factory=list)
+
+
+@dataclass
+class SwapRamMeta:
+    """Everything the runtime needs about the instrumented program."""
+
+    functions: List[FuncMeta]
+    handler_bytes: int
+    memcpy_bytes: int
+
+    def __post_init__(self):
+        self.by_name: Dict[str, FuncMeta] = {
+            meta.name: meta for meta in self.functions
+        }
+
+    @property
+    def total_relocs(self):
+        return sum(len(meta.relocs) for meta in self.functions)
+
+    @property
+    def metadata_bytes(self):
+        """Size of the state tables (Figure 7's Metadata bar)."""
+        count = len(self.functions)
+        return 2 + 2 * count + 2 * count + 4 * count + 2 * max(self.total_relocs, 1)
+
+    @property
+    def runtime_bytes(self):
+        return self.handler_bytes + self.memcpy_bytes
+
+
+# -- helpers ----------------------------------------------------------------------
+
+
+def _item_offsets(function):
+    """Byte offset of every item and label within *function*."""
+    offsets = []
+    labels = {function.name: 0}
+    cursor = 0
+    for item in function.items:
+        offsets.append(cursor)
+        if isinstance(item, Label):
+            labels[item.name] = cursor
+        elif isinstance(item, Instruction):
+            cursor += instruction_length(item)
+    return offsets, labels, cursor
+
+
+def _is_direct_call(item, names):
+    return (
+        isinstance(item, Instruction)
+        and item.mnemonic == "CALL"
+        and item.src.mode is AddressingMode.IMMEDIATE
+        and isinstance(item.src.value, Sym)
+        and item.src.value.addend == 0
+        and item.src.value.name in names
+    )
+
+
+def _is_absolute_branch(item):
+    """``MOV #imm, PC`` -- the form BR expands to."""
+    return (
+        isinstance(item, Instruction)
+        and item.mnemonic == "MOV"
+        and item.dst is not None
+        and item.dst.mode is AddressingMode.REGISTER
+        and item.dst.register == PC
+        and item.src.mode is AddressingMode.IMMEDIATE
+    )
+
+
+# -- pass 1: call-site rewriting -----------------------------------------------------
+
+
+def _rewrite_call_sites(function, func_ids):
+    rewritten = []
+    for item in function.items:
+        if not _is_direct_call(item, func_ids):
+            rewritten.append(item)
+            continue
+        func_id = func_ids[item.src.value.name]
+        rewritten.extend(
+            [
+                Instruction("MOV", src=imm(func_id), dst=absolute(Sym(CUR_FUNC))),
+                Instruction(
+                    "ADD", src=imm(1), dst=absolute(Sym(ACTIVE_TABLE, 2 * func_id))
+                ),
+                Instruction("CALL", src=absolute(Sym(REDIR_TABLE, 2 * func_id))),
+                Instruction(
+                    "SUB", src=imm(1), dst=absolute(Sym(ACTIVE_TABLE, 2 * func_id))
+                ),
+            ]
+        )
+    function.items = rewritten
+
+
+# -- pass 2: jump-range legalisation ---------------------------------------------------
+
+
+def legalize_jumps(function, counter=None):
+    """Rewrite out-of-range PC-relative jumps (iterates to fixpoint)."""
+    serial = counter if counter is not None else [0]
+    while True:
+        offsets, labels, _size = _item_offsets(function)
+        for index, item in enumerate(function.items):
+            if not (isinstance(item, Instruction) and item.is_jump):
+                continue
+            target = item.target
+            if not isinstance(target, Sym) or target.name not in labels:
+                continue
+            delta = labels[target.name] + target.addend - (offsets[index] + 2)
+            if _JUMP_MIN_WORDS <= delta // 2 <= _JUMP_MAX_WORDS:
+                continue
+            replacement = _legalize_one(item, serial)
+            function.items[index : index + 1] = replacement
+            break  # sizes changed; recompute offsets
+        else:
+            return
+
+
+def _legalize_one(jump, serial):
+    branch = Instruction("MOV", src=imm(jump.target), dst=reg(PC))
+    if jump.mnemonic == "JMP":
+        return [branch]
+    serial[0] += 1
+    skip = Label(f".Lsr_far_{serial[0]}")
+    inverted = _INVERT.get(jump.mnemonic)
+    if inverted is not None:
+        # Figure 6 pattern: inverted jump over an absolute branch.
+        return [Instruction(inverted, target=Sym(skip.name)), branch, skip]
+    # JN has no inverse: jump-to-branch trampoline.
+    take = Label(f".Lsr_take_{serial[0]}")
+    return [
+        Instruction(jump.mnemonic, target=Sym(take.name)),
+        Instruction("JMP", target=Sym(skip.name)),
+        take,
+        branch,
+        skip,
+    ]
+
+
+# -- pass 3: absolute-branch relocation ------------------------------------------------
+
+
+def _collect_relocations(function, next_index):
+    """Replace intra-function absolute branches with reloc-entry branches."""
+    _offsets, labels, _size = _item_offsets(function)
+    relocs = []
+    for index, item in enumerate(function.items):
+        if not _is_absolute_branch(item):
+            continue
+        value = item.src.value
+        if not isinstance(value, Sym) or value.name not in labels:
+            continue  # absolute branch out of the function: never relocated
+        reloc_index = next_index + len(relocs)
+        relocs.append(
+            RelocInfo(
+                index=reloc_index,
+                target_label=value.name,
+                target_offset=labels[value.name] + value.addend,
+            )
+        )
+        function.items[index] = Instruction(
+            "MOV",
+            src=absolute(Sym(RELOC_TABLE, 2 * reloc_index)),
+            dst=reg(PC),
+        )
+    return relocs
+
+
+def _check_relocatable(function):
+    """Reject remaining position-dependent constructs (jump tables...)."""
+    label_names = {label.name for label in function.labels()} | {function.name}
+    for item in function.items:
+        if not isinstance(item, Instruction):
+            continue
+        for operand in (item.src, item.dst):
+            if operand is None:
+                continue
+            if operand.mode is AddressingMode.SYMBOLIC:
+                raise TransformError(
+                    f"{function.name}: PC-relative data operand {operand} "
+                    "is not relocatable"
+                )
+            value = getattr(operand, "value", None)
+            if (
+                isinstance(value, Sym)
+                and value.name in label_names
+                and operand.mode is AddressingMode.IMMEDIATE
+                and not _is_absolute_branch(item)
+            ):
+                raise TransformError(
+                    f"{function.name}: materialises code address {value} "
+                    "(jump tables need the blacklist or a source rewrite, §4)"
+                )
+
+
+# -- metadata emission ---------------------------------------------------------------
+
+
+def _function_size(function):
+    return sum(
+        instruction_length(item)
+        for item in function.items
+        if isinstance(item, Instruction)
+    )
+
+
+def _emit_metadata(program, metas, all_relocs, cost_model):
+    meta_items = [
+        Label(CUR_FUNC),
+        DataItem("word", [0xFFFF]),
+        Label(REDIR_TABLE),
+        DataItem("word", [Sym(MISS_HANDLER)] * len(metas)),
+        Label(ACTIVE_TABLE),
+        DataItem("word", [0] * len(metas)),
+        Label(FUNC_TABLE),
+    ]
+    functab = []
+    for meta in metas:
+        functab += [Sym(meta.name), meta.size]
+    meta_items.append(DataItem("word", functab))
+    meta_items.append(Label(RELOC_TABLE))
+    if all_relocs:
+        meta_items.append(
+            DataItem("word", [Sym(reloc.target_label) for reloc in all_relocs])
+        )
+    else:
+        meta_items.append(DataItem("word", [0]))
+    program.sections[META_SECTION] = meta_items
+
+    handler_bytes = cost_model.handler_size(len(all_relocs))
+    program.sections[RUNTIME_SECTION] = [
+        Label(MISS_HANDLER),
+        DataItem("space", [handler_bytes]),
+        Label(MEMCPY_AREA),
+        DataItem("space", [cost_model.memcpy_bytes]),
+    ]
+    return handler_bytes
+
+
+# -- entry point ------------------------------------------------------------------------
+
+
+def instrument_for_swapram(program, blacklist=(), cost_model=None):
+    """Apply the full SwapRAM static pass.
+
+    Returns ``(instrumented_program, SwapRamMeta)``. *blacklist* names
+    functions excluded from caching (paper §3.1); their call sites still
+    work, they just always execute from NVM and never enter the tables.
+    """
+    cost_model = cost_model or RuntimeCostModel()
+    instrumented = program.clone()
+    blacklist = set(blacklist)
+    candidates = [
+        function
+        for function in instrumented.functions
+        if not function.blacklisted and function.name not in blacklist
+    ]
+    if not candidates:
+        raise TransformError("no cacheable functions")
+    func_ids = {function.name: index for index, function in enumerate(candidates)}
+
+    # Static call graph, captured before call sites are rewritten.
+    call_counts = {function.name: {} for function in candidates}
+    for function in candidates:
+        counts = call_counts[function.name]
+        for item in function.items:
+            if _is_direct_call(item, func_ids):
+                callee = func_ids[item.src.value.name]
+                counts[callee] = counts.get(callee, 0) + 1
+
+    for function in instrumented.functions:
+        _rewrite_call_sites(function, func_ids)
+    serial = [0]
+    for function in instrumented.functions:
+        legalize_jumps(function, serial)
+
+    metas = []
+    all_relocs = []
+    for function in candidates:
+        relocs = _collect_relocations(function, len(all_relocs))
+        all_relocs.extend(relocs)
+        _check_relocatable(function)
+        counts = call_counts[function.name]
+        metas.append(
+            FuncMeta(
+                name=function.name,
+                func_id=func_ids[function.name],
+                size=_function_size(function),
+                relocs=relocs,
+                callees=sorted(counts, key=counts.get, reverse=True),
+            )
+        )
+
+    handler_bytes = _emit_metadata(instrumented, metas, all_relocs, cost_model)
+    meta = SwapRamMeta(
+        functions=metas,
+        handler_bytes=handler_bytes,
+        memcpy_bytes=cost_model.memcpy_bytes,
+    )
+    return instrumented, meta

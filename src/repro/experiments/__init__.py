@@ -1,0 +1,30 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+One module per artifact:
+
+* :mod:`.table1` -- benchmark sizes and code/data access ratios
+* :mod:`.fig1`   -- memory-placement design space (code x data in FRAM/SRAM)
+* :mod:`.fig7`   -- NVM usage of the two cache systems + DNF outcomes
+* :mod:`.table2` -- FRAM accesses and unstalled cycles per system
+* :mod:`.fig8`   -- dynamic instruction breakdown
+* :mod:`.fig9`   -- execution speed and energy at 24 MHz / 8 MHz
+* :mod:`.fig10`  -- split-SRAM configuration (§5.5)
+
+All share :class:`.runner.ExperimentRunner`, which memoizes simulator
+runs so the table/figure scripts can overlap freely.
+"""
+
+from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments import fig1, fig7, fig8, fig9, fig10, table1, table2
+
+__all__ = [
+    "ExperimentRunner",
+    "RunRecord",
+    "table1",
+    "table2",
+    "fig1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+]

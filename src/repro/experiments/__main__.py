@@ -1,0 +1,33 @@
+"""Run the complete evaluation: ``python -m repro.experiments``.
+
+Regenerates every table and figure, sharing one memoized runner so no
+(benchmark, system, frequency) point is simulated twice. Expect a few
+minutes of wall-clock time.
+"""
+
+import time
+
+from repro.experiments import fig1, fig7, fig8, fig9, fig10, table1, table2
+from repro.experiments.runner import ExperimentRunner
+
+
+def main():
+    runner = ExperimentRunner()
+    artifacts = [
+        ("Table 1", lambda: table1.render(runner=runner)),
+        ("Figure 1", lambda: fig1.render()),
+        ("Figure 7", lambda: fig7.render(runner=runner)),
+        ("Table 2", lambda: table2.render(runner=runner)),
+        ("Figure 8", lambda: fig8.render(runner=runner)),
+        ("Figure 9", lambda: fig9.render(runner=runner)),
+        ("Figure 10", lambda: fig10.render(runner=runner)),
+    ]
+    for name, render in artifacts:
+        started = time.time()
+        print(render())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Design-space ablations beyond the paper's figures.
+
+* :func:`cache_size_sweep` -- SwapRAM performance as the SRAM cache
+  shrinks/grows, localising each benchmark's hot-set knee (the
+  mechanism behind the AES outlier and the split-SRAM results).
+* :func:`hw_cache_sweep` -- sensitivity of the *baseline* to the FRAM
+  controller's tiny hardware cache, justifying the paper's premise that
+  the 32-byte cache cannot absorb unified-memory contention.
+"""
+
+from repro.bench import get_benchmark
+from repro.core import build_swapram
+from repro.machine.board import Board
+from repro.machine.fram_cache import FramReadCache
+from repro.toolchain import PLANS, build_baseline
+from repro.toolchain.build import compile_program
+from repro.toolchain.linker import link
+
+
+def cache_size_sweep(benchmark_name, cache_sizes, frequency_mhz=24):
+    """Run SwapRAM with each cache size; returns rows vs the baseline."""
+    bench = get_benchmark(benchmark_name)
+    plan = PLANS["unified"]
+    baseline = build_baseline(bench.source, plan, frequency_mhz).run()
+    rows = []
+    for cache_size in cache_sizes:
+        system = build_swapram(
+            bench.source, plan, frequency_mhz, cache_limit=cache_size
+        )
+        result = system.run()
+        assert result.debug_words == bench.expected
+        stats = system.stats
+        rows.append(
+            {
+                "cache_bytes": cache_size,
+                "speed": baseline.runtime_us / result.runtime_us,
+                "energy": result.energy_nj / baseline.energy_nj,
+                "fram_ratio": result.fram_accesses / baseline.fram_accesses,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "aborts": stats.aborts,
+            }
+        )
+    return rows
+
+
+def hw_cache_sweep(benchmark_name, line_counts, frequency_mhz=24):
+    """Baseline runtime as the hardware FRAM cache grows (2-way, 8B lines).
+
+    ``line_counts`` are total line counts (sets x 2 ways). The paper's
+    platform has 4 lines; the sweep shows how little a modestly larger
+    hardware cache would help unified-memory execution, motivating the
+    software approach.
+    """
+    bench = get_benchmark(benchmark_name)
+    program = compile_program(bench.source)
+    rows = []
+    for lines in line_counts:
+        linked = link(program.clone(), PLANS["unified"])
+        board = Board(memory_map=linked.memory_map, frequency_mhz=frequency_mhz)
+        board.bus.fram_cache = FramReadCache(sets=max(lines // 2, 1), ways=2)
+        board.load(linked.image)
+        result = board.run()
+        assert result.debug_words == bench.expected
+        rows.append(
+            {
+                "lines": lines,
+                "cache_bytes": board.bus.fram_cache.total_bytes,
+                "runtime_us": result.runtime_us,
+                "hit_rate": board.bus.fram_cache.hit_rate,
+                "stall_cycles": result.stall_cycles,
+            }
+        )
+    return rows

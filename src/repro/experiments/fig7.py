@@ -1,0 +1,93 @@
+"""Figure 7: NVM usage of the transformed binaries, and DNF outcomes.
+
+For each benchmark and cache system, the application (transformed
+text), runtime and metadata NVM contributions -- plus the block cache's
+"does not fit" failures on the four large benchmarks, which the paper
+highlights as the approach's fatal flaw on small platforms.
+"""
+
+from repro.bench import BENCHMARK_NAMES
+from repro.experiments.report import format_table
+from repro.experiments.runner import BASELINE, BLOCK, SWAPRAM, ExperimentRunner
+
+#: The four benchmarks the paper marks DNF for block-based caching.
+PAPER_DNF = {"stringsearch", "dijkstra", "fft", "lzfx"}
+
+
+def collect(runner=None, names=None):
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in names or BENCHMARK_NAMES:
+        base = runner.size_only(name, BASELINE)
+        base_app = base.section_sizes["text"]
+        row = {"benchmark": name, "baseline_app": base_app}
+        for system in (BLOCK, SWAPRAM):
+            record = runner.size_only(name, system)
+            if record.dnf:
+                row[system] = None
+                continue
+            report = record.size_report
+            row[system] = {
+                "application": report["application"],
+                "runtime": report["runtime"],
+                "metadata": report["metadata"],
+                "total": report["application"]
+                + report["runtime"]
+                + report["metadata"],
+            }
+        rows.append(row)
+    return rows
+
+
+def increase_summary(rows):
+    """Average NVM increase vs baseline text for each system (non-DNF)."""
+    summary = {}
+    for system in (BLOCK, SWAPRAM):
+        increases = [
+            row[system]["total"] / row["baseline_app"] - 1.0
+            for row in rows
+            if row[system] is not None
+        ]
+        summary[system] = sum(increases) / len(increases) if increases else None
+    return summary
+
+
+def render(rows=None, runner=None):
+    rows = rows or collect(runner)
+    table_rows = []
+    for row in rows:
+        for system, label in ((BLOCK, "block"), (SWAPRAM, "swapram")):
+            data = row[system]
+            if data is None:
+                table_rows.append([row["benchmark"], label, "DNF", "", "", ""])
+            else:
+                table_rows.append(
+                    [
+                        row["benchmark"],
+                        label,
+                        data["application"],
+                        data["runtime"],
+                        data["metadata"],
+                        f"+{100 * (data['total'] / row['baseline_app'] - 1):.0f}%",
+                    ]
+                )
+    summary = increase_summary(rows)
+    footer = []
+    for system, label in ((BLOCK, "block"), (SWAPRAM, "swapram")):
+        if summary[system] is not None:
+            footer.append(
+                ["average", label, "", "", "", f"+{100 * summary[system]:.0f}%"]
+            )
+    return format_table(
+        ["Benchmark", "System", "App(B)", "Runtime(B)", "Metadata(B)", "vs base"],
+        table_rows + footer,
+        title="Figure 7: NVM usage by component (block-based vs SwapRAM)",
+    )
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Figure 8: where dynamic instructions come from.
+
+Per benchmark and system, the fraction of executed instructions that
+were application code fetched from FRAM, application code from SRAM,
+the miss handler, and memcpy -- normalized to the baseline's dynamic
+instruction count, as in the paper. Expected shapes: SwapRAM shifts the
+bulk of app execution to SRAM with small handler/memcpy slivers; the
+block cache eliminates app-FRAM execution but pays a large runtime
+share; AES shows SwapRAM's worst-case FRAM residue.
+"""
+
+from repro.bench import BENCHMARK_NAMES
+from repro.experiments.report import format_table
+from repro.experiments.runner import BASELINE, BLOCK, SWAPRAM, ExperimentRunner
+
+
+def collect(runner=None, names=None):
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in names or BENCHMARK_NAMES:
+        base = runner.run(name, BASELINE)
+        base_instructions = base.result.instructions
+        row = {"benchmark": name, "baseline_instructions": base_instructions}
+        for system in (BLOCK, SWAPRAM):
+            record = runner.run(name, system)
+            if record.dnf:
+                row[system] = None
+                continue
+            breakdown = dict(record.result.instruction_breakdown)
+            breakdown["total"] = sum(breakdown.values())
+            breakdown["normalized_total"] = breakdown["total"] / base_instructions
+            row[system] = breakdown
+        rows.append(row)
+    return rows
+
+
+def sram_fraction(breakdown):
+    """Fraction of *application* instructions executed from SRAM."""
+    app = breakdown["app_fram"] + breakdown["app_sram"]
+    return breakdown["app_sram"] / app if app else 0.0
+
+
+def render(rows=None, runner=None):
+    rows = rows or collect(runner)
+    table_rows = []
+    for row in rows:
+        for system, label in ((BLOCK, "block"), (SWAPRAM, "swapram")):
+            data = row[system]
+            if data is None:
+                table_rows.append([row["benchmark"], label, "DNF", "", "", "", "", ""])
+                continue
+            total = data["total"]
+            table_rows.append(
+                [
+                    row["benchmark"],
+                    label,
+                    f"{100 * data['app_fram'] / total:.1f}%",
+                    f"{100 * data['app_sram'] / total:.1f}%",
+                    f"{100 * data['handler'] / total:.1f}%",
+                    f"{100 * data['memcpy'] / total:.1f}%",
+                    f"{data['normalized_total']:.2f}x",
+                    f"{100 * sram_fraction(data):.1f}%",
+                ]
+            )
+    return format_table(
+        [
+            "Benchmark",
+            "System",
+            "app-FRAM",
+            "app-SRAM",
+            "handler",
+            "memcpy",
+            "instr vs base",
+            "app from SRAM",
+        ],
+        table_rows,
+        title="Figure 8: dynamic instruction breakdown",
+    )
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Figure 9: end-to-end execution speed and energy.
+
+Each benchmark runs under baseline / block cache / SwapRAM at 24 MHz
+(the FR2355's fastest, most efficient point, with 3-cycle FRAM stalls)
+and 8 MHz (no wait states). Values are normalized to unified-memory
+baseline execution at the same frequency, exactly as the paper plots.
+
+Paper expectations: SwapRAM averages ~1.26x speed and ~24% less energy
+at 24 MHz (13-46% / 16-36% ranges, AES the outlier near or below 1.0x);
+the block cache is slower and hungrier than baseline on average; at
+8 MHz SwapRAM's win shrinks but persists (hardware cache contention).
+"""
+
+from repro.bench import BENCHMARK_NAMES
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    BASELINE,
+    BLOCK,
+    SWAPRAM,
+    ExperimentRunner,
+    geo_mean_ratio,
+)
+
+FREQUENCIES = (24, 8)
+
+
+def collect(runner=None, frequencies=FREQUENCIES, names=None):
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in names or BENCHMARK_NAMES:
+        for frequency in frequencies:
+            base = runner.run(name, BASELINE, frequency_mhz=frequency)
+            row = {
+                "benchmark": name,
+                "frequency_mhz": frequency,
+                "baseline_us": base.runtime_us,
+                "baseline_nj": base.energy_nj,
+            }
+            for system in (BLOCK, SWAPRAM):
+                record = runner.run(name, system, frequency_mhz=frequency)
+                if record.dnf:
+                    row[system] = None
+                else:
+                    row[system] = {
+                        "speed": base.runtime_us / record.runtime_us,
+                        "energy": record.energy_nj / base.energy_nj,
+                    }
+            rows.append(row)
+    return rows
+
+
+def averages(rows, frequency):
+    """Geo-mean speedup and mean energy ratio per system at *frequency*."""
+    out = {}
+    selected = [row for row in rows if row["frequency_mhz"] == frequency]
+    for system in (BLOCK, SWAPRAM):
+        speeds = [row[system]["speed"] for row in selected if row[system]]
+        energies = [row[system]["energy"] for row in selected if row[system]]
+        out[system] = {
+            "speed": geo_mean_ratio(speeds),
+            "energy": sum(energies) / len(energies) if energies else float("nan"),
+        }
+    return out
+
+
+def render(rows=None, runner=None):
+    rows = rows or collect(runner)
+    table_rows = []
+    for row in rows:
+        cells = [row["benchmark"], f"{row['frequency_mhz']} MHz"]
+        for system in (BLOCK, SWAPRAM):
+            data = row[system]
+            if data is None:
+                cells += ["DNF", "DNF"]
+            else:
+                cells += [f"{data['speed']:.2f}x", f"{data['energy']:.2f}x"]
+        table_rows.append(cells)
+    for frequency in FREQUENCIES:
+        summary = averages(rows, frequency)
+        table_rows.append(
+            [
+                f"Average @{frequency} MHz",
+                "",
+                f"{summary[BLOCK]['speed']:.2f}x",
+                f"{summary[BLOCK]['energy']:.2f}x",
+                f"{summary[SWAPRAM]['speed']:.2f}x",
+                f"{summary[SWAPRAM]['energy']:.2f}x",
+            ]
+        )
+    return format_table(
+        [
+            "Benchmark",
+            "Clock",
+            "Block speed",
+            "Block energy",
+            "SwapRAM speed",
+            "SwapRAM energy",
+        ],
+        table_rows,
+        title="Figure 9: execution speed and energy vs unified baseline",
+    )
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

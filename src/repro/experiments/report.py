@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment output."""
+
+
+def format_table(headers, rows, title=None):
+    """Render *rows* (lists of cells) under *headers* as aligned text."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def percent(new, old):
+    """Signed percentage change, formatted like the paper's cells."""
+    if not old:
+        return "n/a"
+    return f"{100.0 * (new - old) / old:+.0f}%"
+
+
+def ratio(new, old):
+    if not old:
+        return float("nan")
+    return new / old

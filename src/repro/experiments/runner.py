@@ -1,0 +1,172 @@
+"""Shared, memoized execution of (benchmark, system, config) points.
+
+Every evaluation artifact draws from the same run matrix -- Table 2,
+Figure 8 and Figure 9 all reuse one run per (benchmark, system,
+frequency) -- so the runner caches results for the lifetime of the
+process. A ``DNF`` outcome (the binary does not fit the platform) is a
+first-class result, mirroring Figure 7 / Table 2.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench import get_benchmark
+from repro.blockcache import build_blockcache
+from repro.core import build_swapram
+from repro.toolchain import FitError, PLANS, build_baseline
+
+BASELINE = "baseline"
+SWAPRAM = "swapram"
+BLOCK = "block"
+SYSTEMS = (BASELINE, BLOCK, SWAPRAM)
+
+
+@dataclass
+class RunRecord:
+    """One simulated run (or a DNF)."""
+
+    benchmark: str
+    system: str
+    frequency_mhz: float
+    plan_name: str
+    dnf: bool = False
+    correct: Optional[bool] = None
+    result: object = field(default=None, repr=False)
+    section_sizes: dict = field(default_factory=dict)
+    size_report: dict = field(default_factory=dict)
+    runtime_stats: object = field(default=None, repr=False)
+
+    @property
+    def fram_accesses(self):
+        return self.result.fram_accesses
+
+    @property
+    def unstalled_cycles(self):
+        return self.result.unstalled_cycles
+
+    @property
+    def total_cycles(self):
+        return self.result.total_cycles
+
+    @property
+    def runtime_us(self):
+        return self.result.runtime_us
+
+    @property
+    def energy_nj(self):
+        return self.result.energy_nj
+
+    @property
+    def nvm_bytes(self):
+        """Loadable NVM footprint: everything except SRAM-resident data."""
+        skip = {"bss"} if self.plan_name != "unified" else set()
+        return sum(
+            size for name, size in self.section_sizes.items() if name not in skip
+        )
+
+
+def geo_mean_ratio(ratios):
+    """Geometric mean of positive ratios (the paper's Δ columns)."""
+    values = [value for value in ratios if value and value > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+class ExperimentRunner:
+    """Builds, runs and caches benchmark/system/config combinations."""
+
+    def __init__(self, scale=1, max_instructions=80_000_000):
+        self.scale = scale
+        self.max_instructions = max_instructions
+        self._cache = {}
+        self._sources = {}
+
+    def source(self, benchmark):
+        if benchmark not in self._sources:
+            self._sources[benchmark] = get_benchmark(benchmark, scale=self.scale)
+        return self._sources[benchmark]
+
+    def run(
+        self,
+        benchmark,
+        system,
+        frequency_mhz=24,
+        plan_name="unified",
+        cache_reserve=0,
+    ):
+        """Run one point; memoized. Returns a :class:`RunRecord`."""
+        key = (benchmark, system, frequency_mhz, plan_name, cache_reserve)
+        if key in self._cache:
+            return self._cache[key]
+        record = self._execute(
+            benchmark, system, frequency_mhz, plan_name, cache_reserve
+        )
+        self._cache[key] = record
+        return record
+
+    def _execute(self, benchmark, system, frequency_mhz, plan_name, cache_reserve):
+        program = self.source(benchmark)
+        plan = PLANS[plan_name]
+        if cache_reserve:
+            plan = plan.with_cache_reserve(cache_reserve)
+        record = RunRecord(
+            benchmark=benchmark,
+            system=system,
+            frequency_mhz=frequency_mhz,
+            plan_name=plan_name,
+        )
+        try:
+            if system == BASELINE:
+                board = build_baseline(program.source, plan, frequency_mhz)
+                result = board.run(max_instructions=self.max_instructions)
+                record.section_sizes = dict(board.linked.section_sizes)
+            elif system == SWAPRAM:
+                built = build_swapram(program.source, plan, frequency_mhz)
+                result = built.run(max_instructions=self.max_instructions)
+                record.section_sizes = dict(built.linked.section_sizes)
+                record.size_report = built.size_report()
+                record.runtime_stats = built.stats
+            elif system == BLOCK:
+                built = build_blockcache(program.source, plan, frequency_mhz)
+                result = built.run(max_instructions=self.max_instructions)
+                record.section_sizes = dict(built.linked.section_sizes)
+                record.size_report = built.size_report()
+                record.runtime_stats = built.stats
+            else:
+                raise ValueError(f"unknown system {system!r}")
+        except FitError:
+            record.dnf = True
+            return record
+        record.result = result
+        record.correct = result.debug_words == program.expected
+        if not record.correct:
+            raise AssertionError(
+                f"{benchmark}/{system}: wrong output "
+                f"{result.debug_words} != {program.expected}"
+            )
+        return record
+
+    def size_only(self, benchmark, system, plan_name="unified"):
+        """Build without running -- for size/DNF artifacts (Figure 7)."""
+        program = self.source(benchmark)
+        plan = PLANS[plan_name]
+        builder = {
+            BASELINE: build_baseline,
+            SWAPRAM: build_swapram,
+            BLOCK: build_blockcache,
+        }[system]
+        record = RunRecord(
+            benchmark=benchmark, system=system, frequency_mhz=0, plan_name=plan_name
+        )
+        try:
+            built = builder(program.source, plan)
+        except FitError:
+            record.dnf = True
+            return record
+        linked = built.linked if hasattr(built, "linked") else built.linked
+        record.section_sizes = dict(linked.section_sizes)
+        if hasattr(built, "size_report"):
+            record.size_report = built.size_report()
+        return record

@@ -1,0 +1,122 @@
+"""Table 2: FRAM accesses and unstalled CPU cycles per system.
+
+The paper's simulator-level result: SwapRAM removes ~65% of FRAM
+accesses for a geometric-mean ~7% increase in unstalled cycles, while
+block-based caching removes far fewer accesses and inflates cycles by
+~50% (with four benchmarks failing to fit at all).
+"""
+
+from repro.bench import BENCHMARK_NAMES, PAPER_TABLE1
+from repro.experiments.report import format_table, percent
+from repro.experiments.runner import (
+    BASELINE,
+    BLOCK,
+    SWAPRAM,
+    ExperimentRunner,
+    geo_mean_ratio,
+)
+
+#: Paper Table 2 geometric-mean deltas, for side-by-side reporting.
+PAPER_GEOMEAN = {
+    BLOCK: {"fram": -0.34, "cycles": +0.52},
+    SWAPRAM: {"fram": -0.65, "cycles": +0.069},
+}
+
+
+def collect(runner=None, names=None):
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in names or BENCHMARK_NAMES:
+        base = runner.run(name, BASELINE)
+        row = {
+            "benchmark": name,
+            "key": PAPER_TABLE1[name][0],
+            BASELINE: {
+                "fram": base.fram_accesses,
+                "cycles": base.unstalled_cycles,
+            },
+        }
+        for system in (BLOCK, SWAPRAM):
+            record = runner.run(name, system)
+            if record.dnf:
+                row[system] = None
+            else:
+                row[system] = {
+                    "fram": record.fram_accesses,
+                    "cycles": record.unstalled_cycles,
+                }
+        rows.append(row)
+    return rows
+
+
+def geo_means(rows):
+    """Geo-mean FRAM and cycle ratios vs baseline per system."""
+    means = {}
+    for system in (BLOCK, SWAPRAM):
+        fram = geo_mean_ratio(
+            [
+                row[system]["fram"] / row[BASELINE]["fram"]
+                for row in rows
+                if row[system] is not None
+            ]
+        )
+        cycles = geo_mean_ratio(
+            [
+                row[system]["cycles"] / row[BASELINE]["cycles"]
+                for row in rows
+                if row[system] is not None
+            ]
+        )
+        means[system] = {"fram": fram - 1.0, "cycles": cycles - 1.0}
+    return means
+
+
+def render(rows=None, runner=None):
+    rows = rows or collect(runner)
+    table_rows = []
+    for row in rows:
+        base = row[BASELINE]
+        cells = [row["key"], base["fram"], base["cycles"]]
+        for system in (BLOCK, SWAPRAM):
+            data = row[system]
+            if data is None:
+                cells += ["DNF", "DNF"]
+            else:
+                cells += [
+                    f"{data['fram']} ({percent(data['fram'], base['fram'])})",
+                    f"{data['cycles']} ({percent(data['cycles'], base['cycles'])})",
+                ]
+        table_rows.append(cells)
+    means = geo_means(rows)
+    table_rows.append(
+        [
+            "GeoMean Δ",
+            "",
+            "",
+            f"{100 * means[BLOCK]['fram']:+.0f}% (paper {100 * PAPER_GEOMEAN[BLOCK]['fram']:+.0f}%)",
+            f"{100 * means[BLOCK]['cycles']:+.0f}% (paper {100 * PAPER_GEOMEAN[BLOCK]['cycles']:+.0f}%)",
+            f"{100 * means[SWAPRAM]['fram']:+.0f}% (paper {100 * PAPER_GEOMEAN[SWAPRAM]['fram']:+.0f}%)",
+            f"{100 * means[SWAPRAM]['cycles']:+.1f}% (paper {100 * PAPER_GEOMEAN[SWAPRAM]['cycles']:+.1f}%)",
+        ]
+    )
+    return format_table(
+        [
+            "Benchmark",
+            "Base FRAM",
+            "Base cycles",
+            "Block FRAM",
+            "Block cycles",
+            "SwapRAM FRAM",
+            "SwapRAM cycles",
+        ],
+        table_rows,
+        title="Table 2: FRAM accesses and unstalled cycles",
+    )
+
+
+def main():
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

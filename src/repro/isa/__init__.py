@@ -1,0 +1,79 @@
+"""MSP430 instruction-set architecture model.
+
+This package defines the data model for the (classic, 16-bit) MSP430 CPU
+used throughout the reproduction: registers, addressing modes, the core
+instruction set with its binary encoding, and the per-instruction cycle
+and length tables published in the MSP430 family user's guide.
+
+The model is faithful enough that instructions are assembled to real
+machine words, copied between memory regions at runtime, and decoded back
+on every fetch -- which is what makes SwapRAM's self-modifying-code
+techniques (call redirection, branch relocation, function copying)
+work exactly as they do on silicon.
+"""
+
+from repro.isa.registers import (
+    PC,
+    SP,
+    SR,
+    CG,
+    REGISTER_NAMES,
+    register_name,
+    register_number,
+)
+from repro.isa.operands import (
+    AddressingMode,
+    Operand,
+    Sym,
+    reg,
+    imm,
+    indexed,
+    absolute,
+    indirect,
+    autoinc,
+    symbolic,
+)
+from repro.isa.instructions import (
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    JUMP_CONDITIONS,
+    Instruction,
+    InstructionError,
+)
+from repro.isa.encoding import (
+    EncodingError,
+    encode_instruction,
+    decode_instruction,
+    instruction_length,
+)
+from repro.isa.cycles import instruction_cycles
+
+__all__ = [
+    "PC",
+    "SP",
+    "SR",
+    "CG",
+    "REGISTER_NAMES",
+    "register_name",
+    "register_number",
+    "AddressingMode",
+    "Operand",
+    "Sym",
+    "reg",
+    "imm",
+    "indexed",
+    "absolute",
+    "indirect",
+    "autoinc",
+    "symbolic",
+    "FORMAT_I_OPCODES",
+    "FORMAT_II_OPCODES",
+    "JUMP_CONDITIONS",
+    "Instruction",
+    "InstructionError",
+    "EncodingError",
+    "encode_instruction",
+    "decode_instruction",
+    "instruction_length",
+    "instruction_cycles",
+]

@@ -1,0 +1,103 @@
+"""MSP430 instruction timing model.
+
+Cycle counts follow the classic MSP430 CPU tables (family user's guide):
+one cycle per instruction word fetched plus the documented extra cycles
+per operand addressing mode, with writes to the PC costing one extra
+cycle. Constant-generator immediates time like register operands.
+
+These are *unstalled* cycles -- FRAM wait states are added separately by
+the memory system, mirroring how the paper separates Table 2 (unstalled
+cycles from the simulator) from Figure 9 (wall-clock speed on hardware).
+"""
+
+from repro.isa.operands import AddressingMode
+from repro.isa.registers import PC
+
+#: Extra cycles contributed by a Format I source operand.
+_SOURCE_EXTRA = {
+    AddressingMode.REGISTER: 0,
+    AddressingMode.INDIRECT: 1,
+    AddressingMode.AUTOINC: 1,
+    AddressingMode.IMMEDIATE: 1,
+    AddressingMode.INDEXED: 2,
+    AddressingMode.SYMBOLIC: 2,
+    AddressingMode.ABSOLUTE: 2,
+}
+
+#: Extra cycles contributed by a Format I destination operand.
+_DEST_EXTRA = {
+    AddressingMode.REGISTER: 0,
+    AddressingMode.INDEXED: 3,
+    AddressingMode.SYMBOLIC: 3,
+    AddressingMode.ABSOLUTE: 3,
+}
+
+#: Format II cycles by operand mode, per operation group.
+_SINGLE_OPERAND = {
+    AddressingMode.REGISTER: 1,
+    AddressingMode.INDIRECT: 3,
+    AddressingMode.AUTOINC: 3,
+    AddressingMode.IMMEDIATE: 3,
+    AddressingMode.INDEXED: 4,
+    AddressingMode.SYMBOLIC: 4,
+    AddressingMode.ABSOLUTE: 4,
+}
+
+_PUSH_CYCLES = {
+    AddressingMode.REGISTER: 3,
+    AddressingMode.IMMEDIATE: 3,
+    AddressingMode.INDIRECT: 4,
+    AddressingMode.AUTOINC: 4,
+    AddressingMode.INDEXED: 5,
+    AddressingMode.SYMBOLIC: 5,
+    AddressingMode.ABSOLUTE: 5,
+}
+
+_CALL_CYCLES = {
+    AddressingMode.REGISTER: 4,
+    AddressingMode.INDIRECT: 4,
+    AddressingMode.AUTOINC: 5,
+    AddressingMode.IMMEDIATE: 5,
+    AddressingMode.INDEXED: 5,
+    AddressingMode.SYMBOLIC: 5,
+    AddressingMode.ABSOLUTE: 6,
+}
+
+JUMP_CYCLES = 2
+RETI_CYCLES = 5
+
+
+def _source_mode(operand):
+    """Timing-effective mode: CG immediates behave like registers."""
+    if (
+        operand.mode is AddressingMode.IMMEDIATE
+        and operand.constant_generator() is not None
+    ):
+        return AddressingMode.REGISTER
+    return operand.mode
+
+
+def instruction_cycles(instruction):
+    """Return the unstalled CPU cycles consumed by *instruction*."""
+    if instruction.is_jump:
+        return JUMP_CYCLES
+    name = instruction.mnemonic
+    if name == "RETI":
+        return RETI_CYCLES
+    if instruction.is_format_ii:
+        mode = _source_mode(instruction.src)
+        if name == "PUSH":
+            return _PUSH_CYCLES[mode]
+        if name == "CALL":
+            return _CALL_CYCLES[mode]
+        return _SINGLE_OPERAND[mode]
+    cycles = 1
+    cycles += _SOURCE_EXTRA[_source_mode(instruction.src)]
+    cycles += _DEST_EXTRA[instruction.dst.mode]
+    if (
+        instruction.dst.mode is AddressingMode.REGISTER
+        and instruction.dst.register == PC
+        and name not in ("CMP", "BIT")
+    ):
+        cycles += 1
+    return cycles

@@ -1,0 +1,240 @@
+"""Binary encoding and decoding of MSP430 instructions.
+
+Instructions are encoded to real 16-bit machine words (opcode word plus
+0-2 extension words). The simulator decodes straight from memory on
+every fetch, so code copied into SRAM by SwapRAM -- including operands
+rewritten in place -- executes exactly as the bytes say.
+"""
+
+from repro.isa.instructions import (
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    JUMP_CONDITIONS,
+    JUMP_MNEMONICS,
+    Instruction,
+)
+from repro.isa.operands import (
+    AddressingMode,
+    Operand,
+    Sym,
+    absolute,
+    autoinc,
+    imm,
+    indexed,
+    indirect,
+    reg,
+    resolve_value,
+    symbolic,
+)
+from repro.isa.registers import CG, PC, SR
+
+#: Reverse map: opcode nibble -> Format I mnemonic.
+_FORMAT_I_BY_OPCODE = {code: name for name, code in FORMAT_I_OPCODES.items()}
+#: Reverse map: opcode field -> Format II mnemonic.
+_FORMAT_II_BY_OPCODE = {code: name for name, code in FORMAT_II_OPCODES.items()}
+
+#: Constant-generator decode table: (register, As) -> constant value.
+_CG_VALUES = {
+    (CG, 0): 0x0000,
+    (CG, 1): 0x0001,
+    (CG, 2): 0x0002,
+    (CG, 3): 0xFFFF,
+    (SR, 2): 0x0004,
+    (SR, 3): 0x0008,
+}
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded (range, modes...)."""
+
+
+def _source_fields(operand, symbols, extension_address):
+    """Return ``(register, as_bits, extension_words)`` for a source operand."""
+    mode = operand.mode
+    if mode is AddressingMode.REGISTER:
+        return operand.register, 0, []
+    if mode is AddressingMode.INDEXED:
+        return operand.register, 1, [resolve_value(operand.value, symbols)]
+    if mode is AddressingMode.SYMBOLIC:
+        target = resolve_value(operand.value, symbols)
+        return PC, 1, [(target - extension_address) & 0xFFFF]
+    if mode is AddressingMode.ABSOLUTE:
+        return SR, 1, [resolve_value(operand.value, symbols)]
+    if mode is AddressingMode.INDIRECT:
+        return operand.register, 2, []
+    if mode is AddressingMode.AUTOINC:
+        return operand.register, 3, []
+    if mode is AddressingMode.IMMEDIATE:
+        generator = operand.constant_generator()
+        if generator is not None:
+            register, as_bits = generator
+            return register, as_bits, []
+        return PC, 3, [resolve_value(operand.value, symbols)]
+    raise EncodingError(f"unencodable source mode: {mode}")
+
+
+def _dest_fields(operand, symbols, extension_address):
+    """Return ``(register, ad_bit, extension_words)`` for a destination."""
+    mode = operand.mode
+    if mode is AddressingMode.REGISTER:
+        return operand.register, 0, []
+    if mode is AddressingMode.INDEXED:
+        return operand.register, 1, [resolve_value(operand.value, symbols)]
+    if mode is AddressingMode.SYMBOLIC:
+        target = resolve_value(operand.value, symbols)
+        return PC, 1, [(target - extension_address) & 0xFFFF]
+    if mode is AddressingMode.ABSOLUTE:
+        return SR, 1, [resolve_value(operand.value, symbols)]
+    raise EncodingError(f"unencodable destination mode: {mode}")
+
+
+def instruction_length(instruction):
+    """Return the encoded size of *instruction* in bytes (2, 4 or 6)."""
+    if instruction.is_jump or instruction.mnemonic == "RETI":
+        return 2
+    length = 2
+    if instruction.src is not None and instruction.src.needs_extension_word():
+        length += 2
+    if instruction.dst is not None and instruction.dst.needs_extension_word():
+        length += 2
+    return length
+
+
+def encode_instruction(instruction, address=0, symbols=None):
+    """Encode *instruction* at byte *address* into a list of 16-bit words.
+
+    *symbols* maps label names to byte addresses for :class:`Sym` operands
+    and jump targets. The address matters for PC-relative encodings
+    (jump offsets and symbolic operands).
+    """
+    symbols = symbols or {}
+    instruction.validate()
+    name = instruction.mnemonic
+
+    if instruction.is_jump:
+        condition = JUMP_CONDITIONS[name]
+        target = resolve_value(instruction.target, symbols)
+        offset = target - (address + 2)
+        if offset % 2:
+            raise EncodingError(f"odd jump offset to {instruction.target}")
+        words = offset // 2
+        if not -512 <= words <= 511:
+            raise EncodingError(
+                f"jump target out of range: {words} words from {address:#06x}"
+            )
+        return [0x2000 | (condition << 10) | (words & 0x3FF)]
+
+    if name == "RETI":
+        return [0x1300]
+
+    byte_bit = 0x40 if instruction.byte else 0
+
+    if instruction.is_format_ii:
+        extension_address = address + 2
+        register, as_bits, extra = _source_fields(
+            instruction.src, symbols, extension_address
+        )
+        opcode = 0x1000 | (FORMAT_II_OPCODES[name] << 7) | byte_bit
+        opcode |= (as_bits << 4) | register
+        return [opcode] + extra
+
+    # Format I
+    extension_address = address + 2
+    source_register, as_bits, source_extra = _source_fields(
+        instruction.src, symbols, extension_address
+    )
+    extension_address += 2 * len(source_extra)
+    dest_register, ad_bit, dest_extra = _dest_fields(
+        instruction.dst, symbols, extension_address
+    )
+    opcode = (
+        (FORMAT_I_OPCODES[name] << 12)
+        | (source_register << 8)
+        | (ad_bit << 7)
+        | byte_bit
+        | (as_bits << 4)
+        | dest_register
+    )
+    return [opcode] + source_extra + dest_extra
+
+
+def _decode_source(register, as_bits, read_word, cursor):
+    """Decode a source field; returns ``(operand, next_cursor)``."""
+    constant = _CG_VALUES.get((register, as_bits))
+    if constant is not None and not (register == SR and as_bits < 2):
+        return imm(constant), cursor
+    if as_bits == 0:
+        return reg(register), cursor
+    if as_bits == 1:
+        extension = read_word(cursor)
+        if register == SR:
+            return absolute(extension), cursor + 2
+        if register == PC:
+            return symbolic((extension + cursor) & 0xFFFF), cursor + 2
+        return indexed(extension, register), cursor + 2
+    if as_bits == 2:
+        return indirect(register), cursor
+    if register == PC:  # @PC+ is an immediate
+        extension = read_word(cursor)
+        return imm(extension), cursor + 2
+    return autoinc(register), cursor
+
+
+def _decode_dest(register, ad_bit, read_word, cursor):
+    """Decode a destination field; returns ``(operand, next_cursor)``."""
+    if ad_bit == 0:
+        return reg(register), cursor
+    extension = read_word(cursor)
+    if register == SR:
+        return absolute(extension), cursor + 2
+    if register == PC:
+        return symbolic((extension + cursor) & 0xFFFF), cursor + 2
+    return indexed(extension, register), cursor + 2
+
+
+def decode_instruction(read_word, address):
+    """Decode the instruction at byte *address*.
+
+    *read_word* is called with byte addresses for the opcode word and any
+    extension words (so the caller can account each fetch). Returns
+    ``(instruction, length_in_bytes)``. Raises :class:`EncodingError` for
+    illegal opcodes.
+    """
+    opcode = read_word(address)
+    top = opcode >> 13
+
+    if top == 1:  # 001x -> jump
+        condition = (opcode >> 10) & 0x7
+        offset = opcode & 0x3FF
+        if offset >= 512:
+            offset -= 1024
+        target = (address + 2 + 2 * offset) & 0xFFFF
+        return Instruction(JUMP_MNEMONICS[condition], target=target), 2
+
+    if (opcode >> 10) == 0x4:  # 000100 -> Format II
+        operation = (opcode >> 7) & 0x7
+        name = _FORMAT_II_BY_OPCODE.get(operation)
+        if name is None:
+            raise EncodingError(f"illegal Format II opcode {opcode:#06x}")
+        if name == "RETI":
+            return Instruction("RETI"), 2
+        byte = bool(opcode & 0x40)
+        as_bits = (opcode >> 4) & 0x3
+        register = opcode & 0xF
+        cursor = address + 2
+        source, cursor = _decode_source(register, as_bits, read_word, cursor)
+        return Instruction(name, src=source, byte=byte), cursor - address
+
+    nibble = opcode >> 12
+    name = _FORMAT_I_BY_OPCODE.get(nibble)
+    if name is None:
+        raise EncodingError(f"illegal opcode {opcode:#06x} at {address:#06x}")
+    source_register = (opcode >> 8) & 0xF
+    ad_bit = (opcode >> 7) & 0x1
+    byte = bool(opcode & 0x40)
+    as_bits = (opcode >> 4) & 0x3
+    dest_register = opcode & 0xF
+    cursor = address + 2
+    source, cursor = _decode_source(source_register, as_bits, read_word, cursor)
+    dest, cursor = _decode_dest(dest_register, ad_bit, read_word, cursor)
+    return Instruction(name, src=source, dst=dest, byte=byte), cursor - address

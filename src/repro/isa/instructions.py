@@ -1,0 +1,246 @@
+"""Core MSP430 instruction set: mnemonics, formats and validation.
+
+Three instruction formats exist:
+
+* **Format I** (double operand): ``MOV``, ``ADD``, ... ``AND``.
+* **Format II** (single operand): ``RRC``, ``SWPB``, ``RRA``, ``SXT``,
+  ``PUSH``, ``CALL``, ``RETI``.
+* **Jumps**: the eight conditional/unconditional PC-relative jumps with a
+  10-bit signed word offset -- the ±512-word range whose limits drive
+  both SwapRAM's absolute-branch relocation scheme and the block cache's
+  Figure 6 transformation.
+
+Emulated mnemonics (``RET``, ``BR``, ``NOP``, ``INC`` ...) are assembler
+conveniences that expand to core instructions; :func:`expand_emulated`
+performs that expansion so every later stage sees core instructions only.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.isa.operands import (
+    DEST_MODES,
+    AddressingMode,
+    Operand,
+    autoinc,
+    imm,
+    reg,
+)
+from repro.isa.registers import CG, PC, SP, SR
+
+#: Format I mnemonics -> opcode nibble (bits 15:12).
+FORMAT_I_OPCODES = {
+    "MOV": 0x4,
+    "ADD": 0x5,
+    "ADDC": 0x6,
+    "SUBC": 0x7,
+    "SUB": 0x8,
+    "CMP": 0x9,
+    "DADD": 0xA,
+    "BIT": 0xB,
+    "BIC": 0xC,
+    "BIS": 0xD,
+    "XOR": 0xE,
+    "AND": 0xF,
+}
+
+#: Format I operations that do not write their destination.
+NO_WRITEBACK = frozenset({"CMP", "BIT"})
+
+#: Format I operations that write without reading the old destination.
+WRITE_ONLY = frozenset({"MOV"})
+
+#: Format II mnemonics -> opcode field (bits 9:7 of the 0x1xxx space).
+FORMAT_II_OPCODES = {
+    "RRC": 0,
+    "SWPB": 1,
+    "RRA": 2,
+    "SXT": 3,
+    "PUSH": 4,
+    "CALL": 5,
+    "RETI": 6,
+}
+
+#: Jump mnemonics -> condition code (bits 12:10). Aliases share codes.
+JUMP_CONDITIONS = {
+    "JNE": 0,
+    "JNZ": 0,
+    "JEQ": 1,
+    "JZ": 1,
+    "JNC": 2,
+    "JLO": 2,
+    "JC": 3,
+    "JHS": 3,
+    "JN": 4,
+    "JGE": 5,
+    "JL": 6,
+    "JMP": 7,
+}
+
+#: Canonical jump mnemonic per condition code (for disassembly).
+JUMP_MNEMONICS = ("JNE", "JEQ", "JNC", "JC", "JN", "JGE", "JL", "JMP")
+
+#: Mnemonics that support a ``.B`` byte-mode suffix.
+BYTE_CAPABLE = frozenset(FORMAT_I_OPCODES) | {"RRC", "RRA", "PUSH"}
+
+
+class InstructionError(ValueError):
+    """Raised for malformed instructions (bad mnemonic / operand modes)."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One core MSP430 instruction.
+
+    * Format I: ``src`` and ``dst`` set.
+    * Format II: ``src`` set (``RETI`` takes none), ``dst`` is None.
+    * Jump: ``target`` set -- an int byte-address or :class:`Sym`;
+      the assembler converts it to the encoded word offset.
+    """
+
+    mnemonic: str
+    src: Optional[Operand] = None
+    dst: Optional[Operand] = None
+    target: object = None
+    byte: bool = False
+
+    # -- format predicates ---------------------------------------------------
+
+    @property
+    def is_format_i(self):
+        return self.mnemonic in FORMAT_I_OPCODES
+
+    @property
+    def is_format_ii(self):
+        return self.mnemonic in FORMAT_II_OPCODES
+
+    @property
+    def is_jump(self):
+        return self.mnemonic in JUMP_CONDITIONS
+
+    @property
+    def is_call(self):
+        return self.mnemonic == "CALL"
+
+    def writes_pc(self):
+        """True when executing this instruction replaces the PC.
+
+        Covers jumps, CALL/RETI, and Format I instructions whose
+        destination is the PC register (``BR``, ``RET`` expansions).
+        """
+        if self.is_jump or self.mnemonic in ("CALL", "RETI"):
+            return True
+        return (
+            self.dst is not None
+            and self.dst.mode is AddressingMode.REGISTER
+            and self.dst.register == PC
+            and self.mnemonic not in NO_WRITEBACK
+        )
+
+    def validate(self):
+        """Raise :class:`InstructionError` if the instruction is malformed."""
+        name = self.mnemonic
+        if self.byte and name not in BYTE_CAPABLE:
+            raise InstructionError(f"{name} has no byte form")
+        if self.is_format_i:
+            if self.src is None or self.dst is None:
+                raise InstructionError(f"{name} needs two operands")
+            if self.dst.mode not in DEST_MODES:
+                raise InstructionError(
+                    f"{name} destination mode {self.dst.mode.value} not writable"
+                )
+        elif self.is_format_ii:
+            if name == "RETI":
+                if self.src is not None or self.dst is not None:
+                    raise InstructionError("RETI takes no operands")
+            else:
+                if self.src is None or self.dst is not None:
+                    raise InstructionError(f"{name} needs one operand")
+                if name not in ("PUSH", "CALL") and self.src.mode in (
+                    AddressingMode.IMMEDIATE,
+                ):
+                    raise InstructionError(f"{name} cannot take an immediate")
+                if name not in ("PUSH", "CALL") and self.src.mode not in DEST_MODES:
+                    # RRA/RRC/SWPB/SXT write their operand back.
+                    raise InstructionError(
+                        f"{name} operand mode {self.src.mode.value} not writable"
+                    )
+        elif self.is_jump:
+            if self.target is None:
+                raise InstructionError(f"{name} needs a target")
+        else:
+            raise InstructionError(f"unknown mnemonic: {name}")
+
+    def __str__(self):
+        suffix = ".B" if self.byte else ""
+        if self.is_jump:
+            return f"{self.mnemonic} {self.target}"
+        if self.mnemonic == "RETI":
+            return "RETI"
+        if self.dst is not None:
+            return f"{self.mnemonic}{suffix} {self.src}, {self.dst}"
+        return f"{self.mnemonic}{suffix} {self.src}"
+
+
+#: Emulated mnemonics that expand with no operands of their own.
+_FIXED_EMULATED = {
+    "NOP": Instruction("MOV", src=reg(CG), dst=reg(CG)),
+    "RET": Instruction("MOV", src=autoinc(SP), dst=reg(PC)),
+    "SETC": Instruction("BIS", src=imm(1), dst=reg(SR)),
+    "CLRC": Instruction("BIC", src=imm(1), dst=reg(SR)),
+    "SETZ": Instruction("BIS", src=imm(2), dst=reg(SR)),
+    "CLRZ": Instruction("BIC", src=imm(2), dst=reg(SR)),
+    "SETN": Instruction("BIS", src=imm(4), dst=reg(SR)),
+    "CLRN": Instruction("BIC", src=imm(4), dst=reg(SR)),
+    "DINT": Instruction("BIC", src=imm(8), dst=reg(SR)),
+    "EINT": Instruction("BIS", src=imm(8), dst=reg(SR)),
+}
+
+#: mnemonic -> (core op, immediate source) for ``OP dst`` shorthands.
+_IMMEDIATE_EMULATED = {
+    "CLR": ("MOV", 0),
+    "INC": ("ADD", 1),
+    "INCD": ("ADD", 2),
+    "DEC": ("SUB", 1),
+    "DECD": ("SUB", 2),
+    "TST": ("CMP", 0),
+    "INV": ("XOR", 0xFFFF),
+    "ADC": ("ADDC", 0),
+    "SBC": ("SUBC", 0),
+    "DADC": ("DADD", 0),
+    "RLA": ("ADD", None),  # ADD dst, dst
+    "RLC": ("ADDC", None),  # ADDC dst, dst
+}
+
+EMULATED_MNEMONICS = (
+    frozenset(_FIXED_EMULATED) | frozenset(_IMMEDIATE_EMULATED) | {"BR", "POP"}
+)
+
+
+def expand_emulated(mnemonic, operand=None, byte=False):
+    """Expand an emulated *mnemonic* into its core :class:`Instruction`.
+
+    *operand* is the single operand for forms like ``CLR dst`` / ``BR src``;
+    it must be None for fixed forms like ``RET``.
+    """
+    name = mnemonic.upper()
+    if name in _FIXED_EMULATED:
+        if operand is not None:
+            raise InstructionError(f"{name} takes no operand")
+        return _FIXED_EMULATED[name]
+    if operand is None:
+        raise InstructionError(f"{name} needs an operand")
+    if name == "BR":
+        return Instruction("MOV", src=operand, dst=reg(PC))
+    if name == "POP":
+        return Instruction("MOV", src=autoinc(SP), dst=operand, byte=byte)
+    if name in _IMMEDIATE_EMULATED:
+        core, value = _IMMEDIATE_EMULATED[name]
+        source = operand if value is None else imm(value)
+        return Instruction(core, src=source, dst=operand, byte=byte)
+    raise InstructionError(f"not an emulated mnemonic: {mnemonic}")
+
+
+def with_target(instruction, target):
+    """Return a copy of a jump *instruction* aimed at *target*."""
+    return replace(instruction, target=target)

@@ -1,0 +1,199 @@
+"""Operand and addressing-mode model for the MSP430.
+
+The MSP430 source field supports four addressing modes (register,
+indexed, indirect, indirect-autoincrement); immediates, absolute and
+symbolic addresses are encodings of those modes on the PC and SR
+registers. Destinations support register and indexed (incl. absolute /
+symbolic) modes only.
+
+Operand values may be concrete integers or :class:`Sym` references that
+the assembler resolves against the symbol table -- this is how function
+labels, SwapRAM redirection entries and relocation slots are named in
+the instrumented assembly before layout is known.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.registers import CG, PC, SR, register_name
+
+
+class AddressingMode(enum.Enum):
+    """The seven programmer-visible MSP430 addressing modes."""
+
+    REGISTER = "Rn"
+    INDEXED = "X(Rn)"
+    SYMBOLIC = "ADDR"
+    ABSOLUTE = "&ADDR"
+    INDIRECT = "@Rn"
+    AUTOINC = "@Rn+"
+    IMMEDIATE = "#N"
+
+
+#: Modes that read/write through memory (as opposed to a register or an
+#: instruction-stream immediate).
+MEMORY_MODES = frozenset(
+    {
+        AddressingMode.INDEXED,
+        AddressingMode.SYMBOLIC,
+        AddressingMode.ABSOLUTE,
+        AddressingMode.INDIRECT,
+        AddressingMode.AUTOINC,
+    }
+)
+
+#: Modes legal in a Format I destination / Format II operand position.
+DEST_MODES = frozenset(
+    {
+        AddressingMode.REGISTER,
+        AddressingMode.INDEXED,
+        AddressingMode.SYMBOLIC,
+        AddressingMode.ABSOLUTE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A symbolic value -- a label name plus a constant addend.
+
+    ``Sym("crc_table", 4)`` denotes the address of ``crc_table`` plus 4
+    bytes. Symbols appear anywhere an integer could (immediates, indexed
+    displacements, absolute addresses) and are resolved at assembly time.
+    """
+
+    name: str
+    addend: int = 0
+
+    def shifted(self, extra):
+        """Return the same symbol displaced by *extra* more bytes."""
+        return Sym(self.name, self.addend + extra)
+
+    def __str__(self):
+        if self.addend:
+            return f"{self.name}{self.addend:+d}"
+        return self.name
+
+
+def resolve_value(value, symbols):
+    """Resolve *value* (int or :class:`Sym`) against a symbol mapping."""
+    if isinstance(value, Sym):
+        try:
+            base = symbols[value.name]
+        except KeyError:
+            raise KeyError(f"undefined symbol: {value.name}") from None
+        return (base + value.addend) & 0xFFFF
+    return int(value) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One instruction operand: an addressing mode plus its parameters.
+
+    ``register`` is meaningful for register-relative modes; ``value``
+    carries the immediate, displacement or address (int or :class:`Sym`).
+    """
+
+    mode: AddressingMode
+    register: int = 0
+    value: object = 0
+
+    # -- classification helpers -------------------------------------------
+
+    def is_memory(self):
+        """True when evaluating this operand touches data memory."""
+        return self.mode in MEMORY_MODES
+
+    def needs_extension_word(self):
+        """True when the encoding consumes a word from the instruction stream.
+
+        Immediates expressible by the constant generators (#0, #1, #2,
+        #4, #8, #-1 with a concrete value) need no extension word.
+        """
+        if self.mode in (
+            AddressingMode.INDEXED,
+            AddressingMode.SYMBOLIC,
+            AddressingMode.ABSOLUTE,
+        ):
+            return True
+        if self.mode is AddressingMode.IMMEDIATE:
+            return self.constant_generator() is None
+        return False
+
+    def constant_generator(self):
+        """Return ``(register, as_bits)`` when this is a CG-encodable immediate.
+
+        The MSP430 encodes #0/#1/#2/#-1 on R3 and #4/#8 on R2 without an
+        extension word. Symbolic immediates never use the generator (their
+        final value is unknown when the encoding is chosen).
+        """
+        if self.mode is not AddressingMode.IMMEDIATE:
+            return None
+        if isinstance(self.value, Sym):
+            return None
+        value = int(self.value) & 0xFFFF
+        table = {
+            0x0000: (CG, 0),
+            0x0001: (CG, 1),
+            0x0002: (CG, 2),
+            0xFFFF: (CG, 3),
+            0x0004: (SR, 2),
+            0x0008: (SR, 3),
+        }
+        return table.get(value)
+
+    # -- display ------------------------------------------------------------
+
+    def __str__(self):
+        mode = self.mode
+        if mode is AddressingMode.REGISTER:
+            return register_name(self.register)
+        if mode is AddressingMode.INDEXED:
+            return f"{self.value}({register_name(self.register)})"
+        if mode is AddressingMode.SYMBOLIC:
+            return str(self.value)
+        if mode is AddressingMode.ABSOLUTE:
+            return f"&{self.value}"
+        if mode is AddressingMode.INDIRECT:
+            return f"@{register_name(self.register)}"
+        if mode is AddressingMode.AUTOINC:
+            return f"@{register_name(self.register)}+"
+        return f"#{self.value}"
+
+
+# -- constructors ------------------------------------------------------------
+
+
+def reg(number):
+    """Register-direct operand ``Rn``."""
+    return Operand(AddressingMode.REGISTER, register=number)
+
+
+def imm(value):
+    """Immediate operand ``#value`` (int or :class:`Sym`)."""
+    return Operand(AddressingMode.IMMEDIATE, register=PC, value=value)
+
+
+def indexed(value, register):
+    """Indexed operand ``value(Rn)``."""
+    return Operand(AddressingMode.INDEXED, register=register, value=value)
+
+
+def absolute(value):
+    """Absolute operand ``&value`` -- a fixed memory address."""
+    return Operand(AddressingMode.ABSOLUTE, register=SR, value=value)
+
+
+def symbolic(value):
+    """Symbolic (PC-relative) operand ``value`` encoded as ``X(PC)``."""
+    return Operand(AddressingMode.SYMBOLIC, register=PC, value=value)
+
+
+def indirect(register):
+    """Register-indirect operand ``@Rn`` (source only)."""
+    return Operand(AddressingMode.INDIRECT, register=register)
+
+
+def autoinc(register):
+    """Indirect autoincrement operand ``@Rn+`` (source only)."""
+    return Operand(AddressingMode.AUTOINC, register=register)

@@ -1,0 +1,79 @@
+"""MSP430 register file definitions.
+
+The MSP430 has sixteen 16-bit registers. Four have dedicated roles:
+
+* ``R0`` / ``PC`` -- program counter
+* ``R1`` / ``SP`` -- stack pointer
+* ``R2`` / ``SR`` -- status register, doubling as constant generator 1
+* ``R3`` / ``CG`` -- constant generator 2 (never a real storage register)
+
+The remaining twelve (``R4``-``R15``) are general purpose. The MSP430
+EABI passes the first four word-sized arguments in ``R12``-``R15`` and
+returns values in ``R12``; the reproduction's compiler and SwapRAM's
+miss handler both honour that convention.
+"""
+
+PC = 0
+SP = 1
+SR = 2
+CG = 3
+
+#: Canonical display names, indexed by register number.
+REGISTER_NAMES = (
+    "PC",
+    "SP",
+    "SR",
+    "CG",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "R8",
+    "R9",
+    "R10",
+    "R11",
+    "R12",
+    "R13",
+    "R14",
+    "R15",
+)
+
+_ALIASES = {
+    "PC": PC,
+    "SP": SP,
+    "SR": SR,
+    "CG": CG,
+    "R0": PC,
+    "R1": SP,
+    "R2": SR,
+    "R3": CG,
+}
+
+
+def register_name(number):
+    """Return the canonical name for register *number* (0-15)."""
+    return REGISTER_NAMES[number]
+
+
+def register_number(name):
+    """Parse a register name (``R7``, ``pc``, ``sp`` ...) to its number.
+
+    Raises ``ValueError`` for anything that is not a register name.
+    """
+    key = name.strip().upper()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    if key.startswith("R") and key[1:].isdigit():
+        number = int(key[1:])
+        if 0 <= number <= 15:
+            return number
+    raise ValueError(f"not a register name: {name!r}")
+
+
+def is_register_name(name):
+    """Return True when *name* parses as a register."""
+    try:
+        register_number(name)
+    except ValueError:
+        return False
+    return True

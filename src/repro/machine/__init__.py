@@ -1,0 +1,49 @@
+"""Cycle-level simulator for FRAM-based MSP430 systems.
+
+The machine package provides the hardware substrate the paper measures
+on: a 64 KiB flat address space with SRAM and FRAM regions, the FR2355's
+small 2-way hardware read cache in front of the FRAM, frequency-dependent
+FRAM wait states, a full access trace (the ``mspdebug`` modification the
+paper describes), an energy model standing in for the oscilloscope, and
+the CPU executor itself with a semihosting-style native-hook mechanism
+used to host the SwapRAM / block-cache runtimes.
+"""
+
+from repro.machine.memory import (
+    DEBUG_OUT_PORT,
+    HALT_PORT,
+    PUTC_PORT,
+    Memory,
+    MemoryMap,
+    Region,
+    RegionKind,
+    fr2355_memory_map,
+)
+from repro.machine.fram_cache import FramReadCache
+from repro.machine.trace import AccessCounters, Attribution
+from repro.machine.bus import Bus, BusError
+from repro.machine.energy import EnergyModel
+from repro.machine.cpu import Cpu, SimulationError
+from repro.machine.board import Board, RunResult, fr2355_board
+
+__all__ = [
+    "DEBUG_OUT_PORT",
+    "HALT_PORT",
+    "PUTC_PORT",
+    "Memory",
+    "MemoryMap",
+    "Region",
+    "RegionKind",
+    "fr2355_memory_map",
+    "FramReadCache",
+    "AccessCounters",
+    "Attribution",
+    "Bus",
+    "BusError",
+    "EnergyModel",
+    "Cpu",
+    "SimulationError",
+    "Board",
+    "RunResult",
+    "fr2355_board",
+]

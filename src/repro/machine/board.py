@@ -1,0 +1,143 @@
+"""Board abstraction: one simulated MSP430FR2355-style system.
+
+A :class:`Board` wires memory, bus, CPU and energy model together at a
+chosen clock frequency, loads an assembled image, runs it to the halt
+port, and produces a :class:`RunResult` with every quantity the paper's
+evaluation reports: FRAM/SRAM access counts, unstalled and total cycles,
+wall-clock time at the configured frequency, and modelled energy.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.machine.bus import Bus
+from repro.machine.cpu import Cpu
+from repro.machine.energy import EnergyModel
+from repro.machine.memory import Memory, fr2355_memory_map
+from repro.machine.trace import AccessCounters
+from repro.isa.registers import PC, SP
+
+
+@dataclass
+class RunResult:
+    """Everything measured over one benchmark run."""
+
+    frequency_mhz: float
+    unstalled_cycles: int
+    stall_cycles: int
+    fram_accesses: int
+    sram_accesses: int
+    code_accesses: int
+    data_accesses: int
+    instructions: int
+    instruction_breakdown: dict
+    energy_nj: float
+    debug_words: list
+    output_text: str
+    counters: AccessCounters = field(repr=False, default=None)
+
+    @property
+    def total_cycles(self):
+        return self.unstalled_cycles + self.stall_cycles
+
+    @property
+    def runtime_us(self):
+        """Wall-clock microseconds at the configured frequency."""
+        return self.total_cycles / self.frequency_mhz
+
+    @property
+    def code_data_ratio(self):
+        return self.code_accesses / self.data_accesses if self.data_accesses else 0.0
+
+
+class Board:
+    """A complete simulated system (CPU + memory + accounting)."""
+
+    def __init__(
+        self,
+        memory_map=None,
+        frequency_mhz=24,
+        energy_model=None,
+        wait_states=None,
+    ):
+        self.memory_map = memory_map or fr2355_memory_map()
+        self.frequency_mhz = frequency_mhz
+        self.energy_model = energy_model or EnergyModel()
+        self.memory = Memory()
+        self.counters = AccessCounters()
+        self.bus = Bus(
+            self.memory,
+            self.memory_map,
+            frequency_mhz=frequency_mhz,
+            counters=self.counters,
+            wait_states=wait_states,
+        )
+        self.cpu = Cpu(self.bus)
+        self.image = None
+
+    # -- setup -----------------------------------------------------------------
+
+    def load(self, image, stack_top=None):
+        """Load an assembled image and point the CPU at its entry.
+
+        The stack grows down from *stack_top*; the toolchain's generated
+        startup code normally sets SP itself, so this default only
+        matters for hand-built test images.
+        """
+        self.image = image
+        image.load_into(self.memory)
+        self.cpu.regs[PC] = image.entry
+        if stack_top is not None:
+            self.cpu.regs[SP] = stack_top & 0xFFFE
+        return self
+
+    def add_hook(self, address, handler):
+        """Install a native hook at *address* (see ``machine.cpu``)."""
+        self.cpu.hooks[address & 0xFFFF] = handler
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, max_instructions=50_000_000):
+        """Run to the halt port and return a :class:`RunResult`."""
+        self.cpu.run(max_instructions=max_instructions)
+        return self.result()
+
+    def result(self):
+        counters = self.counters
+        return RunResult(
+            frequency_mhz=self.frequency_mhz,
+            unstalled_cycles=counters.unstalled_cycles,
+            stall_cycles=counters.stall_cycles,
+            fram_accesses=counters.fram_accesses,
+            sram_accesses=counters.sram_accesses,
+            code_accesses=counters.code_accesses,
+            data_accesses=counters.data_accesses,
+            instructions=counters.total_instructions,
+            instruction_breakdown=counters.instructions_by_source(),
+            energy_nj=self.energy_model.energy_nj(counters),
+            debug_words=list(self.bus.debug_words),
+            output_text=self.bus.output_text,
+            counters=counters,
+        )
+
+    # -- inspection helpers ----------------------------------------------------------
+
+    def word_at(self, symbol_or_address):
+        """Peek a word by symbol name (requires a loaded image) or address."""
+        return self.memory.read_word(self._resolve(symbol_or_address))
+
+    def bytes_at(self, symbol_or_address, length):
+        return self.memory.read_bytes(self._resolve(symbol_or_address), length)
+
+    def _resolve(self, symbol_or_address):
+        if isinstance(symbol_or_address, str):
+            return self.image.symbols[symbol_or_address]
+        return symbol_or_address
+
+
+def fr2355_board(frequency_mhz=24, sram_size=0x1000, fram_size=0x8000, **kwargs):
+    """Convenience constructor matching the paper's evaluation platform."""
+    return Board(
+        memory_map=fr2355_memory_map(sram_size=sram_size, fram_size=fram_size),
+        frequency_mhz=frequency_mhz,
+        **kwargs,
+    )

@@ -1,0 +1,187 @@
+"""The memory bus: accounting, wait states, contention and debug ports.
+
+Every CPU (and runtime) access flows through here. The bus
+
+* categorises the access into :class:`AccessCounters`;
+* models FRAM timing -- frequency-dependent wait states on hardware
+  cache misses, plus a one-cycle contention penalty for each FRAM access
+  after the first within a single instruction (the single-ported FRAM /
+  cache bank conflict the paper blames for unified memory's slowdown
+  even at 8 MHz, §2.2);
+* implements the memory-mapped debug ports (UART stand-in + halt).
+
+Writes to FRAM invalidate the matching hardware cache line (the
+controller is write-through), which is what makes SwapRAM's in-place
+call-site rewrites immediately visible to execution.
+"""
+
+from contextlib import contextmanager
+
+from repro.machine.fram_cache import FramReadCache
+from repro.machine.memory import (
+    DEBUG_OUT_PORT,
+    HALT_PORT,
+    PUTC_PORT,
+    RegionKind,
+)
+from repro.machine.trace import READ, WRITE, AccessCounters, Attribution
+
+
+class BusError(Exception):
+    """Unmapped or misaligned access."""
+
+
+def default_wait_states(frequency_mhz):
+    """FRAM wait states by CPU clock, per the paper's FR2355 description.
+
+    Zero up to the FRAM's native 8 MHz; three cycles at the 24 MHz
+    maximum operating point (§5.4); linear-ish in between.
+    """
+    if frequency_mhz <= 8:
+        return 0
+    if frequency_mhz <= 16:
+        return 1
+    return 3
+
+
+class Bus:
+    """Accounting memory bus for one simulated system."""
+
+    def __init__(
+        self,
+        memory,
+        memory_map,
+        frequency_mhz=24,
+        fram_cache=None,
+        counters=None,
+        wait_states=None,
+        contention_penalty=1,
+    ):
+        self.memory = memory
+        self.memory_map = memory_map
+        self.frequency_mhz = frequency_mhz
+        self.fram_cache = fram_cache if fram_cache is not None else FramReadCache()
+        self.counters = counters if counters is not None else AccessCounters()
+        self.wait_states = (
+            default_wait_states(frequency_mhz) if wait_states is None else wait_states
+        )
+        self.contention_penalty = contention_penalty
+        self.attribution = Attribution.APP
+        self.halted = False
+        self.debug_words = []
+        self.output_chars = []
+        self._kinds = memory_map._kinds
+        self._fram_touches = 0
+
+    # -- attribution -----------------------------------------------------------
+
+    @contextmanager
+    def attributed(self, attribution):
+        """Temporarily attribute accesses to *attribution* (runtime hooks)."""
+        previous = self.attribution
+        self.attribution = attribution
+        try:
+            yield
+        finally:
+            self.attribution = previous
+
+    # -- timing ------------------------------------------------------------------
+
+    def begin_instruction(self):
+        """Reset per-instruction contention state; called by the CPU."""
+        self._fram_touches = 0
+
+    def _fram_read_timing(self, address):
+        if self._fram_touches:
+            self.counters.stall_cycles += self.contention_penalty
+        self._fram_touches += 1
+        if not self.fram_cache.access(address):
+            self.counters.stall_cycles += self.wait_states
+
+    def _fram_write_timing(self, address):
+        if self._fram_touches:
+            self.counters.stall_cycles += self.contention_penalty
+        self._fram_touches += 1
+        self.counters.stall_cycles += self.wait_states
+        self.fram_cache.invalidate(address)
+
+    # -- instruction fetch -------------------------------------------------------
+
+    def fetch_word(self, address):
+        """Read one instruction word at *address*, fully accounted."""
+        address &= 0xFFFF
+        if address & 1:
+            raise BusError(f"misaligned instruction fetch at {address:#06x}")
+        kind = self._kinds[address]
+        if kind is RegionKind.UNMAPPED or kind is RegionKind.MMIO:
+            raise BusError(f"instruction fetch from {kind.value} at {address:#06x}")
+        self.counters.record_fetch(self.attribution, kind, 1)
+        if kind is RegionKind.FRAM:
+            self._fram_read_timing(address)
+        return self.memory.read_word(address)
+
+    def account_fetch(self, address, words):
+        """Account a *words*-long fetch without re-reading (decode cache)."""
+        kind = self._kinds[address & 0xFFFF]
+        self.counters.record_fetch(self.attribution, kind, words)
+        if kind is RegionKind.FRAM:
+            for index in range(words):
+                self._fram_read_timing(address + 2 * index)
+
+    # -- data access ----------------------------------------------------------------
+
+    def read(self, address, byte=False):
+        """Accounted data read; returns byte or little-endian word."""
+        address &= 0xFFFF
+        if not byte and address & 1:
+            raise BusError(f"misaligned word read at {address:#06x}")
+        kind = self._kinds[address]
+        if kind is RegionKind.UNMAPPED:
+            raise BusError(f"read from unmapped address {address:#06x}")
+        self.counters.record_data(self.attribution, kind, READ)
+        if kind is RegionKind.MMIO:
+            return 0
+        if kind is RegionKind.FRAM:
+            self._fram_read_timing(address)
+        if byte:
+            return self.memory.read_byte(address)
+        return self.memory.read_word(address)
+
+    def write(self, address, value, byte=False):
+        """Accounted data write."""
+        address &= 0xFFFF
+        if not byte and address & 1:
+            raise BusError(f"misaligned word write at {address:#06x}")
+        kind = self._kinds[address]
+        if kind is RegionKind.UNMAPPED:
+            raise BusError(f"write to unmapped address {address:#06x}")
+        self.counters.record_data(self.attribution, kind, WRITE)
+        if kind is RegionKind.MMIO:
+            self._mmio_write(address, value)
+            return
+        if kind is RegionKind.FRAM:
+            self._fram_write_timing(address)
+        if byte:
+            self.memory.write_byte(address, value)
+        else:
+            self.memory.write_word(address, value)
+
+    def _mmio_write(self, address, value):
+        if address == DEBUG_OUT_PORT:
+            self.debug_words.append(value & 0xFFFF)
+        elif address == HALT_PORT:
+            self.halted = True
+        elif address == PUTC_PORT:
+            self.output_chars.append(chr(value & 0xFF))
+
+    # -- unaccounted host access (loader / inspection) ----------------------------
+
+    def peek_word(self, address):
+        return self.memory.read_word(address)
+
+    def peek_byte(self, address):
+        return self.memory.read_byte(address)
+
+    @property
+    def output_text(self):
+        return "".join(self.output_chars)

@@ -1,0 +1,385 @@
+"""MSP430 CPU executor.
+
+Fetches and decodes real instruction words from simulated memory on
+every step (with a snapshot-validated decode cache so self-modifying
+code -- the heart of SwapRAM -- stays correct), executes them with
+faithful flag semantics, and accounts unstalled cycles and per-region
+instruction counts.
+
+**Native hooks** are the semihosting mechanism used to host the cache
+runtimes: when the PC lands on a hooked address the registered callable
+runs instead of a fetch. Hooks do all their memory traffic through the
+bus and are responsible for charging their own modelled cycles and
+setting the continuation PC.
+"""
+
+from repro.isa.cycles import instruction_cycles
+from repro.isa.encoding import EncodingError, decode_instruction
+from repro.isa.operands import AddressingMode
+from repro.isa.registers import PC, SP, SR
+from repro.machine.bus import BusError
+
+_FLAG_C = 0x0001
+_FLAG_Z = 0x0002
+_FLAG_N = 0x0004
+_FLAG_V = 0x0100
+
+
+class SimulationError(Exception):
+    """Execution fault (illegal opcode, runaway program, bus error)."""
+
+
+class Cpu:
+    """A single MSP430 core attached to a :class:`~repro.machine.bus.Bus`."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.regs = [0] * 16
+        self.hooks = {}
+        self.instructions_retired = 0
+        #: Addresses of the last three executed instructions, newest first.
+        #: Cache runtimes use this to identify the branch that entered a
+        #: stub (for block chaining) without any architectural support.
+        self.pc_history = [0, 0, 0]
+        self._decode_cache = {}
+
+    # -- status flags ----------------------------------------------------------
+
+    def _set_flags(self, n=None, z=None, c=None, v=None):
+        sr = self.regs[SR]
+        for bit, value in ((_FLAG_N, n), (_FLAG_Z, z), (_FLAG_C, c), (_FLAG_V, v)):
+            if value is None:
+                continue
+            sr = (sr | bit) if value else (sr & ~bit)
+        self.regs[SR] = sr & 0xFFFF
+
+    def flag(self, name):
+        bit = {"C": _FLAG_C, "Z": _FLAG_Z, "N": _FLAG_N, "V": _FLAG_V}[name]
+        return 1 if self.regs[SR] & bit else 0
+
+    # -- operand plumbing ---------------------------------------------------------
+
+    def _operand_address(self, operand):
+        """Memory address an operand refers to (memory modes only)."""
+        mode = operand.mode
+        if mode is AddressingMode.INDEXED:
+            return (self.regs[operand.register] + operand.value) & 0xFFFF
+        if mode in (AddressingMode.ABSOLUTE, AddressingMode.SYMBOLIC):
+            return operand.value & 0xFFFF
+        if mode in (AddressingMode.INDIRECT, AddressingMode.AUTOINC):
+            return self.regs[operand.register] & 0xFFFF
+        raise SimulationError(f"operand has no address: {operand}")
+
+    def _read_source(self, operand, byte):
+        mode = operand.mode
+        if mode is AddressingMode.REGISTER:
+            value = self.regs[operand.register]
+            return value & 0xFF if byte else value & 0xFFFF
+        if mode is AddressingMode.IMMEDIATE:
+            value = operand.value & 0xFFFF
+            return value & 0xFF if byte else value
+        address = self._operand_address(operand)
+        value = self.bus.read(address, byte=byte)
+        if mode is AddressingMode.AUTOINC:
+            register = operand.register
+            step = 2 if (not byte or register in (PC, SP)) else 1
+            self.regs[register] = (self.regs[register] + step) & 0xFFFF
+        return value
+
+    def _dest_ref(self, operand):
+        """Resolve a destination once: ('reg', n) or ('mem', address)."""
+        if operand.mode is AddressingMode.REGISTER:
+            return ("reg", operand.register)
+        return ("mem", self._operand_address(operand))
+
+    def _read_dest(self, ref, byte):
+        kind, where = ref
+        if kind == "reg":
+            value = self.regs[where]
+            return value & 0xFF if byte else value & 0xFFFF
+        return self.bus.read(where, byte=byte)
+
+    def _write_dest(self, ref, value, byte):
+        kind, where = ref
+        if kind == "reg":
+            # Byte operations clear the destination register's high byte.
+            self.regs[where] = (value & 0xFF) if byte else (value & 0xFFFF)
+        else:
+            self.bus.write(where, value, byte=byte)
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction (or one native hook). Returns False if halted."""
+        bus = self.bus
+        if bus.halted:
+            return False
+        pc = self.regs[PC]
+
+        hook = self.hooks.get(pc)
+        if hook is not None:
+            hook(self)
+            return not bus.halted
+
+        history = self.pc_history
+        history[0], history[1], history[2] = pc, history[0], history[1]
+        bus.begin_instruction()
+        memory_data = bus.memory.data
+        cached = self._decode_cache.get(pc)
+        if cached is not None and memory_data[pc : pc + cached[2]] == cached[0]:
+            _snapshot, instruction, length, cycles = cached
+            bus.account_fetch(pc, length // 2)
+        else:
+            try:
+                instruction, length = decode_instruction(bus.fetch_word, pc)
+            except (EncodingError, BusError) as error:
+                raise SimulationError(f"at PC={pc:#06x}: {error}") from error
+            cycles = instruction_cycles(instruction)
+            snapshot = bytes(memory_data[pc : pc + length])
+            self._decode_cache[pc] = (snapshot, instruction, length, cycles)
+
+        self.regs[PC] = (pc + length) & 0xFFFF
+        try:
+            self._dispatch(instruction)
+        except BusError as error:
+            raise SimulationError(
+                f"at PC={pc:#06x} ({instruction}): {error}"
+            ) from error
+        bus.counters.record_instruction(
+            bus.attribution, bus.memory_map.kind_at(pc), cycles
+        )
+        self.instructions_retired += 1
+        return not bus.halted
+
+    def run(self, max_instructions=50_000_000):
+        """Run until the program halts; guard against runaways."""
+        remaining = max_instructions
+        step = self.step
+        while step():
+            remaining -= 1
+            if remaining <= 0:
+                raise SimulationError(
+                    f"program did not halt within {max_instructions} instructions"
+                )
+        return self
+
+    # -- instruction semantics ----------------------------------------------------
+
+    def _dispatch(self, instruction):
+        name = instruction.mnemonic
+        if instruction.is_jump:
+            self._jump(name, instruction.target)
+            return
+        handler = _EXECUTORS.get(name)
+        if handler is None:
+            raise SimulationError(f"unimplemented instruction: {name}")
+        handler(self, instruction)
+
+    def _jump(self, name, target):
+        taken = {
+            "JNE": lambda: not self.flag("Z"),
+            "JEQ": lambda: self.flag("Z"),
+            "JNC": lambda: not self.flag("C"),
+            "JC": lambda: self.flag("C"),
+            "JN": lambda: self.flag("N"),
+            "JGE": lambda: not (self.flag("N") ^ self.flag("V")),
+            "JL": lambda: self.flag("N") ^ self.flag("V"),
+            "JMP": lambda: True,
+        }[name]()
+        if taken:
+            self.regs[PC] = target & 0xFFFF
+
+    # Format I -------------------------------------------------------------------
+
+    def _binary_setup(self, instruction):
+        byte = instruction.byte
+        source = self._read_source(instruction.src, byte)
+        ref = self._dest_ref(instruction.dst)
+        dest = self._read_dest(ref, byte)
+        return byte, source, ref, dest
+
+    def _finish_arith(self, instruction, ref, result, byte):
+        mask = 0xFF if byte else 0xFFFF
+        self._write_dest(ref, result & mask, byte)
+
+    def _add_like(self, instruction, carry_in):
+        byte, source, ref, dest = self._binary_setup(instruction)
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        total = source + dest + carry_in
+        result = total & mask
+        overflow = bool(~(source ^ dest) & (source ^ result) & msb)
+        self._set_flags(
+            n=bool(result & msb), z=result == 0, c=total > mask, v=overflow
+        )
+        self._write_dest(ref, result, byte)
+
+    def _sub_like(self, instruction, carry_in, writeback):
+        byte, source, ref, dest = self._binary_setup(instruction)
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        total = dest + ((~source) & mask) + carry_in
+        result = total & mask
+        overflow = bool((dest ^ source) & (dest ^ result) & msb)
+        self._set_flags(
+            n=bool(result & msb), z=result == 0, c=total > mask, v=overflow
+        )
+        if writeback:
+            self._write_dest(ref, result, byte)
+
+    def _exec_mov(self, instruction):
+        byte = instruction.byte
+        source = self._read_source(instruction.src, byte)
+        ref = self._dest_ref(instruction.dst)
+        self._write_dest(ref, source, byte)
+
+    def _exec_add(self, instruction):
+        self._add_like(instruction, 0)
+
+    def _exec_addc(self, instruction):
+        self._add_like(instruction, self.flag("C"))
+
+    def _exec_sub(self, instruction):
+        self._sub_like(instruction, 1, writeback=True)
+
+    def _exec_subc(self, instruction):
+        self._sub_like(instruction, self.flag("C"), writeback=True)
+
+    def _exec_cmp(self, instruction):
+        self._sub_like(instruction, 1, writeback=False)
+
+    def _exec_dadd(self, instruction):
+        byte, source, ref, dest = self._binary_setup(instruction)
+        digits = 2 if byte else 4
+        carry = self.flag("C")
+        result = 0
+        for digit in range(digits):
+            shift = 4 * digit
+            total = ((source >> shift) & 0xF) + ((dest >> shift) & 0xF) + carry
+            carry = 1 if total > 9 else 0
+            if carry:
+                total -= 10
+            result |= (total & 0xF) << shift
+        msb = 0x80 if byte else 0x8000
+        self._set_flags(n=bool(result & msb), z=result == 0, c=bool(carry))
+        self._write_dest(ref, result, byte)
+
+    def _logic(self, instruction, combine, writeback=True, set_flags=True):
+        byte, source, ref, dest = self._binary_setup(instruction)
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        result = combine(source, dest) & mask
+        if set_flags:
+            self._set_flags(
+                n=bool(result & msb), z=result == 0, c=result != 0, v=False
+            )
+        if writeback:
+            self._write_dest(ref, result, byte)
+        return source, dest, result, msb
+
+    def _exec_and(self, instruction):
+        self._logic(instruction, lambda s, d: s & d)
+
+    def _exec_bit(self, instruction):
+        self._logic(instruction, lambda s, d: s & d, writeback=False)
+
+    def _exec_bic(self, instruction):
+        self._logic(instruction, lambda s, d: d & ~s, set_flags=False)
+
+    def _exec_bis(self, instruction):
+        self._logic(instruction, lambda s, d: d | s, set_flags=False)
+
+    def _exec_xor(self, instruction):
+        source, dest, result, msb = self._logic(
+            instruction, lambda s, d: s ^ d, set_flags=False
+        )
+        mask = msb | (msb - 1)
+        self._set_flags(
+            n=bool(result & msb),
+            z=result == 0,
+            c=result != 0,
+            v=bool(source & msb) and bool(dest & msb),
+        )
+
+    # Format II -----------------------------------------------------------------
+
+    def _unary_setup(self, instruction):
+        byte = instruction.byte
+        ref = self._dest_ref(instruction.src)
+        value = self._read_dest(ref, byte)
+        return byte, ref, value
+
+    def _exec_rra(self, instruction):
+        byte, ref, value = self._unary_setup(instruction)
+        msb = 0x80 if byte else 0x8000
+        carry = value & 1
+        result = (value >> 1) | (value & msb)
+        self._set_flags(n=bool(result & msb), z=result == 0, c=bool(carry), v=False)
+        self._write_dest(ref, result, byte)
+
+    def _exec_rrc(self, instruction):
+        byte, ref, value = self._unary_setup(instruction)
+        msb = 0x80 if byte else 0x8000
+        carry_in = self.flag("C")
+        carry_out = value & 1
+        result = (value >> 1) | (msb if carry_in else 0)
+        self._set_flags(
+            n=bool(result & msb), z=result == 0, c=bool(carry_out), v=False
+        )
+        self._write_dest(ref, result, byte)
+
+    def _exec_swpb(self, instruction):
+        _byte, ref, value = self._unary_setup(instruction)
+        result = ((value & 0xFF) << 8) | ((value >> 8) & 0xFF)
+        self._write_dest(ref, result, byte=False)
+
+    def _exec_sxt(self, instruction):
+        _byte, ref, value = self._unary_setup(instruction)
+        low = value & 0xFF
+        result = low | (0xFF00 if low & 0x80 else 0)
+        self._set_flags(
+            n=bool(result & 0x8000), z=result == 0, c=result != 0, v=False
+        )
+        self._write_dest(ref, result, byte=False)
+
+    def _exec_push(self, instruction):
+        value = self._read_source(instruction.src, instruction.byte)
+        self.regs[SP] = (self.regs[SP] - 2) & 0xFFFF
+        self.bus.write(self.regs[SP], value, byte=False)
+
+    def _exec_call(self, instruction):
+        target = self._read_source(instruction.src, byte=False)
+        if target & 1:
+            raise SimulationError(f"CALL to odd address {target:#06x}")
+        self.regs[SP] = (self.regs[SP] - 2) & 0xFFFF
+        self.bus.write(self.regs[SP], self.regs[PC], byte=False)
+        self.regs[PC] = target
+
+    def _exec_reti(self, instruction):
+        self.regs[SR] = self.bus.read(self.regs[SP])
+        self.regs[SP] = (self.regs[SP] + 2) & 0xFFFF
+        self.regs[PC] = self.bus.read(self.regs[SP])
+        self.regs[SP] = (self.regs[SP] + 2) & 0xFFFF
+
+
+_EXECUTORS = {
+    "MOV": Cpu._exec_mov,
+    "ADD": Cpu._exec_add,
+    "ADDC": Cpu._exec_addc,
+    "SUB": Cpu._exec_sub,
+    "SUBC": Cpu._exec_subc,
+    "CMP": Cpu._exec_cmp,
+    "DADD": Cpu._exec_dadd,
+    "AND": Cpu._exec_and,
+    "BIT": Cpu._exec_bit,
+    "BIC": Cpu._exec_bic,
+    "BIS": Cpu._exec_bis,
+    "XOR": Cpu._exec_xor,
+    "RRA": Cpu._exec_rra,
+    "RRC": Cpu._exec_rrc,
+    "SWPB": Cpu._exec_swpb,
+    "SXT": Cpu._exec_sxt,
+    "PUSH": Cpu._exec_push,
+    "CALL": Cpu._exec_call,
+    "RETI": Cpu._exec_reti,
+}

@@ -1,0 +1,138 @@
+"""Memory-access and instruction accounting.
+
+This is the reproduction's version of the paper's modified ``mspdebug``:
+every access is categorised by
+
+* **type** -- instruction fetch, data read, data write;
+* **physical region** -- SRAM, FRAM, MMIO;
+* **attribution** -- application code, cache-runtime (miss handler),
+  memcpy, or startup code -- the categories of Figure 8.
+
+"FRAM accesses" in Table 2 are logical accesses to FRAM addresses
+(counted before the hardware cache), which is what these counters
+report.
+"""
+
+from collections import Counter
+from enum import Enum
+
+from repro.machine.memory import RegionKind
+
+
+class Attribution(Enum):
+    """Who issued an access / executed an instruction (Figure 8 legend)."""
+
+    APP = "app"
+    RUNTIME = "runtime"
+    MEMCPY = "memcpy"
+    STARTUP = "startup"
+
+
+FETCH = "fetch"
+READ = "read"
+WRITE = "write"
+
+
+class AccessCounters:
+    """Tallies of accesses, instructions and cycles by category."""
+
+    def __init__(self):
+        self.accesses = Counter()  # (attribution, region_kind, type) -> words
+        self.instructions = Counter()  # (attribution, region_kind) -> count
+        self.cycles = Counter()  # attribution -> unstalled cycles
+        self.stall_cycles = 0
+
+    # -- recording (hot path) -------------------------------------------------
+
+    def record_fetch(self, attribution, region_kind, words):
+        self.accesses[(attribution, region_kind, FETCH)] += words
+
+    def record_data(self, attribution, region_kind, access_type, words=1):
+        self.accesses[(attribution, region_kind, access_type)] += words
+
+    def record_instruction(self, attribution, region_kind, cycles):
+        self.instructions[(attribution, region_kind)] += 1
+        self.cycles[attribution] += cycles
+
+    # -- aggregate views -------------------------------------------------------
+
+    def _sum_region(self, region_kind, types=None):
+        return sum(
+            count
+            for (attribution, kind, access_type), count in self.accesses.items()
+            if kind is region_kind and (types is None or access_type in types)
+        )
+
+    @property
+    def fram_accesses(self):
+        """All logical accesses (fetch + read + write) to FRAM addresses."""
+        return self._sum_region(RegionKind.FRAM)
+
+    @property
+    def sram_accesses(self):
+        return self._sum_region(RegionKind.SRAM)
+
+    @property
+    def code_accesses(self):
+        return sum(
+            count
+            for (attribution, kind, access_type), count in self.accesses.items()
+            if access_type == FETCH
+        )
+
+    @property
+    def data_accesses(self):
+        return sum(
+            count
+            for (attribution, kind, access_type), count in self.accesses.items()
+            if access_type in (READ, WRITE)
+        )
+
+    @property
+    def code_data_ratio(self):
+        """Table 1's code/data access ratio."""
+        data = self.data_accesses
+        return self.code_accesses / data if data else float("inf")
+
+    @property
+    def total_instructions(self):
+        return sum(self.instructions.values())
+
+    @property
+    def unstalled_cycles(self):
+        return sum(self.cycles.values())
+
+    @property
+    def total_cycles(self):
+        return self.unstalled_cycles + self.stall_cycles
+
+    def instructions_by_source(self):
+        """Figure 8 breakdown: dynamic instructions by (attribution, region).
+
+        Returns a dict with the paper's four categories::
+
+            {"app_fram": n, "app_sram": n, "handler": n, "memcpy": n}
+
+        Startup instructions are folded into ``app_fram`` (they execute
+        once from FRAM and are negligible).
+        """
+        breakdown = {"app_fram": 0, "app_sram": 0, "handler": 0, "memcpy": 0}
+        for (attribution, region_kind), count in self.instructions.items():
+            if attribution is Attribution.RUNTIME:
+                breakdown["handler"] += count
+            elif attribution is Attribution.MEMCPY:
+                breakdown["memcpy"] += count
+            elif region_kind is RegionKind.SRAM:
+                breakdown["app_sram"] += count
+            else:
+                breakdown["app_fram"] += count
+        return breakdown
+
+    def snapshot(self):
+        """Deep copy for before/after comparisons."""
+        copy = AccessCounters()
+        copy.accesses = Counter(self.accesses)
+        copy.instructions = Counter(self.instructions)
+        copy.cycles = Counter(self.cycles)
+        copy.stall_cycles = self.stall_cycles
+        return copy

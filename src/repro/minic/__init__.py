@@ -1,0 +1,37 @@
+"""Mini-C: a small C-subset compiler targeting the MSP430.
+
+Stands in for msp430-gcc in the reproduction's toolchain. The dialect
+covers what the MiBench2-style benchmarks need:
+
+* 16-bit ``int`` / ``unsigned``, 8-bit ``char``, pointers, 1-D arrays;
+* globals (``const`` goes to rodata, initialised to data, rest to bss),
+  locals, string literals;
+* full statement set (``if``/``while``/``do``/``for``/``break``/
+  ``continue``/``return``) and C expression set including assignment
+  operators, ``?:``, short-circuit logic and pointer arithmetic;
+* multiplication, division, modulo and variable shifts compile to
+  libcalls (``__mulhi`` ...) exactly as msp430-gcc emits libgcc calls --
+  those helpers are assembly *library functions*, which is what the
+  paper's "library instrumentation" workflow (§4) feeds to SwapRAM;
+* builtins ``__debug_out(x)``, ``__putc(c)``, ``__halt()`` mapping to the
+  simulator's debug ports.
+
+The calling convention is the MSP430 EABI subset the paper relies on:
+arguments in R12-R15, return value in R12, R4 as frame pointer.
+"""
+
+from repro.minic.lexer import LexError, tokenize
+from repro.minic.cparser import CParseError, parse_c
+from repro.minic.codegen import CompileError, compile_c
+from repro.minic.runtime_lib import RUNTIME_LIBRARY_ASM, runtime_library_functions
+
+__all__ = [
+    "LexError",
+    "tokenize",
+    "CParseError",
+    "parse_c",
+    "CompileError",
+    "compile_c",
+    "RUNTIME_LIBRARY_ASM",
+    "runtime_library_functions",
+]

@@ -1,0 +1,245 @@
+"""AST node definitions for mini-C.
+
+Deliberately small: expressions and statements are flat dataclass
+hierarchies the code generator pattern-matches on by class.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# -- types ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CType:
+    """A mini-C type: ``int``/``unsigned``/``char`` or a pointer to one.
+
+    ``base`` is 'int' or 'char'; ``signed_`` applies to the base;
+    ``pointer`` counts indirection levels (0 = scalar).
+    """
+
+    base: str = "int"
+    signed_: bool = True
+    pointer: int = 0
+
+    @property
+    def is_pointer(self):
+        return self.pointer > 0
+
+    @property
+    def size(self):
+        """Size in bytes of a value of this type."""
+        if self.is_pointer:
+            return 2
+        return 1 if self.base == "char" else 2
+
+    @property
+    def element(self):
+        """Type pointed to (for pointer arithmetic / dereference)."""
+        if not self.is_pointer:
+            raise TypeError("not a pointer type")
+        return CType(self.base, self.signed_, self.pointer - 1)
+
+    def pointer_to(self):
+        return CType(self.base, self.signed_, self.pointer + 1)
+
+    @property
+    def is_signed(self):
+        """Signedness for comparisons/division; pointers compare unsigned."""
+        return self.signed_ and not self.is_pointer
+
+    def __str__(self):
+        name = ("" if self.signed_ else "unsigned ") + self.base
+        return name + "*" * self.pointer
+
+
+INT = CType("int", True, 0)
+UINT = CType("int", False, 0)
+CHAR = CType("char", False, 0)  # plain char is unsigned in this dialect
+VOID = CType("void", True, 0)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class StrLit:
+    values: List[int]  # bytes incl. NUL
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Unary:
+    op: str  # '-', '~', '!', '*', '&'
+    operand: object
+
+
+@dataclass
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class Assign:
+    op: str  # '=', '+=', ...
+    target: object
+    value: object
+
+
+@dataclass
+class IncDec:
+    op: str  # '++' or '--'
+    target: object
+    postfix: bool
+
+
+@dataclass
+class Ternary:
+    cond: object
+    then: object
+    other: object
+
+
+@dataclass
+class Call:
+    name: str
+    args: List[object]
+
+
+@dataclass
+class Index:
+    array: object
+    index: object
+
+
+@dataclass
+class Cast:
+    type: CType
+    operand: object
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+
+
+@dataclass
+class DeclStmt:
+    """A local declaration: scalar (array_size None) or array."""
+
+    name: str
+    type: CType
+    array_size: Optional[int]
+    init: object  # expression, list of ints (array), or None
+
+
+@dataclass
+class If:
+    cond: object
+    then: object
+    other: object
+
+
+@dataclass
+class While:
+    cond: object
+    body: object
+
+
+@dataclass
+class DoWhile:
+    body: object
+    cond: object
+
+
+@dataclass
+class For:
+    init: object
+    cond: object
+    step: object
+    body: object
+
+
+@dataclass
+class SwitchCase:
+    """One ``case CONST:`` (value) or ``default:`` (value is None) arm.
+
+    ``statements`` run with C fallthrough semantics: control continues
+    into the next arm unless a ``break`` intervenes.
+    """
+
+    value: Optional[int]
+    statements: List[object] = field(default_factory=list)
+
+
+@dataclass
+class Switch:
+    expr: object
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Return:
+    value: object
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class Block:
+    statements: List[object] = field(default_factory=list)
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    type: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: CType
+    params: List[Param]
+    body: Block
+
+
+@dataclass
+class GlobalDef:
+    name: str
+    type: CType
+    array_size: Optional[int]
+    init: object  # int, list of ints, or None
+    const: bool
+
+
+@dataclass
+class TranslationUnit:
+    globals: List[GlobalDef] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,955 @@
+"""Code generation: mini-C AST -> MSP430 assembly :class:`Program`.
+
+A deliberately simple, reliable scheme in the style of small embedded C
+compilers:
+
+* expression results land in **R12** (the EABI return register), with
+  the hardware stack for temporaries and **R13** as the second operand;
+* locals and spilled arguments live in an **R4**-framed stack frame and
+  are addressed ``off(R4)``;
+* globals are addressed with absolute mode (``&sym``) -- never the
+  PC-relative symbolic mode, which would silently re-target when
+  SwapRAM relocates the enclosing function into SRAM;
+* ``*``, ``/``, ``%`` and variable shifts become calls to the assembly
+  runtime library (``__mulhi`` & friends), mirroring msp430-gcc's
+  libgcc calls.
+
+Conditions compile to fused compare-and-branch (no boolean
+materialisation) with correct signed/unsigned jump selection.
+"""
+
+from repro.asm.ast import BSS, DATA, RODATA, DataItem, Label, Program
+from repro.isa.instructions import Instruction, expand_emulated
+from repro.isa.operands import Sym, absolute, imm, indexed, indirect, reg
+from repro.isa.registers import PC, SP
+from repro.machine.memory import DEBUG_OUT_PORT, HALT_PORT, PUTC_PORT
+from repro.minic import cast
+from repro.minic.cast import CHAR, INT, UINT, CType
+from repro.minic.cparser import parse_c
+from repro.minic.runtime_lib import HELPER_NAMES, runtime_library_functions
+
+R4, R11, R12, R13, R14, R15 = 4, 11, 12, 13, 14, 15
+
+#: Builtins: name -> port address (single-argument stores) or special.
+_PORT_BUILTINS = {"__debug_out": DEBUG_OUT_PORT, "__putc": PUTC_PORT}
+
+#: Signed comparison jumps per operator; (cmp_swapped, jump) pairs.
+_SIGNED_JUMPS = {"<": "JL", ">=": "JGE", "==": "JEQ", "!=": "JNE"}
+_UNSIGNED_JUMPS = {"<": "JLO", ">=": "JHS", "==": "JEQ", "!=": "JNE"}
+_NEGATED = {"<": ">=", ">=": "<", ">": "<=", "<=": ">", "==": "!=", "!=": "=="}
+
+
+class CompileError(ValueError):
+    """Semantic error (unknown identifier, bad operand, arity...)."""
+
+
+class _Scope:
+    """Lexical scope chain mapping names to frame slots."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.entries = {}
+
+    def define(self, name, info):
+        if name in self.entries:
+            raise CompileError(f"redefinition of {name!r}")
+        self.entries[name] = info
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+class _LocalVar:
+    """A stack-frame resident local (or spilled parameter)."""
+
+    def __init__(self, offset, ctype, is_array=False, length=0):
+        self.offset = offset
+        self.ctype = ctype
+        self.is_array = is_array
+        self.length = length
+
+
+class _GlobalVar:
+    def __init__(self, name, ctype, is_array=False, length=0):
+        self.name = name
+        self.ctype = ctype
+        self.is_array = is_array
+        self.length = length
+
+
+def _ins(mnemonic, src=None, dst=None, byte=False):
+    return Instruction(mnemonic, src=src, dst=dst, byte=byte)
+
+
+def _jump(mnemonic, target):
+    return Instruction(mnemonic, target=Sym(target))
+
+
+class _FunctionCompiler:
+    """Compiles one function body into assembly items."""
+
+    def __init__(self, unit_compiler, funcdef):
+        self.unit = unit_compiler
+        self.funcdef = funcdef
+        self.out = []
+        self.scope = _Scope()
+        self.frame_size = 0
+        self.label_counter = 0
+        self.loop_stack = []  # (break_label, continue_label)
+        self.epilogue_label = self._fresh("ret")
+
+    # -- emission helpers --------------------------------------------------------
+
+    def emit(self, item):
+        self.out.append(item)
+
+    def emit_ins(self, mnemonic, src=None, dst=None, byte=False):
+        self.emit(_ins(mnemonic, src, dst, byte))
+
+    def label(self, name):
+        self.emit(Label(name))
+
+    def _fresh(self, hint):
+        self.label_counter += 1
+        return f".L{self.funcdef.name}_{hint}_{self.label_counter}"
+
+    def _alloc_slot(self, nbytes):
+        nbytes = (nbytes + 1) & ~1
+        self.frame_size += nbytes
+        return -self.frame_size
+
+    # -- entry point -------------------------------------------------------------
+
+    def compile(self):
+        funcdef = self.funcdef
+        if len(funcdef.params) > 4:
+            raise CompileError(
+                f"{funcdef.name}: more than four parameters is unsupported"
+            )
+        body_items = []
+        self.out = body_items
+        # Parameters get frame slots; the prologue spills R12..R15 there.
+        param_slots = []
+        for param in funcdef.params:
+            offset = self._alloc_slot(2)
+            self.scope.define(param.name, _LocalVar(offset, param.type))
+            param_slots.append(offset)
+        self.gen_block(funcdef.body, self.scope)
+
+        items = []
+        self.out = items
+        # Prologue.
+        self.emit_ins("PUSH", reg(R4))
+        self.emit_ins("MOV", reg(SP), reg(R4))
+        if self.frame_size:
+            self.emit_ins("SUB", imm(self.frame_size), reg(SP))
+        for index, offset in enumerate(param_slots):
+            self.emit_ins("MOV", reg(R12 + index), indexed(offset, R4))
+        items.extend(body_items)
+        # Epilogue.
+        self.label(self.epilogue_label)
+        if self.frame_size:
+            self.emit_ins("ADD", imm(self.frame_size), reg(SP))
+        self.emit(expand_emulated("POP", reg(R4)))
+        self.emit(expand_emulated("RET"))
+        return items
+
+    # -- statements -----------------------------------------------------------------
+
+    def gen_block(self, block, parent_scope):
+        scope = _Scope(parent_scope)
+        for statement in block.statements:
+            self.gen_statement(statement, scope)
+
+    def gen_statement(self, statement, scope):
+        if isinstance(statement, cast.Block):
+            self.gen_block(statement, scope)
+        elif isinstance(statement, cast.DeclStmt):
+            self.gen_decl(statement, scope)
+        elif isinstance(statement, cast.ExprStmt):
+            self.gen_expr(statement.expr, scope, want_value=False)
+        elif isinstance(statement, cast.If):
+            self.gen_if(statement, scope)
+        elif isinstance(statement, cast.While):
+            self.gen_while(statement, scope)
+        elif isinstance(statement, cast.DoWhile):
+            self.gen_do_while(statement, scope)
+        elif isinstance(statement, cast.For):
+            self.gen_for(statement, scope)
+        elif isinstance(statement, cast.Switch):
+            self.gen_switch(statement, scope)
+        elif isinstance(statement, cast.Return):
+            if statement.value is not None:
+                self.gen_expr(statement.value, scope)
+            self.emit(_jump("JMP", self.epilogue_label))
+        elif isinstance(statement, cast.Break):
+            if not self.loop_stack:
+                raise CompileError("break outside loop")
+            self.emit(_jump("JMP", self.loop_stack[-1][0]))
+        elif isinstance(statement, cast.Continue):
+            # `continue` skips enclosing switches and binds to the loop.
+            target = next(
+                (cont for _brk, cont in reversed(self.loop_stack) if cont), None
+            )
+            if target is None:
+                raise CompileError("continue outside loop")
+            self.emit(_jump("JMP", target))
+        else:
+            raise CompileError(f"unsupported statement: {statement}")
+
+    def gen_decl(self, decl, scope):
+        if decl.array_size is not None:
+            length = decl.array_size
+            nbytes = length * decl.type.size
+            offset = self._alloc_slot(nbytes)
+            var = _LocalVar(offset, decl.type, is_array=True, length=length)
+            scope.define(decl.name, var)
+            if decl.init is not None:
+                values = list(decl.init)
+                if len(values) > length:
+                    raise CompileError(f"{decl.name}: too many initialisers")
+                for index, value in enumerate(values):
+                    where = indexed(offset + index * decl.type.size, R4)
+                    self.emit_ins(
+                        "MOV", imm(value), where, byte=decl.type.size == 1
+                    )
+            return
+        offset = self._alloc_slot(2)
+        var = _LocalVar(offset, decl.type)
+        scope.define(decl.name, var)
+        if decl.init is not None:
+            self.gen_expr(decl.init, scope)
+            self.emit_ins("MOV", reg(R12), indexed(offset, R4))
+
+    def gen_if(self, statement, scope):
+        else_label = self._fresh("else")
+        end_label = self._fresh("endif")
+        self.gen_condition(statement.cond, scope, false_label=else_label)
+        self.gen_statement(statement.then, scope)
+        if statement.other is not None:
+            self.emit(_jump("JMP", end_label))
+            self.label(else_label)
+            self.gen_statement(statement.other, scope)
+            self.label(end_label)
+        else:
+            self.label(else_label)
+
+    def gen_while(self, statement, scope):
+        top = self._fresh("while")
+        end = self._fresh("wend")
+        self.label(top)
+        self.gen_condition(statement.cond, scope, false_label=end)
+        self.loop_stack.append((end, top))
+        self.gen_statement(statement.body, scope)
+        self.loop_stack.pop()
+        self.emit(_jump("JMP", top))
+        self.label(end)
+
+    def gen_do_while(self, statement, scope):
+        top = self._fresh("do")
+        cond_label = self._fresh("docond")
+        end = self._fresh("doend")
+        self.label(top)
+        self.loop_stack.append((end, cond_label))
+        self.gen_statement(statement.body, scope)
+        self.loop_stack.pop()
+        self.label(cond_label)
+        self.gen_condition(statement.cond, scope, true_label=top)
+        self.label(end)
+
+    def gen_for(self, statement, scope):
+        inner = _Scope(scope)
+        if statement.init is not None:
+            self.gen_statement(statement.init, inner)
+        top = self._fresh("for")
+        step_label = self._fresh("fstep")
+        end = self._fresh("fend")
+        self.label(top)
+        if statement.cond is not None:
+            self.gen_condition(statement.cond, inner, false_label=end)
+        self.loop_stack.append((end, step_label))
+        self.gen_statement(statement.body, inner)
+        self.loop_stack.pop()
+        self.label(step_label)
+        if statement.step is not None:
+            self.gen_expr(statement.step, inner, want_value=False)
+        self.emit(_jump("JMP", top))
+        self.label(end)
+
+    def gen_switch(self, statement, scope):
+        """Lower ``switch`` to a compare chain with fallthrough bodies.
+
+        This is exactly the rewrite the paper applies to bitcount's jump
+        table (§4): every destination is a compile-time-visible branch,
+        so the instrumentation passes can redirect it.
+        """
+        end = self._fresh("swend")
+        self.gen_expr(statement.expr, scope)
+        slot = self._alloc_slot(2)
+        self.emit_ins("MOV", reg(R12), indexed(slot, R4))
+        default_label = end
+        labels = []
+        for case in statement.cases:
+            label = self._fresh("case")
+            labels.append(label)
+            if case.value is None:
+                default_label = label
+            else:
+                self.emit_ins("CMP", imm(case.value & 0xFFFF), indexed(slot, R4))
+                self.emit(_jump("JEQ", label))
+        self.emit(_jump("JMP", default_label))
+        self.loop_stack.append((end, None))  # break works; continue passes
+        inner = _Scope(scope)
+        for case, label in zip(statement.cases, labels):
+            self.label(label)
+            for body_statement in case.statements:
+                self.gen_statement(body_statement, inner)
+        self.loop_stack.pop()
+        self.label(end)
+
+    # -- conditions --------------------------------------------------------------------
+
+    def gen_condition(self, expr, scope, true_label=None, false_label=None):
+        """Branch to *true_label* / *false_label* (one may be fallthrough)."""
+        if isinstance(expr, cast.Unary) and expr.op == "!":
+            self.gen_condition(
+                expr.operand, scope, true_label=false_label, false_label=true_label
+            )
+            return
+        if isinstance(expr, cast.Binary) and expr.op == "&&":
+            middle = self._fresh("and")
+            if false_label is not None:
+                self.gen_condition(expr.left, scope, false_label=false_label)
+                self.gen_condition(
+                    expr.right, scope, true_label=true_label, false_label=false_label
+                )
+            else:
+                skip = self._fresh("andskip")
+                self.gen_condition(expr.left, scope, false_label=skip)
+                self.gen_condition(expr.right, scope, true_label=true_label)
+                self.label(skip)
+            self.label(middle)
+            return
+        if isinstance(expr, cast.Binary) and expr.op == "||":
+            if true_label is not None:
+                self.gen_condition(expr.left, scope, true_label=true_label)
+                self.gen_condition(
+                    expr.right, scope, true_label=true_label, false_label=false_label
+                )
+            else:
+                done = self._fresh("orskip")
+                self.gen_condition(expr.left, scope, true_label=done)
+                self.gen_condition(expr.right, scope, false_label=false_label)
+                self.label(done)
+            return
+        if isinstance(expr, cast.Binary) and expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            self._gen_comparison_branch(expr, scope, true_label, false_label)
+            return
+        # Generic truthiness.
+        self.gen_expr(expr, scope)
+        self.emit(_ins("CMP", imm(0), reg(R12)))
+        if true_label is not None:
+            self.emit(_jump("JNE", true_label))
+            if false_label is not None:
+                self.emit(_jump("JMP", false_label))
+        elif false_label is not None:
+            self.emit(_jump("JEQ", false_label))
+
+    def _gen_comparison_branch(self, expr, scope, true_label, false_label):
+        operator = expr.op
+        # Normalise > and <= by swapping CMP operand order.
+        left_type = self._push_pair(expr.left, expr.right, scope)
+        # After _push_pair: left value in R12, right value in R13.
+        swapped = operator in (">", "<=")
+        if swapped:
+            operator = {"<=": ">=", ">": "<"}[operator]
+            self.emit(_ins("CMP", reg(R12), reg(R13)))
+        else:
+            self.emit(_ins("CMP", reg(R13), reg(R12)))
+        signed = self._comparison_signed(expr, scope)
+        jumps = _SIGNED_JUMPS if signed else _UNSIGNED_JUMPS
+        if true_label is not None:
+            self.emit(_jump(jumps.get(operator) or jumps[operator], true_label))
+            if false_label is not None:
+                self.emit(_jump("JMP", false_label))
+        else:
+            negated = _NEGATED[operator]
+            self.emit(_jump(jumps[negated], false_label))
+
+    def _comparison_signed(self, expr, scope):
+        left = self._static_type(expr.left, scope)
+        right = self._static_type(expr.right, scope)
+        return left.is_signed and right.is_signed
+
+    # -- expression helpers ------------------------------------------------------------
+
+    def _push_pair(self, left, right, scope):
+        """Evaluate *left* then *right*; leaves left in R12, right in R13."""
+        left_type = self.gen_expr(left, scope)
+        self.emit_ins("PUSH", reg(R12))
+        self.gen_expr(right, scope)
+        self.emit_ins("MOV", reg(R12), reg(R13))
+        self.emit(expand_emulated("POP", reg(R12)))
+        return left_type
+
+    def _static_type(self, expr, scope):
+        """Best-effort type of *expr* without emitting code."""
+        if isinstance(expr, cast.Num):
+            return INT
+        if isinstance(expr, cast.StrLit):
+            return CHAR.pointer_to()
+        if isinstance(expr, cast.Var):
+            info = self._lookup(expr.name, scope)
+            if isinstance(info, (_LocalVar, _GlobalVar)):
+                return info.ctype.pointer_to() if info.is_array else info.ctype
+            return INT
+        if isinstance(expr, cast.Cast):
+            return expr.type
+        if isinstance(expr, cast.Unary):
+            if expr.op == "*":
+                inner = self._static_type(expr.operand, scope)
+                return inner.element if inner.is_pointer else INT
+            if expr.op == "&":
+                return self._static_type(expr.operand, scope).pointer_to()
+            return self._static_type(expr.operand, scope)
+        if isinstance(expr, cast.Index):
+            array = self._static_type(expr.array, scope)
+            return array.element if array.is_pointer else INT
+        if isinstance(expr, cast.Binary):
+            left = self._static_type(expr.left, scope)
+            right = self._static_type(expr.right, scope)
+            if left.is_pointer:
+                return left if expr.op != "-" or not right.is_pointer else INT
+            if right.is_pointer:
+                return right
+            if not left.is_signed or not right.is_signed:
+                return UINT
+            return INT
+        if isinstance(expr, cast.Assign):
+            return self._static_type(expr.target, scope)
+        if isinstance(expr, cast.IncDec):
+            return self._static_type(expr.target, scope)
+        if isinstance(expr, cast.Ternary):
+            return self._static_type(expr.then, scope)
+        if isinstance(expr, cast.Call):
+            return self.unit.function_return_type(expr.name)
+        return INT
+
+    def _lookup(self, name, scope):
+        info = scope.lookup(name)
+        if info is not None:
+            return info
+        info = self.unit.globals.get(name)
+        if info is not None:
+            return info
+        raise CompileError(f"undefined identifier {name!r} in {self.funcdef.name}")
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def gen_expr(self, expr, scope, want_value=True):
+        """Generate code leaving the expression value in R12. Returns CType."""
+        if isinstance(expr, cast.Num):
+            self.emit_ins("MOV", imm(expr.value & 0xFFFF), reg(R12))
+            return INT
+        if isinstance(expr, cast.StrLit):
+            label = self.unit.intern_string(expr.values)
+            self.emit_ins("MOV", imm(Sym(label)), reg(R12))
+            return CHAR.pointer_to()
+        if isinstance(expr, cast.Var):
+            return self._gen_var_load(expr.name, scope)
+        if isinstance(expr, cast.Cast):
+            inner = self.gen_expr(expr.operand, scope)
+            if expr.type.size == 1 and inner.size != 1:
+                self.emit_ins("AND", imm(0xFF), reg(R12))
+            return expr.type
+        if isinstance(expr, cast.Unary):
+            return self._gen_unary(expr, scope)
+        if isinstance(expr, cast.Binary):
+            return self._gen_binary(expr, scope)
+        if isinstance(expr, cast.Index):
+            return self._gen_index_load(expr, scope)
+        if isinstance(expr, cast.Assign):
+            return self._gen_assign(expr, scope, want_value)
+        if isinstance(expr, cast.IncDec):
+            return self._gen_incdec(expr, scope, want_value)
+        if isinstance(expr, cast.Ternary):
+            return self._gen_ternary(expr, scope)
+        if isinstance(expr, cast.Call):
+            return self._gen_call(expr, scope)
+        raise CompileError(f"unsupported expression: {expr}")
+
+    def _gen_var_load(self, name, scope):
+        info = self._lookup(name, scope)
+        if isinstance(info, _LocalVar):
+            if info.is_array:
+                self.emit_ins("MOV", reg(R4), reg(R12))
+                self.emit_ins("ADD", imm(info.offset & 0xFFFF), reg(R12))
+                return info.ctype.pointer_to()
+            byte = info.ctype.size == 1
+            self.emit_ins("MOV", indexed(info.offset, R4), reg(R12), byte=byte)
+            return info.ctype
+        if isinstance(info, _GlobalVar):
+            if info.is_array:
+                self.emit_ins("MOV", imm(Sym(info.name)), reg(R12))
+                return info.ctype.pointer_to()
+            byte = info.ctype.size == 1
+            self.emit_ins("MOV", absolute(Sym(info.name)), reg(R12), byte=byte)
+            return info.ctype
+        raise CompileError(f"{name!r} is not a variable")
+
+    # -- lvalues -----------------------------------------------------------------
+
+    def _gen_address(self, expr, scope):
+        """Leave the lvalue's address in R12; return the value CType."""
+        if isinstance(expr, cast.Var):
+            info = self._lookup(expr.name, scope)
+            if isinstance(info, _LocalVar):
+                self.emit_ins("MOV", reg(R4), reg(R12))
+                self.emit_ins("ADD", imm(info.offset & 0xFFFF), reg(R12))
+                return info.ctype
+            if isinstance(info, _GlobalVar):
+                self.emit_ins("MOV", imm(Sym(info.name)), reg(R12))
+                return info.ctype
+        if isinstance(expr, cast.Unary) and expr.op == "*":
+            pointer = self.gen_expr(expr.operand, scope)
+            if not pointer.is_pointer:
+                raise CompileError("dereference of non-pointer")
+            return pointer.element
+        if isinstance(expr, cast.Index):
+            return self._gen_index_address(expr, scope)
+        raise CompileError(f"not an lvalue: {expr}")
+
+    def _gen_index_address(self, expr, scope):
+        """Address of ``a[i]`` in R12; returns the element type."""
+        array_type = self.gen_expr(expr.array, scope)
+        if not array_type.is_pointer:
+            raise CompileError("indexing a non-array")
+        element = array_type.element
+        self.emit_ins("PUSH", reg(R12))
+        self.gen_expr(expr.index, scope)
+        if element.size == 2:
+            self.emit(expand_emulated("RLA", reg(R12)))
+        self.emit(expand_emulated("POP", reg(R13)))
+        self.emit_ins("ADD", reg(R13), reg(R12))
+        return element
+
+    def _gen_index_load(self, expr, scope):
+        # Fast path: global_array[expr] via indexed addressing.
+        if isinstance(expr.array, cast.Var):
+            info = self._lookup(expr.array.name, scope)
+            if isinstance(info, _GlobalVar) and info.is_array:
+                element = info.ctype
+                self.gen_expr(expr.index, scope)
+                if element.size == 2:
+                    self.emit(expand_emulated("RLA", reg(R12)))
+                self.emit_ins(
+                    "MOV",
+                    indexed(Sym(info.name), R12),
+                    reg(R12),
+                    byte=element.size == 1,
+                )
+                return element
+        element = self._gen_index_address(expr, scope)
+        self.emit_ins("MOV", indirect(R12), reg(R12), byte=element.size == 1)
+        return element
+
+    # -- operators ------------------------------------------------------------------
+
+    def _gen_unary(self, expr, scope):
+        operator = expr.op
+        if operator == "-":
+            ctype = self.gen_expr(expr.operand, scope)
+            self.emit(expand_emulated("INV", reg(R12)))
+            self.emit(expand_emulated("INC", reg(R12)))
+            return ctype
+        if operator == "~":
+            ctype = self.gen_expr(expr.operand, scope)
+            self.emit(expand_emulated("INV", reg(R12)))
+            return ctype
+        if operator == "!":
+            return self._materialize_condition(expr.operand, scope, invert=True)
+        if operator == "*":
+            pointer = self.gen_expr(expr.operand, scope)
+            if not pointer.is_pointer:
+                raise CompileError("dereference of non-pointer")
+            element = pointer.element
+            self.emit_ins("MOV", indirect(R12), reg(R12), byte=element.size == 1)
+            return element
+        if operator == "&":
+            value_type = self._gen_address(expr.operand, scope)
+            return value_type.pointer_to()
+        raise CompileError(f"unsupported unary operator {operator}")
+
+    def _materialize_condition(self, expr, scope, invert=False):
+        true_label = self._fresh("true")
+        end_label = self._fresh("bool")
+        self.gen_condition(expr, scope, true_label=true_label)
+        self.emit_ins("MOV", imm(1 if invert else 0), reg(R12))
+        self.emit(_jump("JMP", end_label))
+        self.label(true_label)
+        self.emit_ins("MOV", imm(0 if invert else 1), reg(R12))
+        self.label(end_label)
+        return INT
+
+    _HELPER_BY_OP = {
+        "*": ("__mulhi", "__mulhi"),
+        "/": ("__divhi", "__udivhi"),
+        "%": ("__remhi", "__uremhi"),
+    }
+
+    def _gen_binary(self, expr, scope):
+        operator = expr.op
+        if operator == ",":
+            self.gen_expr(expr.left, scope, want_value=False)
+            return self.gen_expr(expr.right, scope)
+        if operator in ("&&", "||") or operator in ("<", "<=", ">", ">=", "==", "!="):
+            return self._materialize_condition(expr, scope)
+        if operator in ("<<", ">>"):
+            return self._gen_shift(expr, scope)
+        left_type = self._static_type(expr.left, scope)
+        right_type = self._static_type(expr.right, scope)
+
+        if operator in ("+", "-"):
+            return self._gen_additive(expr, scope, left_type, right_type)
+
+        if operator in ("&", "|", "^"):
+            self._push_pair(expr.left, expr.right, scope)
+            mnemonic = {"&": "AND", "|": "BIS", "^": "XOR"}[operator]
+            self.emit_ins(mnemonic, reg(R13), reg(R12))
+            return self._arith_type(left_type, right_type)
+
+        if operator in self._HELPER_BY_OP:
+            signed = left_type.is_signed and right_type.is_signed
+            helper = self._HELPER_BY_OP[operator][0 if signed else 1]
+            self._push_pair(expr.left, expr.right, scope)
+            self.unit.require_helper(helper)
+            self.emit_ins("CALL", imm(Sym(helper)))
+            return self._arith_type(left_type, right_type)
+        raise CompileError(f"unsupported binary operator {operator}")
+
+    @staticmethod
+    def _arith_type(left, right):
+        if left.is_pointer:
+            return left
+        if right.is_pointer:
+            return right
+        if not left.is_signed or not right.is_signed:
+            return UINT
+        return INT
+
+    def _gen_additive(self, expr, scope, left_type, right_type):
+        operator = expr.op
+        scale_left = right_type.is_pointer and not left_type.is_pointer
+        scale_right = left_type.is_pointer and not right_type.is_pointer
+        pointer_diff = (
+            operator == "-" and left_type.is_pointer and right_type.is_pointer
+        )
+        element_size = 1
+        if left_type.is_pointer:
+            element_size = left_type.element.size
+        elif right_type.is_pointer:
+            element_size = right_type.element.size
+
+        # Constant-fold the common a +/- const case into one instruction.
+        if isinstance(expr.right, cast.Num) and not pointer_diff:
+            value = expr.right.value * (element_size if scale_right else 1)
+            self.gen_expr(expr.left, scope)
+            if value:
+                mnemonic = "ADD" if operator == "+" else "SUB"
+                self.emit_ins(mnemonic, imm(value & 0xFFFF), reg(R12))
+            return self._arith_type(left_type, right_type)
+
+        self.gen_expr(expr.left, scope)
+        if scale_left and element_size == 2:
+            self.emit(expand_emulated("RLA", reg(R12)))
+        self.emit_ins("PUSH", reg(R12))
+        self.gen_expr(expr.right, scope)
+        if scale_right and element_size == 2:
+            self.emit(expand_emulated("RLA", reg(R12)))
+        self.emit_ins("MOV", reg(R12), reg(R13))
+        self.emit(expand_emulated("POP", reg(R12)))
+        if operator == "+":
+            self.emit_ins("ADD", reg(R13), reg(R12))
+        else:
+            self.emit_ins("SUB", reg(R13), reg(R12))
+        if pointer_diff:
+            if element_size == 2:
+                self.emit_ins("RRA", reg(R12))
+            return INT
+        return self._arith_type(left_type, right_type)
+
+    def _gen_shift(self, expr, scope):
+        left_type = self._static_type(expr.left, scope)
+        signed = left_type.is_signed
+        if isinstance(expr.right, cast.Num) and 0 <= expr.right.value <= 15:
+            count = expr.right.value
+            self.gen_expr(expr.left, scope)
+            if expr.op == "<<":
+                for _ in range(count):
+                    self.emit(expand_emulated("RLA", reg(R12)))
+            elif signed:
+                for _ in range(count):
+                    self.emit_ins("RRA", reg(R12))
+            else:
+                for _ in range(count):
+                    self.emit(expand_emulated("CLRC"))
+                    self.emit_ins("RRC", reg(R12))
+            return left_type
+        helper = (
+            "__ashlhi"
+            if expr.op == "<<"
+            else ("__ashrhi" if signed else "__lshrhi")
+        )
+        self._push_pair(expr.left, expr.right, scope)
+        self.unit.require_helper(helper)
+        self.emit_ins("CALL", imm(Sym(helper)))
+        return left_type
+
+    # -- assignment ----------------------------------------------------------------
+
+    def _gen_assign(self, expr, scope, want_value):
+        operator = expr.op
+        target = expr.target
+
+        # Fast path: simple '=' to a named scalar.
+        if operator == "=" and isinstance(target, cast.Var):
+            info = self._lookup(target.name, scope)
+            if isinstance(info, (_LocalVar, _GlobalVar)) and not info.is_array:
+                self.gen_expr(expr.value, scope)
+                self._store_named(info)
+                return info.ctype
+
+        if operator == "=":
+            value_type = self._gen_address(target, scope)
+            self.emit_ins("PUSH", reg(R12))
+            self.gen_expr(expr.value, scope)
+            self.emit(expand_emulated("POP", reg(R13)))
+            self.emit_ins(
+                "MOV", reg(R12), indexed(0, R13), byte=value_type.size == 1
+            )
+            return value_type
+
+        # Compound assignment: desugar to target = target OP value, but
+        # compute the address only once.
+        value_type = self._gen_address(target, scope)
+        byte = value_type.size == 1
+        self.emit_ins("PUSH", reg(R12))  # address
+        self.emit_ins("MOV", indirect(SP), reg(R13))
+        self.emit_ins("MOV", indirect(R13), reg(R12), byte=byte)
+        self.emit_ins("PUSH", reg(R12))  # old value
+        self.gen_expr(expr.value, scope)
+        self.emit_ins("MOV", reg(R12), reg(R13))
+        self.emit(expand_emulated("POP", reg(R12)))
+        self._apply_compound(operator, value_type, scope)
+        self.emit(expand_emulated("POP", reg(R13)))  # address
+        self.emit_ins("MOV", reg(R12), indexed(0, R13), byte=byte)
+        return value_type
+
+    def _apply_compound(self, operator, value_type, scope):
+        """Combine old value (R12) with rhs (R13) per *operator*-minus-'='."""
+        base = operator[:-1]
+        scale = value_type.is_pointer and value_type.element.size == 2
+        if base in ("+", "-"):
+            if scale:
+                self.emit(expand_emulated("RLA", reg(R13)))
+            self.emit_ins("ADD" if base == "+" else "SUB", reg(R13), reg(R12))
+        elif base in ("&", "|", "^"):
+            mnemonic = {"&": "AND", "|": "BIS", "^": "XOR"}[base]
+            self.emit_ins(mnemonic, reg(R13), reg(R12))
+        elif base in ("*", "/", "%"):
+            signed = value_type.is_signed
+            helper = self._HELPER_BY_OP[base][0 if signed else 1]
+            self.unit.require_helper(helper)
+            self.emit_ins("CALL", imm(Sym(helper)))
+        elif base in ("<<", ">>"):
+            helper = (
+                "__ashlhi"
+                if base == "<<"
+                else ("__ashrhi" if value_type.is_signed else "__lshrhi")
+            )
+            self.unit.require_helper(helper)
+            self.emit_ins("CALL", imm(Sym(helper)))
+        else:
+            raise CompileError(f"unsupported compound assignment {operator}")
+
+    def _store_named(self, info):
+        byte = info.ctype.size == 1
+        if isinstance(info, _LocalVar):
+            self.emit_ins("MOV", reg(R12), indexed(info.offset, R4), byte=byte)
+        else:
+            self.emit_ins("MOV", reg(R12), absolute(Sym(info.name)), byte=byte)
+
+    def _gen_incdec(self, expr, scope, want_value):
+        target = expr.target
+        delta = 1
+        # Named scalar fast path.
+        if isinstance(target, cast.Var):
+            info = self._lookup(target.name, scope)
+            if isinstance(info, (_LocalVar, _GlobalVar)) and not info.is_array:
+                ctype = info.ctype
+                step = ctype.element.size if ctype.is_pointer else 1
+                byte = ctype.size == 1
+                where = (
+                    indexed(info.offset, R4)
+                    if isinstance(info, _LocalVar)
+                    else absolute(Sym(info.name))
+                )
+                if want_value and expr.postfix:
+                    self.emit_ins("MOV", where, reg(R12), byte=byte)
+                mnemonic = "ADD" if expr.op == "++" else "SUB"
+                self.emit_ins(mnemonic, imm(step), where, byte=byte)
+                if want_value and not expr.postfix:
+                    self.emit_ins("MOV", where, reg(R12), byte=byte)
+                return ctype
+        # General lvalue path.
+        value_type = self._gen_address(target, scope)
+        byte = value_type.size == 1
+        step = value_type.element.size if value_type.is_pointer else 1
+        self.emit_ins("MOV", reg(R12), reg(R13))
+        if want_value and expr.postfix:
+            self.emit_ins("MOV", indirect(R13), reg(R12), byte=byte)
+            self.emit_ins("PUSH", reg(R12))
+        mnemonic = "ADD" if expr.op == "++" else "SUB"
+        self.emit_ins(mnemonic, imm(step), indexed(0, R13), byte=byte)
+        if want_value:
+            if expr.postfix:
+                self.emit(expand_emulated("POP", reg(R12)))
+            else:
+                self.emit_ins("MOV", indirect(R13), reg(R12), byte=byte)
+        return value_type
+
+    def _gen_ternary(self, expr, scope):
+        else_label = self._fresh("telse")
+        end_label = self._fresh("tend")
+        self.gen_condition(expr.cond, scope, false_label=else_label)
+        result = self.gen_expr(expr.then, scope)
+        self.emit(_jump("JMP", end_label))
+        self.label(else_label)
+        self.gen_expr(expr.other, scope)
+        self.label(end_label)
+        return result
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _gen_call(self, expr, scope):
+        name = expr.name
+        if name in _PORT_BUILTINS:
+            if len(expr.args) != 1:
+                raise CompileError(f"{name} takes one argument")
+            self.gen_expr(expr.args[0], scope)
+            self.emit_ins("MOV", reg(R12), absolute(_PORT_BUILTINS[name]))
+            return INT
+        if name == "__halt":
+            self.emit_ins("MOV", imm(1), absolute(HALT_PORT))
+            return INT
+        if len(expr.args) > 4:
+            raise CompileError(f"call to {name}: more than four arguments")
+        if name in HELPER_NAMES:
+            self.unit.require_helper(name)
+        else:
+            self.unit.note_call(name)
+        for argument in expr.args:
+            self.gen_expr(argument, scope)
+            self.emit_ins("PUSH", reg(R12))
+        for index in reversed(range(len(expr.args))):
+            self.emit(expand_emulated("POP", reg(R12 + index)))
+        self.emit_ins("CALL", imm(Sym(name)))
+        return self.unit.function_return_type(name)
+
+
+class _UnitCompiler:
+    """Compiles a translation unit into an assembly Program."""
+
+    def __init__(self, unit):
+        self.unit = unit
+        self.globals = {}
+        self.return_types = {}
+        self.needed_helpers = set()
+        self.called_names = set()
+        self.program = Program()
+        self.string_counter = 0
+        self._interned = {}
+
+    def function_return_type(self, name):
+        return self.return_types.get(name, INT)
+
+    def require_helper(self, name):
+        self.needed_helpers.add(name)
+        self.called_names.add(name)
+
+    def note_call(self, name):
+        self.called_names.add(name)
+
+    def intern_string(self, values):
+        key = bytes(values)
+        if key in self._interned:
+            return self._interned[key]
+        self.string_counter += 1
+        label = f".Lstr_{self.string_counter}"
+        self.program.add_data(RODATA, label, DataItem("byte", list(values)))
+        self._interned[key] = label
+        return label
+
+    def compile(self):
+        for definition in self.unit.globals:
+            self._declare_global(definition)
+        for funcdef in self.unit.functions:
+            self.return_types[funcdef.name] = funcdef.return_type
+        for funcdef in self.unit.functions:
+            function = self.program.add_function(funcdef.name)
+            function.items = _FunctionCompiler(self, funcdef).compile()
+        self._append_helpers()
+        self._check_calls()
+        return self.program
+
+    def _declare_global(self, definition):
+        name = definition.name
+        if name in self.globals:
+            raise CompileError(f"duplicate global {name!r}")
+        is_array = definition.array_size is not None
+        length = definition.array_size or 0
+        self.globals[name] = _GlobalVar(name, definition.type, is_array, length)
+
+        element_bytes = definition.type.size
+        kind = "word" if element_bytes == 2 else "byte"
+        if definition.init is None:
+            size = (length if is_array else 1) * element_bytes
+            self.program.add_data(BSS, name, DataItem("space", [max(size, 1)]))
+            return
+        section = RODATA if definition.const else DATA
+        if is_array:
+            values = list(definition.init)
+            if len(values) < length:
+                values += [0] * (length - len(values))
+            if len(values) > length:
+                raise CompileError(f"{name}: too many initialisers")
+            self.program.add_data(section, name, DataItem(kind, values))
+        else:
+            self.program.add_data(section, name, DataItem(kind, [definition.init]))
+
+    def _append_helpers(self):
+        if not self.needed_helpers:
+            return
+        for function in runtime_library_functions(self.needed_helpers):
+            self.program.functions.append(function)
+
+    def _check_calls(self):
+        known = set(self.program.function_names())
+        for name in self.called_names:
+            if name not in known:
+                raise CompileError(f"call to undefined function {name!r}")
+
+
+def compile_c(source, entry="main"):
+    """Compile mini-C *source* text into an assembly :class:`Program`."""
+    unit = parse_c(source)
+    program = _UnitCompiler(unit).compile()
+    program.entry = entry
+    if not program.has_function(entry):
+        raise CompileError(f"no {entry}() defined")
+    return program

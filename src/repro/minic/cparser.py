@@ -1,0 +1,449 @@
+"""Recursive-descent parser for mini-C.
+
+Produces the :mod:`repro.minic.cast` AST. Array sizes and global
+initialisers must be compile-time constants; a small constant folder
+evaluates expressions made of literals and arithmetic.
+"""
+
+from repro.minic import cast
+from repro.minic.cast import CType
+from repro.minic.lexer import tokenize
+
+
+class CParseError(ValueError):
+    """Syntax error with the offending line number."""
+
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+#: Binary operator precedence, tighter binds higher.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def accept(self, kind, text=None):
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            raise CParseError(
+                f"line {actual.line}: expected {text or kind}, got {actual.text!r}"
+            )
+        return token
+
+    def at_keyword(self, *names):
+        token = self.peek()
+        return token.kind == "keyword" and token.text in names
+
+    # -- types -------------------------------------------------------------------
+
+    def looks_like_type(self):
+        return self.at_keyword("int", "unsigned", "signed", "char", "void", "const")
+
+    def parse_typespec(self):
+        """Parse ``[const] [signed|unsigned] (int|char|void) '*'*``."""
+        const = bool(self.accept("keyword", "const"))
+        signed = True
+        if self.accept("keyword", "unsigned"):
+            signed = False
+        elif self.accept("keyword", "signed"):
+            signed = True
+        base = "int"
+        if self.accept("keyword", "char"):
+            base = "char"
+        elif self.accept("keyword", "void"):
+            base = "void"
+        else:
+            self.accept("keyword", "int")  # optional after (un)signed
+        pointer = 0
+        while self.accept("op", "*"):
+            pointer += 1
+        return CType(base, signed, pointer), const
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_unit(self):
+        unit = cast.TranslationUnit()
+        while self.peek().kind != "eof":
+            ctype, const = self.parse_typespec()
+            name = self.expect("ident").text
+            if self.accept("op", "("):
+                unit.functions.append(self._parse_function(ctype, name))
+            else:
+                unit.globals.append(self._parse_global(ctype, const, name))
+        return unit
+
+    def _parse_global(self, ctype, const, name):
+        array_size = None
+        if self.accept("op", "["):
+            array_size = self.parse_constant()
+            self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            init = self._parse_global_init(array_size is not None)
+        self.expect("op", ";")
+        return cast.GlobalDef(name, ctype, array_size, init, const)
+
+    def _parse_global_init(self, is_array):
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return list(token.value) + [0]
+        if self.accept("op", "{"):
+            values = [self.parse_constant()]
+            while self.accept("op", ","):
+                values.append(self.parse_constant())
+            self.expect("op", "}")
+            return values
+        value = self.parse_constant()
+        return [value] if is_array else value
+
+    def _parse_function(self, return_type, name):
+        params = []
+        if not self.accept("op", ")"):
+            if self.at_keyword("void") and self.peek(1).text == ")":
+                self.advance()
+            else:
+                while True:
+                    ptype, _const = self.parse_typespec()
+                    pname = self.expect("ident").text
+                    if self.accept("op", "["):  # array parameter decays
+                        self.expect("op", "]")
+                        ptype = ptype.pointer_to()
+                    params.append(cast.Param(pname, ptype))
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ")")
+        body = self.parse_block()
+        return cast.FuncDef(name, return_type, params, body)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def parse_block(self):
+        self.expect("op", "{")
+        block = cast.Block()
+        while not self.accept("op", "}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.kind == "op" and token.text == "{":
+            return self.parse_block()
+        if token.kind == "op" and token.text == ";":
+            self.advance()
+            return cast.Block()
+        if self.at_keyword("if"):
+            return self._parse_if()
+        if self.at_keyword("while"):
+            return self._parse_while()
+        if self.at_keyword("do"):
+            return self._parse_do()
+        if self.at_keyword("for"):
+            return self._parse_for()
+        if self.at_keyword("switch"):
+            return self._parse_switch()
+        if self.at_keyword("return"):
+            self.advance()
+            value = None
+            if not (self.peek().kind == "op" and self.peek().text == ";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return cast.Return(value)
+        if self.at_keyword("break"):
+            self.advance()
+            self.expect("op", ";")
+            return cast.Break()
+        if self.at_keyword("continue"):
+            self.advance()
+            self.expect("op", ";")
+            return cast.Continue()
+        if self.looks_like_type():
+            return self._parse_declaration()
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return cast.ExprStmt(expr)
+
+    def _parse_if(self):
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        other = None
+        if self.accept("keyword", "else"):
+            other = self.parse_statement()
+        return cast.If(cond, then, other)
+
+    def _parse_switch(self):
+        self.expect("keyword", "switch")
+        self.expect("op", "(")
+        expr = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases = []
+        current = None
+        seen_values = set()
+        while not self.accept("op", "}"):
+            if self.accept("keyword", "case"):
+                value = self.parse_constant()
+                self.expect("op", ":")
+                if value in seen_values:
+                    raise CParseError(f"duplicate case {value}")
+                seen_values.add(value)
+                current = cast.SwitchCase(value)
+                cases.append(current)
+            elif self.accept("keyword", "default"):
+                self.expect("op", ":")
+                if any(arm.value is None for arm in cases):
+                    raise CParseError("duplicate default")
+                current = cast.SwitchCase(None)
+                cases.append(current)
+            else:
+                if current is None:
+                    raise CParseError("statement before the first case label")
+                current.statements.append(self.parse_statement())
+        return cast.Switch(expr, cases)
+
+    def _parse_while(self):
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        return cast.While(cond, self.parse_statement())
+
+    def _parse_do(self):
+        self.expect("keyword", "do")
+        body = self.parse_statement()
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return cast.DoWhile(body, cond)
+
+    def _parse_for(self):
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None
+        if not (self.peek().kind == "op" and self.peek().text == ";"):
+            if self.looks_like_type():
+                init = self._parse_declaration()
+            else:
+                init = cast.ExprStmt(self.parse_expression())
+                self.expect("op", ";")
+        else:
+            self.advance()
+        if init is None or isinstance(init, (cast.DeclStmt, cast.ExprStmt)):
+            pass
+        cond = None
+        if not (self.peek().kind == "op" and self.peek().text == ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step = None
+        if not (self.peek().kind == "op" and self.peek().text == ")"):
+            step = self.parse_expression()
+        self.expect("op", ")")
+        return cast.For(init, cond, step, self.parse_statement())
+
+    def _parse_declaration(self):
+        ctype, _const = self.parse_typespec()
+        statements = []
+        while True:
+            name = self.expect("ident").text
+            array_size = None
+            if self.accept("op", "["):
+                array_size = self.parse_constant()
+                self.expect("op", "]")
+            init = None
+            if self.accept("op", "="):
+                if array_size is not None or (
+                    self.peek().kind == "op" and self.peek().text == "{"
+                ):
+                    init = self._parse_global_init(True)
+                else:
+                    init = self.parse_assignment()
+            statements.append(cast.DeclStmt(name, ctype, array_size, init))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        if len(statements) == 1:
+            return statements[0]
+        return cast.Block(statements)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expression(self):
+        expr = self.parse_assignment()
+        while self.accept("op", ","):
+            right = self.parse_assignment()
+            expr = cast.Binary(",", expr, right)
+        return expr
+
+    def parse_assignment(self):
+        left = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return cast.Assign(token.text, left, value)
+        return left
+
+    def parse_ternary(self):
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            then = self.parse_expression()
+            self.expect("op", ":")
+            other = self.parse_ternary()
+            return cast.Ternary(cond, then, other)
+        return cond
+
+    def parse_binary(self, level):
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        expr = self.parse_binary(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in _PRECEDENCE[level]:
+                self.advance()
+                right = self.parse_binary(level + 1)
+                expr = cast.Binary(token.text, expr, right)
+            else:
+                return expr
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "~", "!", "*", "&"):
+            self.advance()
+            return cast.Unary(token.text, self.parse_unary())
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.advance()
+            return cast.IncDec(token.text, self.parse_unary(), postfix=False)
+        if token.kind == "op" and token.text == "(" and self._peek_is_cast():
+            self.advance()
+            ctype, _const = self.parse_typespec()
+            self.expect("op", ")")
+            return cast.Cast(ctype, self.parse_unary())
+        return self.parse_postfix()
+
+    def _peek_is_cast(self):
+        after = self.peek(1)
+        return after.kind == "keyword" and after.text in (
+            "int",
+            "unsigned",
+            "signed",
+            "char",
+            "const",
+            "void",
+        )
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = cast.Index(expr, index)
+            elif self.accept("op", "("):
+                if not isinstance(expr, cast.Var):
+                    raise CParseError("only direct calls are supported")
+                args = []
+                if not self.accept("op", ")"):
+                    args.append(self.parse_assignment())
+                    while self.accept("op", ","):
+                        args.append(self.parse_assignment())
+                    self.expect("op", ")")
+                expr = cast.Call(expr.name, args)
+            elif self.peek().kind == "op" and self.peek().text in ("++", "--"):
+                op = self.advance().text
+                expr = cast.IncDec(op, expr, postfix=True)
+            else:
+                return expr
+
+    def parse_primary(self):
+        token = self.advance()
+        if token.kind == "num":
+            return cast.Num(token.value)
+        if token.kind == "string":
+            return cast.StrLit(list(token.value) + [0])
+        if token.kind == "ident":
+            return cast.Var(token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise CParseError(f"line {token.line}: unexpected token {token.text!r}")
+
+    # -- constants --------------------------------------------------------------------
+
+    def parse_constant(self):
+        """Parse and fold a constant expression to an int."""
+        expr = self.parse_ternary()
+        return fold_constant(expr)
+
+
+def fold_constant(expr):
+    """Evaluate a constant expression AST to a Python int (16-bit wrap)."""
+    if isinstance(expr, cast.Num):
+        return expr.value & 0xFFFF
+    if isinstance(expr, cast.Unary):
+        value = fold_constant(expr.operand)
+        if expr.op == "-":
+            return (-value) & 0xFFFF
+        if expr.op == "~":
+            return (~value) & 0xFFFF
+        if expr.op == "!":
+            return 0 if value else 1
+    if isinstance(expr, cast.Binary):
+        left = fold_constant(expr.left)
+        right = fold_constant(expr.right)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if b else 0,
+            "%": lambda a, b: a % b if b else 0,
+            "<<": lambda a, b: a << (b & 15),
+            ">>": lambda a, b: a >> (b & 15),
+            "&": lambda a, b: a & b,
+            "|": lambda a, b: a | b,
+            "^": lambda a, b: a ^ b,
+        }
+        if expr.op in ops:
+            return ops[expr.op](left, right) & 0xFFFF
+    raise CParseError(f"not a constant expression: {expr}")
+
+
+def parse_c(source):
+    """Parse mini-C *source* into a :class:`cast.TranslationUnit`."""
+    return _Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,208 @@
+"""Tokenizer for the mini-C dialect, with a one-rule preprocessor.
+
+``#define NAME literal`` lines are honoured as straight token
+substitution (no function-like macros); everything else starting with
+``#`` is rejected so silent misuse is impossible.
+"""
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int",
+    "unsigned",
+    "signed",
+    "char",
+    "void",
+    "const",
+    "if",
+    "else",
+    "switch",
+    "case",
+    "default",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+class LexError(ValueError):
+    """Bad character or malformed literal, with line context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'ident' | 'keyword' | 'string' | 'char' | 'op' | 'eof'
+    text: str
+    value: object = None
+    line: int = 0
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<char>'(\\.|[^'\\])')
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def _unescape(body):
+    out = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            index += 1
+            out.append(_ESCAPES.get(body[index], ord(body[index])))
+        else:
+            out.append(ord(char))
+        index += 1
+    return out
+
+
+def _preprocess(source):
+    """Strip and collect ``#define`` lines; reject other directives."""
+    defines = {}
+    kept_lines = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            match = re.match(r"#\s*define\s+([A-Za-z_]\w*)\s+(.+?)\s*$", stripped)
+            if not match:
+                raise LexError(f"line {line_number}: unsupported directive: {stripped}")
+            defines[match.group(1)] = match.group(2)
+            kept_lines.append("")
+        else:
+            kept_lines.append(line)
+    return "\n".join(kept_lines), defines
+
+
+def tokenize(source):
+    """Tokenize *source*; returns a list of :class:`Token` ending with EOF."""
+    source, defines = _preprocess(source)
+    tokens = []
+    position = 0
+    line = 1
+
+    def emit_text(text, current_line):
+        """Lex a (possibly substituted) fragment into tokens."""
+        inner = 0
+        while inner < len(text):
+            match = _TOKEN_RE.match(text, inner)
+            if match:
+                kind = match.lastgroup
+                chunk = match.group()
+                if kind == "num":
+                    tokens.append(Token("num", chunk, int(chunk, 0), current_line))
+                elif kind == "ident":
+                    if chunk in defines and chunk not in KEYWORDS:
+                        emit_text(defines[chunk], current_line)
+                    elif chunk in KEYWORDS:
+                        tokens.append(Token("keyword", chunk, line=current_line))
+                    else:
+                        tokens.append(Token("ident", chunk, line=current_line))
+                elif kind == "string":
+                    tokens.append(
+                        Token("string", chunk, _unescape(chunk[1:-1]), current_line)
+                    )
+                elif kind == "char":
+                    values = _unescape(chunk[1:-1])
+                    tokens.append(Token("num", chunk, values[0], current_line))
+                inner = match.end()
+                continue
+            for operator in OPERATORS:
+                if text.startswith(operator, inner):
+                    tokens.append(Token("op", operator, line=current_line))
+                    inner += len(operator)
+                    break
+            else:
+                raise LexError(
+                    f"line {current_line}: unexpected character {text[inner]!r}"
+                )
+        return None
+
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match and match.lastgroup in ("ws", "comment"):
+            line += match.group().count("\n")
+            position = match.end()
+            continue
+        # Find the extent of the next lexeme-ish chunk and lex it.
+        end = position
+        while end < len(source) and source[end] not in " \t\n":
+            end += 1
+        # Lex character by character through emit_text on a window: simpler
+        # to just call emit_text on the single next token match.
+        if match:
+            chunk = match.group()
+            emit_text(chunk, line)
+            line += chunk.count("\n")
+            position = match.end()
+        else:
+            for operator in OPERATORS:
+                if source.startswith(operator, position):
+                    tokens.append(Token("op", operator, line=line))
+                    position += len(operator)
+                    break
+            else:
+                raise LexError(f"line {line}: unexpected character {source[position]!r}")
+
+    tokens.append(Token("eof", "", line=line))
+    return tokens

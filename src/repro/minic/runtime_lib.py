@@ -1,0 +1,240 @@
+"""Assembly runtime library -- the libgcc stand-in.
+
+The MSP430 has no multiply or divide hardware (on the paper's FR2355
+the hardware multiplier is a peripheral msp430-gcc does not use by
+default), so the compiler emits calls to these helpers exactly as
+msp430-gcc emits libgcc calls. They are written in the toolchain's own
+assembly dialect and flow through the same instrumentation passes as
+application code -- this is the paper's "library instrumentation" (§4):
+precompiled library functions recovered as assembly and made cacheable.
+
+Calling convention: first operand in R12, second in R13, result in R12.
+R12-R15 are caller-saved; helpers that need more state save R10/R11.
+"""
+
+from repro.asm.parser import parse_asm
+
+#: Each helper's assembly, keyed by entry symbol.
+_HELPER_SOURCES = {
+    "__mulhi": """
+.func __mulhi
+    ; 16x16 -> low 16 multiply (same bits for signed and unsigned).
+    MOV R12, R14
+    MOV #0, R12
+.Lmul_top:
+    BIT #1, R13
+    JZ .Lmul_skip
+    ADD R14, R12
+.Lmul_skip:
+    RLA R14
+    CLRC
+    RRC R13
+    JNZ .Lmul_top
+    RET
+.endfunc
+""",
+    "__udivhi": """
+.func __udivhi
+    ; Unsigned R12 / R13 -> quotient R12, remainder R14.
+    MOV #0, R14
+    MOV #16, R15
+.Ludiv_top:
+    RLA R12
+    RLC R14
+    CMP R13, R14
+    JLO .Ludiv_skip
+    SUB R13, R14
+    BIS #1, R12
+.Ludiv_skip:
+    DEC R15
+    JNZ .Ludiv_top
+    RET
+.endfunc
+""",
+    "__uremhi": """
+.func __uremhi
+    ; Unsigned R12 % R13 -> R12.
+    CALL #__udivhi
+    MOV R14, R12
+    RET
+.endfunc
+""",
+    "__divhi": """
+.func __divhi
+    ; Signed R12 / R13 -> R12 (C truncation toward zero).
+    PUSH R11
+    MOV #0, R11
+    TST R12
+    JGE .Ldiv_pos1
+    INV R12
+    INC R12
+    XOR #1, R11
+.Ldiv_pos1:
+    TST R13
+    JGE .Ldiv_pos2
+    INV R13
+    INC R13
+    XOR #1, R11
+.Ldiv_pos2:
+    CALL #__udivhi
+    BIT #1, R11
+    JZ .Ldiv_done
+    INV R12
+    INC R12
+.Ldiv_done:
+    POP R11
+    RET
+.endfunc
+""",
+    "__remhi": """
+.func __remhi
+    ; Signed R12 % R13 -> R12 (sign follows the dividend, as in C).
+    PUSH R11
+    MOV #0, R11
+    TST R12
+    JGE .Lrem_pos1
+    INV R12
+    INC R12
+    MOV #1, R11
+.Lrem_pos1:
+    TST R13
+    JGE .Lrem_pos2
+    INV R13
+    INC R13
+.Lrem_pos2:
+    CALL #__udivhi
+    MOV R14, R12
+    TST R11
+    JZ .Lrem_done
+    INV R12
+    INC R12
+.Lrem_done:
+    POP R11
+    RET
+.endfunc
+""",
+    "__ashlhi": """
+.func __ashlhi
+    ; R12 << (R13 & 15).
+    AND #15, R13
+    JZ .Lshl_done
+.Lshl_top:
+    RLA R12
+    DEC R13
+    JNZ .Lshl_top
+.Lshl_done:
+    RET
+.endfunc
+""",
+    "__lshrhi": """
+.func __lshrhi
+    ; Logical R12 >> (R13 & 15).
+    AND #15, R13
+    JZ .Lshr_done
+.Lshr_top:
+    CLRC
+    RRC R12
+    DEC R13
+    JNZ .Lshr_top
+.Lshr_done:
+    RET
+.endfunc
+""",
+    "__ashrhi": """
+.func __ashrhi
+    ; Arithmetic R12 >> (R13 & 15).
+    AND #15, R13
+    JZ .Lsar_done
+.Lsar_top:
+    RRA R12
+    DEC R13
+    JNZ .Lsar_top
+.Lsar_done:
+    RET
+.endfunc
+""",
+    "__fixmul": """
+.func __fixmul
+    ; Q15 fixed-point multiply: (R12 * R13) >> 15, signed.
+    PUSH R11
+    PUSH R10
+    MOV #0, R11
+    TST R12
+    JGE .Lfix_pos1
+    INV R12
+    INC R12
+    XOR #1, R11
+.Lfix_pos1:
+    TST R13
+    JGE .Lfix_pos2
+    INV R13
+    INC R13
+    XOR #1, R11
+.Lfix_pos2:
+    ; Unsigned 16x16 -> 32 in R15:R14; multiplicand widened in R10:R12.
+    MOV #0, R14
+    MOV #0, R15
+    MOV #0, R10
+    TST R13
+    JZ .Lfix_shift
+.Lfix_top:
+    BIT #1, R13
+    JZ .Lfix_skip
+    ADD R12, R14
+    ADDC R10, R15
+.Lfix_skip:
+    RLA R12
+    RLC R10
+    CLRC
+    RRC R13
+    JNZ .Lfix_top
+.Lfix_shift:
+    ; (hi:lo) >> 15 low word = (hi << 1) | (lo >> 15).
+    RLA R14
+    RLC R15
+    MOV R15, R12
+    TST R11
+    JZ .Lfix_done
+    INV R12
+    INC R12
+.Lfix_done:
+    POP R10
+    POP R11
+    RET
+.endfunc
+""",
+}
+
+#: Helpers that call other helpers.
+_DEPENDENCIES = {
+    "__uremhi": {"__udivhi"},
+    "__divhi": {"__udivhi"},
+    "__remhi": {"__udivhi"},
+}
+
+#: All helper assembly concatenated (handy for documentation/tests).
+RUNTIME_LIBRARY_ASM = "\n".join(_HELPER_SOURCES.values())
+
+#: Names usable from mini-C source as ordinary calls.
+HELPER_NAMES = frozenset(_HELPER_SOURCES)
+
+
+def runtime_library_functions(names):
+    """Return parsed, library-tagged Function objects for *names* + deps."""
+    needed = set()
+    frontier = set(names)
+    while frontier:
+        name = frontier.pop()
+        if name in needed:
+            continue
+        if name not in _HELPER_SOURCES:
+            raise KeyError(f"unknown runtime helper {name!r}")
+        needed.add(name)
+        frontier |= _DEPENDENCIES.get(name, set())
+    functions = []
+    for name in sorted(needed):
+        parsed = parse_asm(_HELPER_SOURCES[name], entry=name)
+        function = parsed.function(name)
+        function.is_library = True
+        functions.append(function)
+    return functions

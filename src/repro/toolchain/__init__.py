@@ -1,0 +1,38 @@
+"""Build pipeline: mini-C source -> assembly -> linked memory image.
+
+The toolchain owns memory placement (the paper's Figure 1 design space:
+each of code and data can live in FRAM or SRAM, plus the unified-memory
+model and the split-SRAM configuration of §5.5), generates the startup
+code, and measures section sizes -- including the DNF ("does not fit")
+check the paper applies to the block cache in Figure 7.
+"""
+
+from repro.toolchain.linker import (
+    FitError,
+    LinkedProgram,
+    MemoryPlan,
+    PLANS,
+    link,
+    measure_sections,
+)
+from repro.toolchain.build import add_startup, build_baseline, compile_program
+from repro.toolchain.library import (
+    LibraryRecoveryError,
+    recover_function,
+    recover_library,
+)
+
+__all__ = [
+    "LibraryRecoveryError",
+    "recover_function",
+    "recover_library",
+    "FitError",
+    "LinkedProgram",
+    "MemoryPlan",
+    "PLANS",
+    "link",
+    "measure_sections",
+    "add_startup",
+    "build_baseline",
+    "compile_program",
+]

@@ -1,0 +1,62 @@
+"""High-level build steps shared by all three systems under test.
+
+``compile_program`` turns mini-C source into assembly and appends the
+generated startup code; ``build_baseline`` links it for a memory plan
+and returns a ready-to-run :class:`~repro.machine.board.Board` factory.
+The SwapRAM and block-cache builders (``repro.core.system`` /
+``repro.blockcache.system``) reuse these pieces around their
+transformation passes.
+"""
+
+from repro.asm.parser import parse_asm
+from repro.machine.board import Board
+from repro.minic.codegen import compile_c
+from repro.toolchain.linker import link
+
+#: Startup code: set up the stack, call main, halt. The call to main is
+#: an ordinary call so instrumentation passes can redirect it -- making
+#: main itself cacheable -- while ``__start`` never runs again and is
+#: blacklisted from caching.
+_CRT0 = """
+.func __start
+    MOV #__stack_top, SP
+    CALL #main
+    MOV #1, &0x0202
+.endfunc
+"""
+
+
+def add_startup(program):
+    """Append ``__start`` and make it the entry point."""
+    if program.has_function("__start"):
+        return program
+    crt0 = parse_asm(_CRT0).function("__start")
+    crt0.blacklisted = True
+    program.functions.insert(0, crt0)
+    program.entry = "__start"
+    return program
+
+
+def compile_program(source):
+    """mini-C source -> assembly Program with startup code attached."""
+    program = compile_c(source)
+    return add_startup(program)
+
+
+def build_baseline(source_or_program, plan, frequency_mhz=24, **board_kwargs):
+    """Compile (if needed), link for *plan*, and return a loaded Board.
+
+    This is the paper's baseline system: code runs from wherever the
+    plan puts it, with only the hardware FRAM read cache helping.
+    """
+    if isinstance(source_or_program, str):
+        program = compile_program(source_or_program)
+    else:
+        program = add_startup(source_or_program)
+    linked = link(program, plan)
+    board = Board(
+        memory_map=linked.memory_map, frequency_mhz=frequency_mhz, **board_kwargs
+    )
+    board.load(linked.image)
+    board.linked = linked
+    return board

@@ -1,0 +1,138 @@
+"""Library instrumentation: recover compiled code for caching (paper §4).
+
+Embedded programs link precompiled library binaries (math helpers,
+vendor drivers) that never pass through the source-level toolchain. The
+paper combines ``objdump`` with a script that regenerates parsable
+assembly so these functions can join SwapRAM's caching candidates.
+
+This module is that workflow: given an assembled :class:`Image` (or raw
+memory bytes plus a symbol table), it disassembles each function,
+recovers the information SwapRAM needs -- instruction boundaries,
+intra-function branch targets, function extents -- and produces
+:class:`~repro.asm.ast.Function` objects indistinguishable from
+source-built ones. Exact semantic information (label *names*) is lost,
+as the paper notes; positions are what matters and those are recovered
+programmatically.
+"""
+
+from repro.asm.ast import Function, Label
+from repro.asm.disasm import disassemble_range
+from repro.isa.instructions import Instruction
+from repro.isa.operands import AddressingMode, Sym, imm
+from repro.isa.registers import PC
+
+
+class LibraryRecoveryError(ValueError):
+    """The bytes in the function's range do not decode as clean code."""
+
+
+def _branch_target(instruction):
+    """Absolute byte target of a control transfer, or None."""
+    if instruction.is_jump:
+        return instruction.target if isinstance(instruction.target, int) else None
+    if (
+        instruction.mnemonic == "MOV"
+        and instruction.dst is not None
+        and instruction.dst.mode is AddressingMode.REGISTER
+        and instruction.dst.register == PC
+        and instruction.src.mode is AddressingMode.IMMEDIATE
+        and isinstance(instruction.src.value, int)
+    ):
+        return instruction.src.value
+    return None
+
+
+def recover_function(read_word, name, start, end, symbols=None):
+    """Disassemble ``[start, end)`` into a relocatable Function.
+
+    *symbols* (address -> name) names outgoing references (calls,
+    absolute data) so the recovered code links against the same program;
+    intra-function branch targets become synthetic local labels.
+    """
+    symbols = symbols or {}
+    rows = disassemble_range(read_word, start, end)
+    if any(instruction is None for _, instruction, _ in rows):
+        raise LibraryRecoveryError(
+            f"{name}: data interleaved with code at "
+            f"{[hex(a) for a, i, _ in rows if i is None]}"
+        )
+
+    # First pass: find every address used as an intra-function target.
+    targets = set()
+    for address, instruction, _length in rows:
+        target = _branch_target(instruction)
+        if target is not None and start <= target < end:
+            targets.add(target)
+
+    labels = {
+        address: f".L{name}_recovered_{index}"
+        for index, address in enumerate(sorted(targets))
+    }
+
+    function = Function(name, is_library=True)
+    for address, instruction, _length in rows:
+        if address in labels and address != start:
+            function.emit(Label(labels[address]))
+        function.emit(_relabel(instruction, labels, symbols, start, end))
+    return function
+
+
+def _relabel(instruction, labels, symbols, start, end):
+    """Replace absolute addresses with symbolic references."""
+    if instruction.is_jump and isinstance(instruction.target, int):
+        target = instruction.target
+        if target in labels:
+            return Instruction(instruction.mnemonic, target=Sym(labels[target]))
+        if target in symbols:
+            return Instruction(instruction.mnemonic, target=Sym(symbols[target]))
+        return instruction
+
+    def fix_operand(operand):
+        if operand is None:
+            return None
+        value = getattr(operand, "value", None)
+        if not isinstance(value, int):
+            return operand
+        if operand.mode is AddressingMode.IMMEDIATE:
+            if start <= value < end and value in labels:
+                return imm(Sym(labels[value]))
+            if value in symbols:
+                return imm(Sym(symbols[value]))
+        if operand.mode is AddressingMode.ABSOLUTE and value in symbols:
+            from repro.isa.operands import absolute
+
+            return absolute(Sym(symbols[value]))
+        return operand
+
+    return Instruction(
+        instruction.mnemonic,
+        src=fix_operand(instruction.src),
+        dst=fix_operand(instruction.dst),
+        target=instruction.target,
+        byte=instruction.byte,
+    )
+
+
+def recover_library(image, memory, names=None):
+    """Recover every (or the named) library function from a loaded image.
+
+    Returns a list of Functions ready to be appended to a fresh Program
+    and re-instrumented -- the paper's "integrate that assembly into the
+    SwapRAM workflow as with normal source code".
+    """
+    by_address = {
+        info.address: info.name for info in image.functions.values()
+    }
+    by_address.update(
+        {address: sym for sym, address in image.symbols.items() if sym not in image.functions}
+    )
+    recovered = []
+    for info in image.functions.values():
+        if names is not None and info.name not in names:
+            continue
+        recovered.append(
+            recover_function(
+                memory.read_word, info.name, info.address, info.end, by_address
+            )
+        )
+    return recovered

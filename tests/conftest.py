@@ -1,0 +1,16 @@
+"""Shared fixtures."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def mini_c_runner():
+    """Compile-and-run helper for mini-C sources (unified plan)."""
+    from repro.toolchain import PLANS, build_baseline
+
+    def run(source, plan="unified", frequency_mhz=24):
+        board = build_baseline(source, PLANS[plan], frequency_mhz=frequency_mhz)
+        result = board.run()
+        return result.debug_words
+
+    return run

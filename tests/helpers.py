@@ -1,0 +1,35 @@
+"""Shared helpers for running assembly snippets in tests."""
+
+from repro.asm import SectionLayout, assemble, parse_asm
+from repro.machine import fr2355_board
+
+
+def run_asm(source, entry="__start", frequency_mhz=24, max_instructions=2_000_000):
+    """Assemble and run a bare-asm snippet on an FR2355 board."""
+    program = parse_asm(source, entry=entry)
+    image = assemble(
+        program,
+        SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00),
+    )
+    board = fr2355_board(frequency_mhz=frequency_mhz).load(image)
+    board.run(max_instructions=max_instructions)
+    return board
+
+
+#: Standard wrapper: set up stack, call main, emit R12, halt.
+ASM_HARNESS = """
+.func __start
+    MOV #0x3000, SP
+    CALL #main
+    MOV R12, &0x0200
+    MOV #1, &0x0202
+.endfunc
+"""
+
+
+def run_main(body, **kwargs):
+    """Run `body` (a .func main ... block) and return the debug words."""
+    board = run_asm(ASM_HARNESS + body, **kwargs)
+    return board.bus.debug_words
+
+

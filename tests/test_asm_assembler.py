@@ -1,0 +1,186 @@
+"""Two-pass assembler: layout, symbols, image contents, errors."""
+
+import pytest
+
+from repro.asm import AssemblyError, Image, SectionLayout, assemble, parse_asm
+from repro.machine import Memory
+
+LAYOUT = SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00)
+
+
+def build(source, entry="main", layout=LAYOUT, extra=None):
+    return assemble(parse_asm(source, entry=entry), layout, extra_symbols=extra)
+
+
+def test_function_addresses_and_sizes():
+    image = build(
+        """
+        .func main
+            MOV #0x1234, R12
+            RET
+        .endfunc
+        .func helper
+            RET
+        .endfunc
+        """
+    )
+    main = image.functions["main"]
+    helper = image.functions["helper"]
+    assert main.address == 0x8000
+    assert main.size == 6  # MOV #imm (4) + RET (2)
+    assert helper.address == 0x8006
+    assert image.entry == 0x8000
+    assert image.function_at(0x8004).name == "main"
+    assert image.function_at(0x8006).name == "helper"
+    assert image.function_at(0x7FFE) is None
+
+
+def test_label_symbols():
+    image = build(
+        """
+        .func main
+            NOP
+        spot:
+            RET
+        .endfunc
+        """
+    )
+    assert image.symbols["spot"] == 0x8002
+
+
+def test_data_layout_and_encoding():
+    image = build(
+        """
+        .section .data
+        words: .word 0x1122, 0x3344
+        bytes: .byte 1, 2, 3
+        more: .word 0xAABB
+        .section .text
+        .func main
+            RET
+        .endfunc
+        """
+    )
+    memory = Memory()
+    image.load_into(memory)
+    assert memory.read_word(image.symbols["words"]) == 0x1122
+    assert memory.read_word(image.symbols["words"] + 2) == 0x3344
+    assert memory.read_bytes(image.symbols["bytes"], 3) == bytes([1, 2, 3])
+    # .word after odd-sized bytes is aligned.
+    assert image.symbols["more"] % 2 == 0
+    assert memory.read_word(image.symbols["more"]) == 0xAABB
+
+
+def test_symbol_references_resolved_across_sections():
+    image = build(
+        """
+        .section .data
+        value: .word main
+        .section .text
+        .func main
+            MOV &value, R12
+            RET
+        .endfunc
+        """
+    )
+    memory = Memory()
+    image.load_into(memory)
+    assert memory.read_word(image.symbols["value"]) == image.symbols["main"]
+
+
+def test_extra_symbols_injected():
+    image = build(
+        """
+        .func main
+            MOV #__magic, R12
+            RET
+        .endfunc
+        """,
+        extra={"__magic": 0xBEE0},
+    )
+    memory = Memory()
+    image.load_into(memory)
+    assert memory.read_word(0x8002) == 0xBEE0
+
+
+def test_undefined_symbol_error_names_function():
+    with pytest.raises(AssemblyError, match="main"):
+        build(
+            """
+            .func main
+                CALL #missing
+                RET
+            .endfunc
+            """
+        )
+
+
+def test_duplicate_symbol_error():
+    with pytest.raises(AssemblyError, match="duplicate"):
+        build(
+            """
+            .section .data
+            main: .word 0
+            .section .text
+            .func main
+                RET
+            .endfunc
+            """
+        )
+
+
+def test_missing_entry_error():
+    with pytest.raises(AssemblyError, match="entry"):
+        build(".func other\n    RET\n.endfunc")
+
+
+def test_section_overlap_detected():
+    squeezed = SectionLayout(text=0x8000, rodata=0x8002, data=0x9800, bss=0x9C00)
+    with pytest.raises(AssemblyError, match="overlap"):
+        build(
+            """
+            .section .rodata
+            table: .word 1, 2, 3
+            .section .text
+            .func main
+                NOP
+                NOP
+                RET
+            .endfunc
+            """,
+            layout=squeezed,
+        )
+
+
+def test_custom_section_layout():
+    program = parse_asm(".func main\n    RET\n.endfunc")
+    from repro.asm.ast import DataItem, Label
+
+    program.sections["meta"] = [Label("meta_base"), DataItem("word", [7])]
+    layout = SectionLayout(
+        text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00, meta=0xA000
+    )
+    image = assemble(program, layout)
+    assert image.symbols["meta_base"] == 0xA000
+    assert image.section_extents["meta"] == (0xA000, 2)
+
+
+def test_total_code_size():
+    image = build(".func main\n    NOP\n    RET\n.endfunc")
+    assert image.total_code_size() == 4
+    assert isinstance(image, Image)
+
+
+def test_jump_to_label_encoded_relative():
+    image = build(
+        """
+        .func main
+        loop:
+            JMP loop
+        .endfunc
+        """
+    )
+    memory = Memory()
+    image.load_into(memory)
+    # Offset -1 word: 0x3FFF in the 10-bit field.
+    assert memory.read_word(0x8000) == 0x2000 | (7 << 10) | 0x3FF

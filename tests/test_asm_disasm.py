@@ -1,0 +1,83 @@
+"""Disassembler: round trips and listings."""
+
+from repro.asm import SectionLayout, assemble, parse_asm
+from repro.asm.disasm import disassemble_range, format_instruction, listing
+from repro.asm.parser import parse_instruction
+from repro.machine import Memory
+
+LAYOUT = SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00)
+
+SOURCE = """
+.func main
+    MOV #0x1234, R12
+    ADD #1, R12
+    CMP #10, R12
+loop:
+    JNE loop
+    CALL #helper
+    RET
+.endfunc
+.func helper
+    PUSH R11
+    MOV @R12+, R11
+    POP R11
+    RET
+.endfunc
+"""
+
+
+def _assembled_memory():
+    image = assemble(parse_asm(SOURCE), LAYOUT)
+    memory = Memory()
+    image.load_into(memory)
+    return image, memory
+
+
+def test_disassemble_matches_instruction_count():
+    image, memory = _assembled_memory()
+    main = image.functions["main"]
+    rows = disassemble_range(memory.read_word, main.address, main.end)
+    parsed = parse_asm(SOURCE).function("main").instructions()
+    assert len(rows) == len(parsed)
+    for (address, decoded, _length), original in zip(rows, parsed):
+        assert decoded.mnemonic == original.mnemonic
+
+
+def test_text_reparse_roundtrip():
+    """Disassembled text re-parses to instructions that re-encode identically.
+
+    This is the property the paper's library-instrumentation workflow
+    (§4) relies on: objdump output can be recovered into the toolchain.
+    """
+    image, memory = _assembled_memory()
+    helper = image.functions["helper"]
+    for address, decoded, length in disassemble_range(
+        memory.read_word, helper.address, helper.end
+    ):
+        text = format_instruction(decoded)
+        reparsed = parse_instruction(text.replace("JNE", "JNE "))
+        from repro.isa import encode_instruction
+
+        assert encode_instruction(reparsed, address) == encode_instruction(
+            decoded, address
+        ), text
+
+
+def test_listing_includes_labels():
+    image, memory = _assembled_memory()
+    text = listing(
+        memory.read_word,
+        image.functions["main"].address,
+        image.functions["main"].end,
+        symbols={"main": image.symbols["main"], "loop": image.symbols["loop"]},
+    )
+    assert "main:" in text
+    assert "loop:" in text
+    assert "CALL" in text
+
+
+def test_data_words_shown_as_words():
+    memory = Memory()
+    memory.write_word(0x8000, 0x0000)  # illegal opcode
+    rows = disassemble_range(memory.read_word, 0x8000, 0x8002)
+    assert rows[0][1] is None

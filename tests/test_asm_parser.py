@@ -1,0 +1,198 @@
+"""Assembly text parser: syntax, sections, emulated mnemonics, errors."""
+
+import pytest
+
+from repro.asm import AsmSyntaxError, parse_asm, parse_operand
+from repro.asm.ast import DataItem, Label
+from repro.asm.parser import parse_expression, parse_instruction
+from repro.isa import Sym
+from repro.isa.instructions import Instruction
+from repro.isa.operands import AddressingMode
+from repro.isa.registers import CG, PC, SP
+
+
+def test_parse_simple_function():
+    program = parse_asm(
+        """
+        .func main
+            MOV #5, R12
+            RET
+        .endfunc
+        """
+    )
+    main = program.function("main")
+    instructions = main.instructions()
+    assert len(instructions) == 2
+    assert instructions[0].mnemonic == "MOV"
+    # RET expands to MOV @SP+, PC
+    assert instructions[1].src.mode is AddressingMode.AUTOINC
+    assert instructions[1].dst.register == PC
+
+
+def test_local_labels_inside_func():
+    program = parse_asm(
+        """
+        .func main
+        loop:
+            JNE loop
+            RET
+        .endfunc
+        """
+    )
+    main = program.function("main")
+    assert [label.name for label in main.labels()] == ["loop"]
+    assert main.instructions()[0].target == Sym("loop")
+
+
+def test_implicit_function_from_bare_label():
+    program = parse_asm(
+        """
+        first:
+            RET
+        second:
+            RET
+        """
+    )
+    assert program.function_names() == ["first", "second"]
+
+
+def test_redundant_function_label_is_skipped():
+    program = parse_asm(
+        """
+        .func main
+        main:
+            RET
+        .endfunc
+        """
+    )
+    assert program.function("main").labels() == []
+
+
+def test_data_sections_and_directives():
+    program = parse_asm(
+        """
+        .section .data
+        counter: .word 0, 1, table+2
+        .section .rodata
+        message: .asciz "hi"
+        blob: .byte 1, 2, 3
+        pad: .space 6
+        .section .text
+        .func main
+            RET
+        .endfunc
+        """
+    )
+    data = program.sections["data"]
+    assert isinstance(data[0], Label) and data[0].name == "counter"
+    assert data[1].values == [0, 1, Sym("table", 2)]
+    rodata = program.sections["rodata"]
+    items = [item for item in rodata if isinstance(item, DataItem)]
+    assert items[0].values == [ord("h"), ord("i"), 0]
+    assert items[1].size() == 3
+    assert items[2].size() == 6
+
+
+@pytest.mark.parametrize(
+    "text,mode",
+    [
+        ("#42", AddressingMode.IMMEDIATE),
+        ("#table+4", AddressingMode.IMMEDIATE),
+        ("&0x200", AddressingMode.ABSOLUTE),
+        ("@R5", AddressingMode.INDIRECT),
+        ("@R5+", AddressingMode.AUTOINC),
+        ("4(R4)", AddressingMode.INDEXED),
+        ("-2(SP)", AddressingMode.INDEXED),
+        ("R11", AddressingMode.REGISTER),
+        ("label", AddressingMode.SYMBOLIC),
+    ],
+)
+def test_operand_modes(text, mode):
+    assert parse_operand(text).mode is mode
+
+
+def test_expression_forms():
+    assert parse_expression("42") == 42
+    assert parse_expression("0x2A") == 42
+    assert parse_expression("'A'") == 65
+    assert parse_expression("sym") == Sym("sym")
+    assert parse_expression("sym+4") == Sym("sym", 4)
+    assert parse_expression("sym-2") == Sym("sym", -2)
+
+
+@pytest.mark.parametrize(
+    "line,mnemonic",
+    [
+        ("NOP", "MOV"),
+        ("CLR R5", "MOV"),
+        ("INC R5", "ADD"),
+        ("DEC R5", "SUB"),
+        ("TST R5", "CMP"),
+        ("INV R5", "XOR"),
+        ("RLA R5", "ADD"),
+        ("BR #0x9000", "MOV"),
+        ("POP R5", "MOV"),
+        ("SETC", "BIS"),
+        ("ADD.B R5, R6", "ADD"),
+    ],
+)
+def test_emulated_and_core_mnemonics(line, mnemonic):
+    assert parse_instruction(line).mnemonic == mnemonic
+
+
+def test_nop_uses_constant_generator():
+    nop = parse_instruction("NOP")
+    assert nop.src.register == CG and nop.dst.register == CG
+
+
+def test_byte_suffix():
+    instruction = parse_instruction("MOV.B @R5+, 0(R6)")
+    assert instruction.byte
+    assert instruction.src.register == 5
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "BOGUS R1, R2",
+        ".func main\n    MOV R1\n.endfunc",  # missing operand
+        ".section .nowhere",
+        "MOV R1, R2",  # instruction outside any function / section text w/o func
+        ".func main\n    .word 5\n.endfunc",  # data in .text
+    ],
+)
+def test_syntax_errors(source):
+    with pytest.raises(AsmSyntaxError):
+        parse_asm(source)
+
+
+def test_error_carries_line_number():
+    try:
+        parse_asm(".func f\n    BOGUS\n.endfunc")
+    except AsmSyntaxError as error:
+        assert error.line_number == 2
+    else:
+        raise AssertionError("expected a syntax error")
+
+
+def test_comments_stripped():
+    program = parse_asm(
+        """
+        ; full-line comment
+        .func main
+            MOV #1, R12 ; trailing comment
+            RET // C++-style
+        .endfunc
+        """
+    )
+    assert len(program.function("main").instructions()) == 2
+
+
+def test_entry_directive():
+    program = parse_asm(".entry start\n.func start\n    RET\n.endfunc")
+    assert program.entry == "start"
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(AsmSyntaxError):
+        parse_asm(".func f\n RET\n.endfunc\n.func f\n RET\n.endfunc")

@@ -1,0 +1,103 @@
+"""Whole-program property: parse -> assemble -> disassemble round trips.
+
+Hypothesis generates random (but structurally valid) functions; the
+property chain asserts that assembling and then disassembling the image
+recovers an instruction stream that re-encodes to identical bytes --
+the invariant both cache runtimes' code copying depends on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import SectionLayout, assemble
+from repro.asm.ast import Program
+from repro.asm.disasm import disassemble_range
+from repro.isa.encoding import encode_instruction
+from repro.isa.instructions import Instruction
+from repro.isa.operands import absolute, autoinc, imm, indexed, indirect, reg
+from repro.machine import Memory
+
+LAYOUT = SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00)
+
+_REGS = st.integers(4, 15)
+_WORDS = st.integers(0, 0xFFFF)
+_EVEN = st.integers(0x4000, 0x7FFE).map(lambda v: v & ~1)
+
+
+def _instructions():
+    format_i = st.builds(
+        Instruction,
+        st.sampled_from(["MOV", "ADD", "SUB", "CMP", "AND", "XOR", "BIS", "BIC"]),
+        src=st.one_of(
+            _REGS.map(reg),
+            _WORDS.map(imm),
+            _REGS.map(indirect),
+            _REGS.map(autoinc),
+            st.tuples(_WORDS, _REGS).map(lambda t: indexed(*t)),
+            _EVEN.map(absolute),
+        ),
+        dst=st.one_of(
+            _REGS.map(reg),
+            st.tuples(_WORDS, _REGS).map(lambda t: indexed(*t)),
+            _EVEN.map(absolute),
+        ),
+        byte=st.booleans(),
+    )
+    format_ii = st.builds(
+        Instruction,
+        st.sampled_from(["RRA", "RRC", "SWPB", "SXT", "PUSH"]),
+        src=_REGS.map(reg),
+    )
+    return st.one_of(format_i, format_ii)
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=st.lists(_instructions(), min_size=1, max_size=30))
+def test_program_roundtrip(body):
+    program = Program(entry="main")
+    function = program.add_function("main")
+    for instruction in body:
+        function.emit(instruction)
+
+    image = assemble(program, LAYOUT)
+    memory = Memory()
+    image.load_into(memory)
+
+    info = image.functions["main"]
+    rows = disassemble_range(memory.read_word, info.address, info.end)
+    assert len(rows) == len(body)
+
+    for (address, decoded, length), original in zip(rows, body):
+        assert decoded is not None, f"undecodable at {address:#06x}"
+        re_encoded = encode_instruction(decoded, address, image.symbols)
+        original_words = encode_instruction(original, address, image.symbols)
+        assert re_encoded == original_words
+        assert length == 2 * len(original_words)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    body=st.lists(_instructions(), min_size=1, max_size=20),
+    copy_target=st.integers(0x2000, 0x2800).map(lambda v: v & ~1),
+)
+def test_copied_code_decodes_identically(body, copy_target):
+    """The SwapRAM property: a byte-for-byte copy decodes to the same
+    instructions at any even address (modulo PC-relative operands, which
+    the strategies exclude -- exactly what the static pass guarantees)."""
+    program = Program(entry="main")
+    function = program.add_function("main")
+    for instruction in body:
+        function.emit(instruction)
+    image = assemble(program, LAYOUT)
+    memory = Memory()
+    image.load_into(memory)
+    info = image.functions["main"]
+
+    blob = memory.read_bytes(info.address, info.size)
+    memory.write_bytes(copy_target, blob)
+    original_rows = disassemble_range(memory.read_word, info.address, info.end)
+    copied_rows = disassemble_range(
+        memory.read_word, copy_target, copy_target + info.size
+    )
+    for (_, first, _), (_, second, _) in zip(original_rows, copied_rows):
+        assert str(first) == str(second)

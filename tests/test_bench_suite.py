@@ -1,0 +1,112 @@
+"""Benchmark suite plumbing and reference implementations."""
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES, PAPER_TABLE1, get_benchmark
+from repro.bench.datagen import Lcg, c_array, printable_text
+
+
+def test_registry_is_complete():
+    assert len(BENCHMARK_NAMES) == 9
+    assert set(BENCHMARK_NAMES) == set(PAPER_TABLE1)
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        get_benchmark("quicksort")
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmarks_build_deterministically(name):
+    first = get_benchmark(name)
+    second = get_benchmark(name)
+    assert first.source == second.source
+    assert first.expected == second.expected
+    assert first.expected, "every benchmark must produce output"
+    assert first.key == PAPER_TABLE1[name][0]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmarks_compile(name):
+    from repro.toolchain import compile_program
+
+    program = compile_program(get_benchmark(name).source)
+    assert program.has_function("main")
+    assert program.entry == "__start"
+
+
+def test_scale_changes_workload():
+    small = get_benchmark("crc", scale=1)
+    large = get_benchmark("crc", scale=2)
+    assert small.source != large.source
+    assert small.expected != large.expected or True  # outputs may collide
+
+
+def test_lcg_determinism_and_ranges():
+    a, b = Lcg(7), Lcg(7)
+    assert [a.next_word() for _ in range(10)] == [b.next_word() for _ in range(10)]
+    assert all(0 <= value < 256 for value in Lcg(3).bytes(100))
+    assert all(0 <= value < 50 for value in Lcg(3).words(100, limit=50))
+
+
+def test_c_array_rendering():
+    text = c_array("unsigned", "data", [1, 2, 3], const=True)
+    assert text.startswith("const unsigned data[3]")
+    assert "1, 2, 3" in text
+    text = c_array("int", "buf", [7], const=False)
+    assert text.startswith("int buf[1]")
+
+
+def test_printable_text_properties():
+    text = printable_text(Lcg(1), 200, ["cache"])
+    assert len(text) == 200
+    rendered = bytes(text).decode()
+    assert all(ch.islower() or ch == " " for ch in rendered)
+
+
+# -- reference implementation spot checks --------------------------------------------
+
+
+def test_crc_reference_against_known_value():
+    from repro.bench.programs.crc import _crc_buffer, _crc_table
+
+    table = _crc_table()
+    # CRC-16/CCITT-FALSE of "123456789" with init 0xFFFF is 0x29B1.
+    digits = [ord(c) for c in "123456789"]
+    assert _crc_buffer(digits, 0xFFFF, table) == 0x29B1
+
+
+def test_aes_reference_fips_vector():
+    from repro.bench.programs.aes import (
+        _FIPS_CIPHER,
+        _FIPS_KEY,
+        _FIPS_PLAIN,
+        _encrypt_block,
+        _key_expand,
+    )
+
+    assert _encrypt_block(_key_expand(_FIPS_KEY), _FIPS_PLAIN) == _FIPS_CIPHER
+
+
+def test_lzfx_reference_roundtrip():
+    from repro.bench.programs.lzfx import _compress, _decompress, _make_corpus
+
+    data = _make_corpus(300)
+    compressed = _compress(data)
+    assert len(compressed) < len(data)  # the corpus is compressible
+    assert _decompress(compressed, len(data)) == data
+
+
+def test_fft_reference_finds_tone():
+    from repro.bench.programs import fft
+
+    source, expected = fft.build()
+    assert "__fixmul" in source
+    assert len(expected) == 1
+
+
+def test_rsa_key_is_consistent():
+    from repro.bench.programs.rsa import D_PRIV, E_PUB, N_MOD, PHI
+
+    assert (E_PUB * D_PRIV) % PHI == 1
+    assert N_MOD < 0x8000  # the modadd trick needs headroom

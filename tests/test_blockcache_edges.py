@@ -1,0 +1,77 @@
+"""Block-cache transform edge cases."""
+
+import pytest
+
+from repro.asm.parser import parse_asm
+from repro.blockcache.transform import (
+    BlockTransformError,
+    instrument_for_blockcache,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.operands import absolute, imm, reg
+
+
+def test_numeric_jump_target_rejected():
+    program = parse_asm(".func main\n    NOP\n    RET\n.endfunc")
+    main = program.function("main")
+    main.items.insert(0, Instruction("JMP", target=0x8000))
+    with pytest.raises(BlockTransformError, match="non-symbolic"):
+        instrument_for_blockcache(program)
+
+
+def test_indirect_call_rejected():
+    program = parse_asm(".func main\n    NOP\n    RET\n.endfunc")
+    main = program.function("main")
+    main.items.insert(0, Instruction("CALL", src=absolute(0x9000)))
+    main.items.insert(1, Instruction("MOV", src=imm(0), dst=reg(12)))
+    with pytest.raises(BlockTransformError, match="call form"):
+        instrument_for_blockcache(program)
+
+
+def test_blacklist_keeps_function_out_of_blocks():
+    program = parse_asm(
+        """
+        .func main
+            CALL #helper
+            RET
+        .endfunc
+        .func helper
+            RET
+        .endfunc
+        """
+    )
+    instrumented, meta = instrument_for_blockcache(program, blacklist={"helper"})
+    assert all(block.function != "helper" for block in meta.blocks)
+    # helper is reached by a direct branch, not a stub.
+    main = instrumented.function("main")
+    pushed = [item for item in main.instructions() if item.mnemonic == "PUSH"]
+    assert pushed  # the continuation stub is still pushed for flush safety
+
+
+def test_consecutive_labels_create_alias_blocks():
+    program = parse_asm(
+        """
+        .func main
+        alpha:
+        beta:
+            NOP
+            JMP alpha
+        .endfunc
+        """
+    )
+    instrumented, meta = instrument_for_blockcache(program)
+    labels = {block.label for block in meta.blocks}
+    assert "alpha" in labels
+    # 'beta' may or may not be a block (nothing targets it), but the
+    # program must still run: assemble and check sizes are consistent.
+    for block in meta.blocks:
+        assert 0 <= block.size <= meta.slot_bytes
+
+
+def test_slot_too_small_for_any_instruction():
+    program = parse_asm(".func main\n    MOV #0x1234, &0x9800\n    RET\n.endfunc")
+    # A 16-byte slot leaves 6 bytes of body: exactly one max-size
+    # instruction still fits, so this transforms (tightly) or raises.
+    instrumented, meta = instrument_for_blockcache(program, slot_bytes=16)
+    for block in meta.blocks:
+        assert block.size <= 16

@@ -1,0 +1,66 @@
+"""Block-cache system plumbing and size reporting."""
+
+from repro.blockcache import build_blockcache
+from repro.blockcache.transform import RUNTIME_ENTRY
+from repro.toolchain import PLANS
+
+SOURCE = """
+int helper(int x) { return x + 9; }
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 6; i++) acc += helper(i);
+    __debug_out(acc);
+    return 0;
+}
+"""
+
+EXPECTED = sum(i + 9 for i in range(6))
+
+
+def test_runs_correctly():
+    system = build_blockcache(SOURCE, PLANS["unified"])
+    assert system.run().debug_words == [EXPECTED]
+
+
+def test_hook_at_runtime_entry():
+    system = build_blockcache(SOURCE, PLANS["unified"])
+    entry = system.linked.image.symbols[RUNTIME_ENTRY]
+    assert entry in system.board.cpu.hooks
+
+
+def test_size_report_components():
+    system = build_blockcache(SOURCE, PLANS["unified"])
+    report = system.size_report()
+    assert report["metadata"] > 0  # stubs + tables + hash
+    assert report["runtime"] > 0
+    # The per-CFI stub table is a real share of the metadata (§5.2); on
+    # tiny programs the fixed hash table dominates, so the bound is loose.
+    sizes = system.linked.section_sizes
+    assert sizes["bbstubs"] > 0.2 * report["metadata"]
+
+
+def test_slots_respect_cache_bounds():
+    system = build_blockcache(SOURCE, PLANS["unified"], cache_limit=7 * 48)
+    runtime = system.runtime
+    assert runtime.num_slots == 7
+    system.run()
+    sram = system.linked.memory_map.sram
+    top = runtime.cache_base + runtime.num_slots * runtime.slot_bytes
+    assert top <= sram.end
+
+
+def test_stats_consistency():
+    system = build_blockcache(SOURCE, PLANS["unified"])
+    system.run()
+    stats = system.stats
+    assert stats.entries == stats.hits + stats.misses
+    assert stats.misses == sum(stats.per_block_caches.values())
+    assert stats.chains <= stats.entries
+
+
+def test_standard_plan_split_memory():
+    system = build_blockcache(SOURCE, PLANS["standard"])
+    result = system.run()
+    assert result.debug_words == [EXPECTED]
+    # Data lives in SRAM; slots occupy the rest.
+    assert system.runtime.cache_base > system.linked.memory_map.sram.start

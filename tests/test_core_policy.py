@@ -1,0 +1,166 @@
+"""Cache memory structures: circular queue, stack, cost-aware variant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    CircularQueuePolicy,
+    CostAwareQueuePolicy,
+    StackPolicy,
+)
+
+BASE, SIZE = 0x2000, 0x400
+
+
+def fill(policy, sizes, start_id=0):
+    nodes = []
+    for index, size in enumerate(sizes):
+        placement = policy.plan(size)
+        assert placement is not None
+        nodes.append(policy.commit(start_id + index, placement, size))
+    return nodes
+
+
+# -- circular queue -------------------------------------------------------------------
+
+
+def test_queue_places_contiguously():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    nodes = fill(policy, [100, 200, 50])
+    assert [node.address for node in nodes] == [BASE, BASE + 100, BASE + 300]
+    assert policy.used_bytes() == 350
+
+
+def test_queue_wraps_and_evicts_oldest():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    fill(policy, [400, 400, 200])  # tail at +1000, 24 bytes free
+    placement = policy.plan(100)  # wraps to base
+    assert placement.address == BASE
+    assert [victim.func_id for victim in placement.victims] == [0]
+    policy.commit(3, placement, 100)
+    assert policy.lookup(0) is None
+    assert policy.lookup(3).address == BASE
+
+
+def test_queue_wrap_leaves_gap_at_top():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    fill(policy, [1000])
+    placement = policy.plan(100)
+    assert placement.address == BASE  # not BASE+1000: only 24 left there
+    assert placement.victims[0].func_id == 0
+
+
+def test_queue_rejects_oversize():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    assert policy.plan(SIZE + 2) is None
+
+
+def test_queue_skips_active_blocker():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    fill(policy, [200, 200, 600])  # full: ids 0,1,2
+    active = {0}
+    placement = policy.plan(150, is_active=lambda fid: fid in active)
+    # Wraps to base, sees active node 0, retries after it.
+    assert placement.address == BASE + 200
+    assert [victim.func_id for victim in placement.victims] == [1]
+
+
+def test_queue_returns_blocked_plan_when_everything_active():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    fill(policy, [512, 512])
+    placement = policy.plan(512, is_active=lambda fid: True)
+    assert placement is not None
+    assert placement.victims  # runtime will abort on the active victim
+
+
+def test_queue_reset():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    fill(policy, [100])
+    policy.reset()
+    assert policy.nodes == []
+    assert policy.plan(100).address == BASE
+
+
+# -- stack policy -------------------------------------------------------------------------
+
+
+def test_stack_is_densely_packed():
+    policy = StackPolicy(BASE, SIZE)
+    nodes = fill(policy, [300, 300, 300])
+    assert [node.address for node in nodes] == [BASE, BASE + 300, BASE + 600]
+
+
+def test_stack_evicts_most_recently_cached():
+    policy = StackPolicy(BASE, SIZE)
+    fill(policy, [300, 300, 300])  # 124 bytes left
+    placement = policy.plan(200)
+    assert [victim.func_id for victim in placement.victims] == [2]
+    assert placement.address == BASE + 600
+
+
+def test_stack_deep_eviction():
+    policy = StackPolicy(BASE, SIZE)
+    fill(policy, [300, 300, 300])
+    placement = policy.plan(500)
+    victim_ids = sorted(victim.func_id for victim in placement.victims)
+    assert victim_ids == [1, 2]
+    assert placement.address == BASE + 300
+
+
+# -- cost-aware variant --------------------------------------------------------------------
+
+
+def test_cost_aware_declines_expensive_evictions():
+    policy = CostAwareQueuePolicy(BASE, SIZE, max_victim_ratio=2.0)
+    fill(policy, [1000])  # nearly full; any further plan wraps onto node 0
+    # Caching 100 bytes would evict 1000: 10x the incoming size -> decline.
+    assert policy.plan(100) is None
+    # A larger incoming function is worth the eviction (ratio 2.0).
+    assert policy.plan(500) is not None
+
+
+# -- invariants -------------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=2, max_value=SIZE).map(lambda v: v & ~1),
+                   min_size=1, max_size=40)
+)
+def test_queue_nodes_never_overlap(sizes):
+    policy = CircularQueuePolicy(BASE, SIZE)
+    for func_id, size in enumerate(sizes):
+        placement = policy.plan(size)
+        if placement is None:
+            continue
+        policy.commit(func_id, placement, size)
+        spans = sorted(
+            (node.address, node.end) for node in policy.nodes
+        )
+        for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= start_b, spans
+        for node in policy.nodes:
+            assert BASE <= node.address and node.end <= BASE + SIZE
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=2, max_value=300).map(lambda v: v & ~1),
+                   min_size=1, max_size=30),
+    active_mask=st.sets(st.integers(0, 29)),
+)
+def test_queue_skip_active_never_plans_active_victims_when_avoidable(
+    sizes, active_mask
+):
+    policy = CircularQueuePolicy(BASE, SIZE)
+    for func_id, size in enumerate(sizes):
+        placement = policy.plan(
+            size, is_active=lambda fid: fid in active_mask
+        )
+        if placement is None:
+            continue
+        if any(victim.func_id in active_mask for victim in placement.victims):
+            continue  # blocked plan: the runtime would abort; don't commit
+        policy.commit(func_id, placement, size)
+    for node in policy.nodes:
+        assert BASE <= node.address and node.end <= BASE + SIZE

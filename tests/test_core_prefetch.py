@@ -1,0 +1,75 @@
+"""Call-graph prefetching extension."""
+
+from repro.core import CallGraphPrefetcher, build_swapram
+from repro.toolchain import PLANS
+
+CHAIN = """
+int leaf_a(int x) { return x + 1; }
+int leaf_b(int x) { return x + 2; }
+int parent(int x) { return leaf_a(x) + leaf_b(x); }
+int main(void) { __debug_out(parent(10)); return 0; }
+"""
+
+
+def test_callees_recorded_in_meta():
+    system = build_swapram(CHAIN, PLANS["unified"])
+    parent = system.meta.by_name["parent"]
+    names = [system.meta.functions[fid].name for fid in parent.callees]
+    assert set(names) == {"leaf_a", "leaf_b"}
+    assert system.meta.by_name["leaf_a"].callees == []
+
+
+def test_callees_ordered_by_call_count():
+    source = """
+    int hot(int x) { return x + 1; }
+    int cold(int x) { return x - 1; }
+    int parent(int x) { return hot(x) + hot(x) + hot(x) + cold(x); }
+    int main(void) { __debug_out(parent(5)); return 0; }
+    """
+    system = build_swapram(source, PLANS["unified"])
+    parent = system.meta.by_name["parent"]
+    first = system.meta.functions[parent.callees[0]].name
+    assert first == "hot"
+
+
+def test_prefetch_eliminates_child_misses():
+    plain = build_swapram(CHAIN, PLANS["unified"])
+    plain_result = plain.run()
+    fetching = build_swapram(
+        CHAIN, PLANS["unified"], prefetcher=CallGraphPrefetcher(fanout=2)
+    )
+    fetch_result = fetching.run()
+    assert plain_result.debug_words == fetch_result.debug_words == [23]
+    assert fetching.stats.prefetches == 2  # both leaves pulled in early
+    assert fetching.stats.misses < plain.stats.misses
+    # Prefetched functions are really cached (redirects bypass handler).
+    assert "leaf_a" in fetching.stats.per_function_caches
+    assert "leaf_b" in fetching.stats.per_function_caches
+
+
+def test_prefetch_never_evicts():
+    """Predictions must only use free space."""
+    fetching = build_swapram(
+        CHAIN,
+        PLANS["unified"],
+        prefetcher=CallGraphPrefetcher(fanout=4),
+        cache_limit=160,  # roughly room for parent alone
+    )
+    result = fetching.run()
+    assert result.debug_words == [23]
+    assert fetching.stats.evictions == 0 or fetching.stats.prefetches == 0
+
+
+def test_prefetch_on_real_benchmark():
+    from repro.bench import get_benchmark
+
+    bench = get_benchmark("fft")
+    plain = build_swapram(bench.source, PLANS["unified"])
+    plain.run()
+    fetching = build_swapram(
+        bench.source, PLANS["unified"], prefetcher=CallGraphPrefetcher()
+    )
+    result = fetching.run()
+    assert result.debug_words == bench.expected
+    assert fetching.stats.prefetches > 0
+    assert fetching.stats.misses <= plain.stats.misses

@@ -1,0 +1,182 @@
+"""SwapRAM miss handler behaviour on live systems."""
+
+import pytest
+
+from repro.core import build_swapram
+from repro.core.policy import StackPolicy
+from repro.core.transform import MISS_HANDLER, REDIR_TABLE
+from repro.toolchain import PLANS
+
+CALL_ONCE = """
+int helper(int x) { return x * 2; }
+int main(void) {
+    __debug_out(helper(21));
+    __debug_out(helper(10));
+    return 0;
+}
+"""
+
+
+def test_function_cached_on_first_call():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    result = system.run()
+    assert result.debug_words == [42, 20]
+    stats = system.stats
+    # helper and __mulhi each miss exactly once; later calls go direct.
+    assert stats.caches >= 2
+    assert stats.per_function_caches.get("helper") == 1
+
+
+def test_redirection_entry_updated_to_sram_copy():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    system.run()
+    helper_id = system.meta.by_name["helper"].func_id
+    entry = system.board.memory.read_word(
+        system.linked.image.symbols[REDIR_TABLE] + 2 * helper_id
+    )
+    node = system.runtime.policy.lookup(helper_id)
+    assert node is not None
+    assert entry == node.address
+    sram = system.linked.memory_map.sram
+    assert sram.start <= node.address < sram.end
+
+
+def test_sram_copy_matches_nvm_original():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    system.run()
+    meta = system.meta.by_name["helper"]
+    node = system.runtime.policy.lookup(meta.func_id)
+    nvm = system.linked.image.symbols["helper"]
+    memory = system.board.memory
+    assert memory.read_bytes(node.address, meta.size) == memory.read_bytes(
+        nvm, meta.size
+    )
+
+
+def test_second_call_bypasses_handler():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    system.run()
+    assert system.stats.per_function_caches["helper"] == 1
+    # Misses equals distinct cached functions (no re-misses).
+    assert system.stats.misses == system.stats.caches
+
+
+def test_eviction_resets_redirection():
+    # A cache too small for both functions forces eviction traffic.
+    source = """
+    int pad_a(int x) {
+        int total = x;
+        total += 1; total += 2; total += 3; total += 4; total += 5;
+        total += 6; total += 7; total += 8; total += 9; total += 10;
+        return total;
+    }
+    int pad_b(int x) {
+        int total = x;
+        total -= 1; total -= 2; total -= 3; total -= 4; total -= 5;
+        total -= 6; total -= 7; total -= 8; total -= 9; total -= 10;
+        return total;
+    }
+    int main(void) {
+        int acc = 0;
+        for (int i = 0; i < 6; i++) {
+            acc += pad_a(i);
+            acc += pad_b(i);
+        }
+        __debug_out(acc & 0xFFFF);
+        return 0;
+    }
+    """
+    system = build_swapram(source, PLANS["unified"], cache_limit=400)
+    result = system.run()
+    expected = sum((i + 55) + (i - 55) for i in range(6)) & 0xFFFF
+    assert result.debug_words == [expected]
+    stats = system.stats
+    assert stats.evictions > 0
+    assert stats.caches > 2  # re-cached after eviction
+
+
+def test_recursive_function_active_counter():
+    source = """
+    int depth_sum(int n) {
+        if (n == 0) return 0;
+        return n + depth_sum(n - 1);
+    }
+    int main(void) { __debug_out(depth_sum(10)); return 0; }
+    """
+    system = build_swapram(source, PLANS["unified"])
+    assert system.run().debug_words == [55]
+    # After the run every active counter must be back to zero.
+    active_base = system.linked.image.symbols["__sr_active"]
+    for record in system.meta.functions:
+        assert system.board.memory.read_word(active_base + 2 * record.func_id) == 0
+
+
+def test_oversize_function_falls_back_to_nvm():
+    lines = "\n".join(f"    total += {i};" for i in range(1, 200))
+    source = f"""
+    int big(int x) {{
+        int total = x;
+    {lines}
+        return total;
+    }}
+    int main(void) {{ __debug_out(big(0)); return 0; }}
+    """
+    system = build_swapram(source, PLANS["unified"], cache_limit=64)
+    expected = sum(range(1, 200)) & 0xFFFF
+    assert system.run().debug_words == [expected]
+    assert system.stats.nvm_fallbacks > 0
+    assert system.stats.per_function_caches.get("big") is None
+
+
+def test_stack_policy_system_still_correct():
+    system = build_swapram(
+        CALL_ONCE, PLANS["unified"], policy_class=StackPolicy
+    )
+    assert system.run().debug_words == [42, 20]
+
+
+def test_handler_charges_runtime_cycles():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    result = system.run()
+    breakdown = result.instruction_breakdown
+    assert breakdown["handler"] > 0
+    assert breakdown["memcpy"] > 0
+    assert breakdown["app_sram"] > breakdown["handler"]
+
+
+def test_handler_hook_installed_at_reserved_area():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    handler = system.linked.image.symbols[MISS_HANDLER]
+    assert handler in system.board.cpu.hooks
+    fram = system.linked.memory_map.fram
+    assert fram.start <= handler < fram.end
+
+
+def test_blacklist_option_respected():
+    system = build_swapram(CALL_ONCE, PLANS["unified"], blacklist={"helper"})
+    result = system.run()
+    assert result.debug_words == [42, 20]
+    assert "helper" not in system.stats.per_function_caches
+
+
+def test_swapram_output_matches_baseline_with_eviction_pressure():
+    from repro.toolchain import build_baseline
+
+    source = """
+    int a(int x) { return x + 3; }
+    int b(int x) { return x * 3; }
+    int c(int x) { return x ^ 0x55; }
+    int d(int x) { return x - 7; }
+    int main(void) {
+        int acc = 1;
+        for (int i = 0; i < 10; i++) {
+            acc = a(acc); acc = b(acc); acc = c(acc); acc = d(acc);
+            acc &= 0x3FF;
+        }
+        __debug_out(acc);
+        return 0;
+    }
+    """
+    baseline = build_baseline(source, PLANS["unified"]).run()
+    system = build_swapram(source, PLANS["unified"], cache_limit=96)
+    assert system.run().debug_words == baseline.debug_words

@@ -1,0 +1,92 @@
+"""SwapRAM system builder plumbing."""
+
+import pytest
+
+from repro.asm.parser import parse_asm
+from repro.core import build_swapram
+from repro.core.transform import (
+    ACTIVE_TABLE,
+    CUR_FUNC,
+    FUNC_TABLE,
+    MEMCPY_AREA,
+    MISS_HANDLER,
+    REDIR_TABLE,
+    RELOC_TABLE,
+)
+from repro.toolchain import PLANS
+
+SOURCE = """
+int helper(int x) { return x * 3; }
+int main(void) { __debug_out(helper(7)); return 0; }
+"""
+
+
+def test_metadata_symbols_resolve_in_image():
+    system = build_swapram(SOURCE, PLANS["unified"])
+    symbols = system.linked.image.symbols
+    for name in (CUR_FUNC, REDIR_TABLE, ACTIVE_TABLE, FUNC_TABLE,
+                 RELOC_TABLE, MISS_HANDLER, MEMCPY_AREA):
+        assert name in symbols
+    fram = system.linked.memory_map.fram
+    for name in (CUR_FUNC, MISS_HANDLER):
+        assert fram.start <= symbols[name] < fram.end
+
+
+def test_redirects_initialised_to_handler():
+    system = build_swapram(SOURCE, PLANS["unified"])
+    symbols = system.linked.image.symbols
+    handler = symbols[MISS_HANDLER]
+    base = symbols[REDIR_TABLE]
+    for record in system.meta.functions:
+        assert system.board.memory.read_word(base + 2 * record.func_id) == handler
+
+
+def test_functab_contents_match_meta():
+    system = build_swapram(SOURCE, PLANS["unified"])
+    symbols = system.linked.image.symbols
+    base = symbols[FUNC_TABLE]
+    for record in system.meta.functions:
+        nvm = system.board.memory.read_word(base + 4 * record.func_id)
+        size = system.board.memory.read_word(base + 4 * record.func_id + 2)
+        assert nvm == symbols[record.name]
+        assert size == record.size
+
+
+def test_cache_limit_clamps_policy():
+    system = build_swapram(SOURCE, PLANS["unified"], cache_limit=128)
+    assert system.runtime.policy.size <= 128
+    assert system.run().debug_words == [21]
+
+
+def test_accepts_preparsed_program():
+    program = parse_asm(
+        """
+        .func __start
+            MOV #__stack_top, SP
+            CALL #work
+            MOV R12, &0x0200
+            MOV #1, &0x0202
+        .endfunc
+        .func work
+            MOV #11, R12
+            RET
+        .endfunc
+        """,
+        entry="__start",
+    )
+    program.function("__start").blacklisted = True
+    system = build_swapram(program, PLANS["unified"])
+    assert system.run().debug_words == [11]
+    assert "work" in system.stats.per_function_caches
+
+
+def test_main_never_cached_by_default():
+    system = build_swapram(SOURCE, PLANS["unified"])
+    system.run()
+    assert "main" not in system.meta.by_name
+    assert "main" not in system.stats.per_function_caches
+
+
+def test_system_stats_property_is_runtime_stats():
+    system = build_swapram(SOURCE, PLANS["unified"])
+    assert system.stats is system.runtime.stats

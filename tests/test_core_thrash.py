@@ -1,0 +1,80 @@
+"""Thrash guard (§5.4 future-work extension)."""
+
+import pytest
+
+from repro.core.thrash import ThrashGuard
+
+
+def test_does_not_freeze_below_threshold():
+    guard = ThrashGuard(window=10, threshold=0.6, freeze_misses=5)
+    for _ in range(50):
+        assert not guard.observe_miss(evicted=False)
+    assert guard.freezes == 0
+
+
+def test_freezes_when_eviction_rate_high():
+    guard = ThrashGuard(window=10, threshold=0.6, freeze_misses=5)
+    frozen = [guard.observe_miss(evicted=True) for _ in range(10)]
+    assert frozen[-1] is True
+    assert guard.freezes == 1
+    assert guard.frozen
+
+
+def test_freeze_expires_and_history_resets():
+    guard = ThrashGuard(window=4, threshold=1.0, freeze_misses=3)
+    for _ in range(4):
+        guard.observe_miss(evicted=True)
+    assert guard.frozen
+    for _ in range(3):
+        guard.observe_miss(evicted=True)
+    assert not guard.frozen
+    # History cleared: needs a full fresh window to freeze again.
+    assert not guard.observe_miss(evicted=True)
+
+
+def test_mixed_history_uses_fraction():
+    guard = ThrashGuard(window=4, threshold=0.5, freeze_misses=2)
+    guard.observe_miss(True)
+    guard.observe_miss(False)
+    guard.observe_miss(False)
+    assert guard.observe_miss(True)  # 2/4 == threshold -> freezes
+    assert guard.freezes == 1
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(ValueError):
+        ThrashGuard(threshold=0.0)
+    with pytest.raises(ValueError):
+        ThrashGuard(threshold=1.5)
+
+
+# -- live system ---------------------------------------------------------------
+
+
+def test_guard_improves_aes_and_preserves_output():
+    from repro.bench import get_benchmark
+    from repro.core import ThrashGuard as Guard, build_swapram
+    from repro.toolchain import PLANS
+
+    bench = get_benchmark("aes")
+    plain = build_swapram(bench.source, PLANS["unified"])
+    plain_result = plain.run()
+    guarded = build_swapram(bench.source, PLANS["unified"], thrash_guard=Guard())
+    guarded_result = guarded.run()
+
+    assert plain_result.debug_words == bench.expected
+    assert guarded_result.debug_words == bench.expected
+    assert guarded.stats.freezes >= 1
+    assert guarded_result.total_cycles < plain_result.total_cycles
+    assert guarded.stats.caches < plain.stats.caches  # churn suppressed
+
+
+def test_guard_is_inert_on_well_behaved_benchmarks():
+    from repro.bench import get_benchmark
+    from repro.core import ThrashGuard as Guard, build_swapram
+    from repro.toolchain import PLANS
+
+    bench = get_benchmark("crc")
+    guarded = build_swapram(bench.source, PLANS["unified"], thrash_guard=Guard())
+    assert guarded.run().debug_words == bench.expected
+    assert guarded.stats.freezes == 0

@@ -1,0 +1,239 @@
+"""SwapRAM static pass: call rewriting, relocation, legalisation."""
+
+import pytest
+
+from repro.asm.parser import parse_asm
+from repro.core.transform import (
+    ACTIVE_TABLE,
+    CUR_FUNC,
+    META_SECTION,
+    MISS_HANDLER,
+    REDIR_TABLE,
+    RELOC_TABLE,
+    RUNTIME_SECTION,
+    TransformError,
+    instrument_for_swapram,
+    legalize_jumps,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.operands import AddressingMode, Sym, imm, reg
+from repro.isa.registers import PC
+
+TWO_FUNCTIONS = """
+.func main
+    CALL #helper
+    RET
+.endfunc
+.func helper
+    RET
+.endfunc
+"""
+
+
+def instrument(source, **kwargs):
+    return instrument_for_swapram(parse_asm(source), **kwargs)
+
+
+def test_call_site_expansion():
+    program, meta = instrument(TWO_FUNCTIONS)
+    main = program.function("main")
+    mnemonics = [item.mnemonic for item in main.instructions()]
+    # MOV funcId, ADD active, CALL redir, SUB active, RET
+    assert mnemonics == ["MOV", "ADD", "CALL", "SUB", "MOV"]
+    call = main.instructions()[2]
+    assert call.src.mode is AddressingMode.ABSOLUTE
+    helper_id = meta.by_name["helper"].func_id
+    assert call.src.value == Sym(REDIR_TABLE, 2 * helper_id)
+    funcid_store = main.instructions()[0]
+    assert funcid_store.dst.value == Sym(CUR_FUNC)
+    assert funcid_store.src.value == helper_id
+
+
+def test_active_counter_brackets_call():
+    program, meta = instrument(TWO_FUNCTIONS)
+    instructions = program.function("main").instructions()
+    helper_id = meta.by_name["helper"].func_id
+    assert instructions[1].mnemonic == "ADD"
+    assert instructions[1].dst.value == Sym(ACTIVE_TABLE, 2 * helper_id)
+    assert instructions[3].mnemonic == "SUB"
+    assert instructions[3].dst.value == Sym(ACTIVE_TABLE, 2 * helper_id)
+
+
+def test_blacklisted_function_not_redirected():
+    program, meta = instrument(TWO_FUNCTIONS, blacklist={"helper"})
+    call = program.function("main").instructions()[0]
+    assert call.mnemonic == "CALL"
+    assert call.src.mode is AddressingMode.IMMEDIATE  # direct call kept
+    assert "helper" not in meta.by_name
+    # Blacklisted callees are still callers: their call sites rewrite.
+    assert "main" in meta.by_name
+
+
+def test_calls_inside_blacklisted_functions_are_rewritten():
+    source = """
+    .func main
+        CALL #helper
+        RET
+    .endfunc
+    .func helper
+        RET
+    .endfunc
+    """
+    program, _meta = instrument(source, blacklist={"main"})
+    call = program.function("main").instructions()[2]
+    assert call.src.mode is AddressingMode.ABSOLUTE
+
+
+def test_absolute_branch_becomes_reloc_entry():
+    source = """
+    .func main
+    top:
+        BR #top
+    .endfunc
+    """
+    program, meta = instrument(source)
+    branch = program.function("main").instructions()[0]
+    assert branch.src.mode is AddressingMode.ABSOLUTE
+    assert branch.src.value == Sym(RELOC_TABLE, 0)
+    assert branch.dst.register == PC
+    reloc = meta.by_name["main"].relocs[0]
+    assert reloc.target_label == "top"
+    assert reloc.target_offset == 0
+
+
+def test_metadata_sections_emitted():
+    program, meta = instrument(TWO_FUNCTIONS)
+    assert META_SECTION in program.sections
+    assert RUNTIME_SECTION in program.sections
+    labels = [
+        item.name
+        for item in program.sections[META_SECTION]
+        if hasattr(item, "name")
+    ]
+    assert labels == [CUR_FUNC, REDIR_TABLE, ACTIVE_TABLE, "__sr_functab", RELOC_TABLE]
+    runtime_labels = [
+        item.name
+        for item in program.sections[RUNTIME_SECTION]
+        if hasattr(item, "name")
+    ]
+    assert runtime_labels == [MISS_HANDLER, "__sr_memcpy"]
+    assert meta.handler_bytes >= 900
+
+
+def test_function_sizes_recorded():
+    program, meta = instrument(TWO_FUNCTIONS)
+    from repro.isa.encoding import instruction_length
+
+    for record in meta.functions:
+        function = program.function(record.name)
+        actual = sum(
+            instruction_length(item) for item in function.instructions()
+        )
+        assert record.size == actual
+
+
+def test_jump_table_rejected():
+    source = """
+    .func main
+        MOV #target, R12
+        CALL R12
+    target:
+        RET
+    .endfunc
+    """
+    with pytest.raises(TransformError, match="code address"):
+        instrument(source)
+
+
+def test_symbolic_operand_rejected():
+    source = """
+    .func main
+    spot:
+        MOV spot, R12
+        RET
+    .endfunc
+    """
+    with pytest.raises(TransformError, match="relocatable"):
+        instrument(source)
+
+
+def test_no_candidates_rejected():
+    with pytest.raises(TransformError):
+        instrument(TWO_FUNCTIONS, blacklist={"main", "helper"})
+
+
+# -- legalisation ----------------------------------------------------------------------
+
+
+def _far_jump_function(mnemonic):
+    """A function whose first jump spans > 512 words of padding."""
+    program = parse_asm(
+        f"""
+    .func main
+        {mnemonic} far_away
+        RET
+    far_away:
+        RET
+    .endfunc
+    """
+    )
+    function = program.function("main")
+    padding = [
+        Instruction("MOV", src=imm(0x1234), dst=reg(4)) for _ in range(600)
+    ]
+    # Insert the padding between the jump and its target label.
+    function.items[1:1] = padding
+    return function
+
+
+def test_legalize_far_jmp_becomes_branch():
+    function = _far_jump_function("JMP")
+    legalize_jumps(function)
+    first = function.instructions()[0]
+    assert first.mnemonic == "MOV" and first.dst.register == PC
+    assert first.src.value == Sym("far_away")
+
+
+def test_legalize_far_conditional_inverts():
+    function = _far_jump_function("JEQ")
+    legalize_jumps(function)
+    first, second = function.instructions()[:2]
+    assert first.mnemonic == "JNE"  # inverted over the branch
+    assert second.dst is not None and second.dst.register == PC
+
+
+def test_legalize_jn_uses_trampoline():
+    function = _far_jump_function("JN")
+    legalize_jumps(function)
+    mnemonics = [item.mnemonic for item in function.instructions()[:3]]
+    assert mnemonics[0] == "JN"
+    assert "JMP" in mnemonics[:2]
+
+
+def test_near_jumps_untouched():
+    program = parse_asm(
+        """
+    .func main
+    loop:
+        JNE loop
+        RET
+    .endfunc
+    """
+    )
+    function = program.function("main")
+    before = list(function.items)
+    legalize_jumps(function)
+    assert function.items == before
+
+
+def test_instrumented_program_assembles_and_runs():
+    """End-to-end sanity: legalised + instrumented code still assembles."""
+    from repro.core import build_swapram
+    from repro.toolchain import PLANS
+
+    source = """
+    int helper(int x) { return x + 1; }
+    int main(void) { __debug_out(helper(41)); return 0; }
+    """
+    system = build_swapram(source, PLANS["unified"])
+    assert system.run().debug_words == [42]

@@ -1,0 +1,24 @@
+"""Ablation sweep helpers (reduced sizes for the unit-test pass)."""
+
+from repro.experiments.ablation import cache_size_sweep, hw_cache_sweep
+
+
+def test_cache_size_sweep_rows():
+    rows = cache_size_sweep("crc", (256, 1024))
+    assert [row["cache_bytes"] for row in rows] == [256, 1024]
+    small, large = rows
+    # A bigger cache never removes fewer FRAM accesses.
+    assert large["fram_ratio"] <= small["fram_ratio"] + 1e-9
+    assert large["speed"] >= small["speed"]
+    for row in rows:
+        assert row["misses"] >= row["evictions"]
+
+
+def test_hw_cache_sweep_rows():
+    rows = hw_cache_sweep("crc", (4, 16))
+    assert rows[0]["cache_bytes"] == 32  # the FR2355 geometry
+    assert rows[1]["hit_rate"] > rows[0]["hit_rate"]
+    assert rows[1]["stall_cycles"] < rows[0]["stall_cycles"]
+    # Even 4x the hardware cache leaves most of the gap: the software
+    # approach attacks something the hardware cache cannot.
+    assert rows[1]["runtime_us"] > 0.7 * rows[0]["runtime_us"]

@@ -1,0 +1,80 @@
+"""Report formatting and runner record helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import format_table, percent, ratio
+from repro.experiments.runner import (
+    BASELINE,
+    RunRecord,
+    SYSTEMS,
+    geo_mean_ratio,
+)
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["Name", "Value"],
+        [["short", 1], ["a-much-longer-name", 12345]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1] == "===="
+    assert "Name" in lines[2]
+    header_width = len(lines[2])
+    assert all(len(line) <= header_width + 2 for line in lines[3:])
+    assert "a-much-longer-name" in text
+
+
+def test_format_table_without_title():
+    text = format_table(["A"], [["x"]])
+    assert text.splitlines()[0].startswith("A")
+
+
+def test_percent_formatting():
+    assert percent(110, 100) == "+10%"
+    assert percent(50, 100) == "-50%"
+    assert percent(100, 100) == "+0%"
+    assert percent(5, 0) == "n/a"
+
+
+def test_ratio():
+    assert ratio(3, 2) == 1.5
+    assert math.isnan(ratio(3, 0))
+
+
+def test_geo_mean_ignores_non_positive():
+    assert abs(geo_mean_ratio([1.0, 4.0, 0, -2]) - 2.0) < 1e-9
+
+
+def test_systems_constant():
+    assert BASELINE in SYSTEMS
+    assert len(SYSTEMS) == 3
+
+
+def test_run_record_nvm_bytes_excludes_sram_data():
+    record = RunRecord(
+        benchmark="x",
+        system="baseline",
+        frequency_mhz=24,
+        plan_name="standard",
+        section_sizes={"text": 100, "rodata": 20, "data": 8, "bss": 30},
+    )
+    assert record.nvm_bytes == 128  # bss lives in SRAM under `standard`
+    unified = RunRecord(
+        benchmark="x",
+        system="baseline",
+        frequency_mhz=24,
+        plan_name="unified",
+        section_sizes={"text": 100, "bss": 30},
+    )
+    assert unified.nvm_bytes == 130
+
+
+def test_runner_rejects_unknown_system():
+    from repro.experiments.runner import ExperimentRunner
+
+    with pytest.raises(ValueError):
+        ExperimentRunner().run("crc", "hardware-magic")

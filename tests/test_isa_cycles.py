@@ -1,0 +1,52 @@
+"""Cycle table spot checks against the MSP430 family user's guide."""
+
+import pytest
+
+from repro.isa import Instruction, instruction_cycles
+from repro.isa.operands import absolute, autoinc, imm, indexed, indirect, reg
+from repro.isa.registers import PC, SP
+
+
+@pytest.mark.parametrize(
+    "instruction,cycles",
+    [
+        # Format I timings.
+        (Instruction("MOV", src=reg(4), dst=reg(5)), 1),
+        (Instruction("ADD", src=imm(100), dst=reg(5)), 2),
+        (Instruction("ADD", src=imm(1), dst=reg(5)), 1),  # CG is register-timed
+        (Instruction("MOV", src=indirect(4), dst=reg(5)), 2),
+        (Instruction("MOV", src=autoinc(4), dst=reg(5)), 2),
+        (Instruction("MOV", src=indexed(2, 4), dst=reg(5)), 3),
+        (Instruction("MOV", src=absolute(0x200), dst=reg(5)), 3),
+        (Instruction("MOV", src=reg(4), dst=indexed(2, 5)), 4),
+        (Instruction("MOV", src=imm(100), dst=indexed(2, 5)), 5),
+        (Instruction("MOV", src=indexed(2, 4), dst=indexed(4, 5)), 6),
+        (Instruction("MOV", src=imm(0x1234), dst=absolute(0x200)), 5),
+        # PC-destination penalty (BR forms).
+        (Instruction("MOV", src=reg(4), dst=reg(PC)), 2),
+        (Instruction("MOV", src=imm(0x9000), dst=reg(PC)), 3),
+        (Instruction("MOV", src=autoinc(SP), dst=reg(PC)), 3),  # RET
+        (Instruction("MOV", src=absolute(0x200), dst=reg(PC)), 4),  # reloc branch
+        # Format II.
+        (Instruction("RRA", src=reg(4)), 1),
+        (Instruction("RRA", src=indexed(2, 4)), 4),
+        (Instruction("SWPB", src=indirect(4)), 3),
+        (Instruction("PUSH", src=reg(4)), 3),
+        (Instruction("PUSH", src=imm(0x1234)), 3),
+        (Instruction("CALL", src=reg(4)), 4),
+        (Instruction("CALL", src=imm(0x8000)), 5),
+        (Instruction("CALL", src=absolute(0x200)), 6),
+        (Instruction("RETI",), 5),
+        # Jumps are always two cycles.
+        (Instruction("JMP", target=0), 2),
+        (Instruction("JEQ", target=0), 2),
+    ],
+)
+def test_cycle_counts(instruction, cycles):
+    assert instruction_cycles(instruction) == cycles
+
+
+def test_compare_to_pc_has_no_penalty():
+    # CMP never writes, so a PC "destination" costs nothing extra.
+    compare = Instruction("CMP", src=reg(4), dst=reg(PC))
+    assert instruction_cycles(compare) == 1

@@ -1,0 +1,215 @@
+"""Binary encoding: known words, round trips, and a hypothesis sweep."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    decode_instruction,
+    encode_instruction,
+    instruction_length,
+)
+from repro.isa.instructions import FORMAT_I_OPCODES, FORMAT_II_OPCODES
+from repro.isa.operands import absolute, autoinc, imm, indexed, indirect, reg
+from repro.isa.registers import PC, SP
+
+
+def roundtrip(instruction, address=0x8000):
+    words = encode_instruction(instruction, address)
+    blob = {}
+    for index, word in enumerate(words):
+        blob[address + 2 * index] = word
+    decoded, length = decode_instruction(lambda a: blob[a], address)
+    assert length == 2 * len(words)
+    return decoded
+
+
+# -- known encodings (checked against the MSP430 user's guide) -----------------
+
+
+def test_mov_register_register():
+    assert encode_instruction(Instruction("MOV", src=reg(5), dst=reg(6))) == [0x4506]
+
+
+def test_mov_immediate_absolute():
+    words = encode_instruction(
+        Instruction("MOV", src=imm(0x1234), dst=absolute(0x0200))
+    )
+    assert words == [0x40B2, 0x1234, 0x0200]
+
+
+def test_br_encoding():
+    words = encode_instruction(Instruction("MOV", src=imm(0x9000), dst=reg(PC)))
+    assert words == [0x4030, 0x9000]
+
+
+def test_ret_encoding():
+    words = encode_instruction(Instruction("MOV", src=autoinc(SP), dst=reg(PC)))
+    assert words == [0x4130]
+
+
+def test_constant_generator_add():
+    # ADD #1, R12 uses CG2, no extension word.
+    words = encode_instruction(Instruction("ADD", src=imm(1), dst=reg(12)))
+    assert words == [0x531C]
+
+
+def test_call_immediate():
+    words = encode_instruction(Instruction("CALL", src=imm(0x8100)))
+    assert words == [0x12B0, 0x8100]
+
+
+def test_push_register():
+    assert encode_instruction(Instruction("PUSH", src=reg(11))) == [0x120B]
+
+
+def test_jump_forward_and_backward():
+    forward = encode_instruction(Instruction("JMP", target=0x8008), address=0x8000)
+    assert forward == [0x2000 | (7 << 10) | 3]
+    backward = encode_instruction(Instruction("JNE", target=0x8000), address=0x8004)
+    assert backward == [0x2000 | (0 << 10) | (-3 & 0x3FF)]
+
+
+def test_reti():
+    assert encode_instruction(Instruction("RETI")) == [0x1300]
+
+
+def test_byte_mode_bit():
+    words = encode_instruction(Instruction("MOV", src=reg(5), dst=reg(6), byte=True))
+    assert words == [0x4546]
+
+
+# -- errors --------------------------------------------------------------------
+
+
+def test_jump_out_of_range():
+    with pytest.raises(EncodingError):
+        encode_instruction(Instruction("JMP", target=0x9000), address=0x8000)
+
+
+def test_jump_odd_target():
+    with pytest.raises(EncodingError):
+        encode_instruction(Instruction("JMP", target=0x8003), address=0x8000)
+
+
+def test_illegal_opcode_decodes_to_error():
+    with pytest.raises(EncodingError):
+        decode_instruction(lambda a: 0x0000, 0x8000)
+
+
+def test_undefined_symbol_raises():
+    with pytest.raises(KeyError):
+        encode_instruction(Instruction("CALL", src=imm_sym()))
+
+
+def imm_sym():
+    from repro.isa.operands import Sym
+
+    return imm(Sym("nowhere"))
+
+
+# -- lengths ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "instruction,length",
+    [
+        (Instruction("MOV", src=reg(4), dst=reg(5)), 2),
+        (Instruction("MOV", src=imm(0x1234), dst=reg(5)), 4),
+        (Instruction("MOV", src=imm(1), dst=reg(5)), 2),  # CG
+        (Instruction("MOV", src=imm(0x1234), dst=absolute(0x200)), 6),
+        (Instruction("MOV", src=indexed(2, 4), dst=indexed(4, 5)), 6),
+        (Instruction("PUSH", src=reg(4)), 2),
+        (Instruction("CALL", src=imm(0x8000)), 4),
+        (Instruction("JMP", target=0), 2),
+        (Instruction("RETI"), 2),
+    ],
+)
+def test_instruction_lengths(instruction, length):
+    assert instruction_length(instruction) == length
+
+
+# -- round trips -------------------------------------------------------------------
+
+
+_REGISTERS = st.integers(min_value=4, max_value=15)
+_VALUES = st.integers(min_value=0, max_value=0xFFFF)
+_EVEN_VALUES = st.integers(min_value=0, max_value=0x7FFF).map(lambda v: v * 2)
+
+
+def _source_operands():
+    return st.one_of(
+        _REGISTERS.map(reg),
+        _VALUES.map(imm),
+        st.tuples(_VALUES, _REGISTERS).map(lambda t: indexed(t[0], t[1])),
+        _EVEN_VALUES.map(absolute),
+        _REGISTERS.map(indirect),
+        _REGISTERS.map(autoinc),
+    )
+
+
+def _dest_operands():
+    return st.one_of(
+        _REGISTERS.map(reg),
+        st.tuples(_VALUES, _REGISTERS).map(lambda t: indexed(t[0], t[1])),
+        _EVEN_VALUES.map(absolute),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    mnemonic=st.sampled_from(sorted(FORMAT_I_OPCODES)),
+    source=_source_operands(),
+    dest=_dest_operands(),
+    byte=st.booleans(),
+)
+def test_format_i_roundtrip(mnemonic, source, dest, byte):
+    instruction = Instruction(mnemonic, src=source, dst=dest, byte=byte)
+    decoded = roundtrip(instruction)
+    assert decoded.mnemonic == mnemonic
+    assert decoded.byte == byte
+    assert decoded.src.mode == source.mode or (
+        # immediates matching a constant generator decode back as immediates
+        source.mode == decoded.src.mode
+    )
+    assert _operand_value(decoded.src) == _operand_value(source)
+    assert _operand_value(decoded.dst) == _operand_value(dest)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    mnemonic=st.sampled_from([m for m in FORMAT_II_OPCODES if m != "RETI"]),
+    register=_REGISTERS,
+)
+def test_format_ii_register_roundtrip(mnemonic, register):
+    instruction = Instruction(mnemonic, src=reg(register))
+    decoded = roundtrip(instruction)
+    assert decoded.mnemonic == mnemonic
+    assert decoded.src == reg(register)
+
+
+@settings(max_examples=150, deadline=None)
+@given(offset_words=st.integers(min_value=-512, max_value=511))
+def test_jump_offset_roundtrip(offset_words):
+    address = 0x9000
+    target = (address + 2 + 2 * offset_words) & 0xFFFF
+    decoded = roundtrip(Instruction("JMP", target=target), address=address)
+    assert decoded.target == target
+
+
+def _operand_value(operand):
+    from repro.isa.operands import AddressingMode
+
+    if operand.mode == AddressingMode.REGISTER:
+        return ("reg", operand.register)
+    if operand.mode in (AddressingMode.INDIRECT, AddressingMode.AUTOINC):
+        return (operand.mode, operand.register)
+    if operand.mode == AddressingMode.IMMEDIATE:
+        return ("imm", int(operand.value) & 0xFFFF)
+    if operand.mode == AddressingMode.ABSOLUTE:
+        return ("abs", int(operand.value) & 0xFFFF)
+    if operand.mode == AddressingMode.INDEXED:
+        return ("idx", operand.register, int(operand.value) & 0xFFFF)
+    return ("sym", int(operand.value) & 0xFFFF)

@@ -1,0 +1,96 @@
+"""Instruction model: validation, predicates, emulated expansion."""
+
+import pytest
+
+from repro.isa.instructions import (
+    EMULATED_MNEMONICS,
+    Instruction,
+    InstructionError,
+    expand_emulated,
+    with_target,
+)
+from repro.isa.operands import Sym, autoinc, imm, indirect, reg
+from repro.isa.registers import PC, SP
+
+
+def test_format_predicates():
+    assert Instruction("ADD", src=reg(4), dst=reg(5)).is_format_i
+    assert Instruction("PUSH", src=reg(4)).is_format_ii
+    assert Instruction("JMP", target=0).is_jump
+    assert Instruction("CALL", src=imm(0)).is_call
+
+
+def test_writes_pc():
+    assert Instruction("MOV", src=reg(4), dst=reg(PC)).writes_pc()
+    assert Instruction("CALL", src=imm(0)).writes_pc()
+    assert Instruction("JMP", target=0).writes_pc()
+    assert Instruction("RETI").writes_pc()
+    assert not Instruction("MOV", src=reg(4), dst=reg(5)).writes_pc()
+    # CMP "to PC" never writes.
+    assert not Instruction("CMP", src=reg(4), dst=reg(PC)).writes_pc()
+
+
+@pytest.mark.parametrize(
+    "instruction",
+    [
+        Instruction("MOV", src=reg(4)),  # missing dst
+        Instruction("MOV", src=reg(4), dst=indirect(5)),  # dst not writable
+        Instruction("MOV", src=reg(4), dst=autoinc(5)),
+        Instruction("RRA", src=imm(4)),  # immediate not writable
+        Instruction("RETI", src=reg(4)),
+        Instruction("JMP"),  # no target
+        Instruction("FROB", src=reg(4), dst=reg(5)),  # unknown mnemonic
+        Instruction("SWPB", src=reg(4), byte=True),  # no byte form
+    ],
+)
+def test_validation_errors(instruction):
+    with pytest.raises(InstructionError):
+        instruction.validate()
+
+
+def test_valid_instructions_pass():
+    Instruction("MOV", src=imm(Sym("x")), dst=reg(5)).validate()
+    Instruction("PUSH", src=imm(7)).validate()
+    Instruction("CALL", src=indirect(10)).validate()
+    Instruction("JNE", target=Sym("loop")).validate()
+    Instruction("RETI").validate()
+
+
+def test_expand_emulated_forms():
+    ret = expand_emulated("RET")
+    assert ret.mnemonic == "MOV" and ret.src == autoinc(SP) and ret.dst == reg(PC)
+    clr = expand_emulated("CLR", reg(5))
+    assert clr.mnemonic == "MOV" and clr.src == imm(0)
+    rla = expand_emulated("RLA", reg(5))
+    assert rla.mnemonic == "ADD" and rla.src == reg(5) and rla.dst == reg(5)
+    pop_byte = expand_emulated("POP", reg(5), byte=True)
+    assert pop_byte.byte
+
+
+def test_expand_emulated_errors():
+    with pytest.raises(InstructionError):
+        expand_emulated("RET", reg(5))  # fixed forms take no operand
+    with pytest.raises(InstructionError):
+        expand_emulated("CLR")  # operand required
+    with pytest.raises(InstructionError):
+        expand_emulated("MOV", reg(5))  # not emulated
+
+
+def test_emulated_registry():
+    for name in ("RET", "NOP", "BR", "POP", "INC", "TST", "SETC"):
+        assert name in EMULATED_MNEMONICS
+
+
+def test_with_target():
+    jump = Instruction("JEQ", target=Sym("a"))
+    retargeted = with_target(jump, Sym("b"))
+    assert retargeted.target == Sym("b")
+    assert jump.target == Sym("a")  # original untouched
+
+
+def test_str_rendering():
+    assert str(Instruction("MOV", src=imm(5), dst=reg(12))) == "MOV #5, R12"
+    assert str(Instruction("ADD", src=reg(4), dst=reg(5), byte=True)) == "ADD.B R4, R5"
+    assert str(Instruction("JNE", target=Sym("loop"))) == "JNE loop"
+    assert str(Instruction("RETI")) == "RETI"
+    assert str(Instruction("PUSH", src=reg(11))) == "PUSH R11"

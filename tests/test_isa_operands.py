@@ -1,0 +1,88 @@
+"""Operand model: constant generators, extension words, symbols."""
+
+import pytest
+
+from repro.isa import Sym
+from repro.isa.operands import (
+    AddressingMode,
+    absolute,
+    autoinc,
+    imm,
+    indexed,
+    indirect,
+    reg,
+    resolve_value,
+    symbolic,
+)
+from repro.isa.registers import CG, SR
+
+
+@pytest.mark.parametrize(
+    "value,register,as_bits",
+    [(0, CG, 0), (1, CG, 1), (2, CG, 2), (0xFFFF, CG, 3), (4, SR, 2), (8, SR, 3)],
+)
+def test_constant_generator_values(value, register, as_bits):
+    operand = imm(value)
+    assert operand.constant_generator() == (register, as_bits)
+    assert not operand.needs_extension_word()
+
+
+@pytest.mark.parametrize("value", [3, 5, 7, 16, 100, 0xFFFE, 0x8000])
+def test_non_generator_immediates_need_extension(value):
+    operand = imm(value)
+    assert operand.constant_generator() is None
+    assert operand.needs_extension_word()
+
+
+def test_symbolic_immediate_never_uses_generator():
+    # Even if the symbol might resolve to 0, the encoding is chosen
+    # before resolution, so an extension word is always reserved.
+    operand = imm(Sym("zero_table"))
+    assert operand.constant_generator() is None
+    assert operand.needs_extension_word()
+
+
+def test_memory_classification():
+    assert indexed(4, 5).is_memory()
+    assert absolute(0x1234).is_memory()
+    assert indirect(5).is_memory()
+    assert autoinc(5).is_memory()
+    assert symbolic(0x8000).is_memory()
+    assert not reg(5).is_memory()
+    assert not imm(7).is_memory()
+
+
+def test_extension_word_requirements():
+    assert indexed(2, 4).needs_extension_word()
+    assert absolute(0x200).needs_extension_word()
+    assert not indirect(4).needs_extension_word()
+    assert not autoinc(4).needs_extension_word()
+    assert not reg(4).needs_extension_word()
+
+
+def test_sym_shift_and_str():
+    symbol = Sym("table", 4)
+    assert symbol.shifted(2) == Sym("table", 6)
+    assert str(symbol) == "table+4"
+    assert str(Sym("table")) == "table"
+
+
+def test_resolve_value():
+    symbols = {"buffer": 0x9000}
+    assert resolve_value(Sym("buffer", 6), symbols) == 0x9006
+    assert resolve_value(0x1FFFF, symbols) == 0xFFFF  # wraps to 16 bits
+    with pytest.raises(KeyError):
+        resolve_value(Sym("missing"), symbols)
+
+
+def test_operand_display():
+    assert str(reg(12)) == "R12"
+    assert str(imm(5)) == "#5"
+    assert str(indexed(-2, 4)) == "-2(R4)"
+    assert str(absolute(Sym("flag"))) == "&flag"
+    assert str(indirect(5)) == "@R5"
+    assert str(autoinc(1)) == "@SP+"
+
+
+def test_modes_are_distinct():
+    assert len({mode.value for mode in AddressingMode}) == 7

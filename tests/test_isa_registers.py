@@ -1,0 +1,35 @@
+"""Register naming and aliasing."""
+
+import pytest
+
+from repro.isa import PC, SP, SR, CG, register_name, register_number
+from repro.isa.registers import is_register_name
+
+
+def test_dedicated_register_numbers():
+    assert (PC, SP, SR, CG) == (0, 1, 2, 3)
+
+
+def test_names_round_trip():
+    for number in range(16):
+        assert register_number(register_name(number)) == number
+
+
+@pytest.mark.parametrize(
+    "alias,expected",
+    [("pc", 0), ("SP", 1), ("sr", 2), ("CG", 3), ("r0", 0), ("R15", 15), ("r9", 9)],
+)
+def test_aliases(alias, expected):
+    assert register_number(alias) == expected
+
+
+@pytest.mark.parametrize("bad", ["R16", "RX", "", "16", "PCX", "R-1"])
+def test_bad_names_raise(bad):
+    with pytest.raises(ValueError):
+        register_number(bad)
+    assert not is_register_name(bad)
+
+
+def test_is_register_name_positive():
+    assert is_register_name("R4")
+    assert is_register_name("sp")

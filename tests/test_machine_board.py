@@ -1,0 +1,81 @@
+"""Board wiring and RunResult accounting."""
+
+import pytest
+
+from repro.asm import SectionLayout, assemble, parse_asm
+from repro.machine import Board, fr2355_board
+from repro.machine.memory import RegionKind
+
+SOURCE = """
+.section .data
+value: .word 0xBEEF
+.section .text
+.func __start
+    MOV #0x2800, SP
+    MOV &value, R12
+    MOV R12, &0x0200
+    MOV #1, &0x0202
+.endfunc
+"""
+
+
+def build_image():
+    return assemble(
+        parse_asm(SOURCE, entry="__start"),
+        SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00),
+    )
+
+
+def test_load_sets_pc_and_memory():
+    board = fr2355_board().load(build_image())
+    assert board.cpu.regs[0] == board.image.entry
+    assert board.word_at("value") == 0xBEEF
+
+
+def test_word_at_accepts_symbol_or_address():
+    board = fr2355_board().load(build_image())
+    address = board.image.symbols["value"]
+    assert board.word_at(address) == board.word_at("value")
+    assert board.bytes_at("value", 2) == b"\xef\xbe"
+
+
+def test_run_result_fields():
+    board = fr2355_board(frequency_mhz=24).load(build_image())
+    result = board.run()
+    assert result.debug_words == [0xBEEF]
+    assert result.frequency_mhz == 24
+    assert result.total_cycles == result.unstalled_cycles + result.stall_cycles
+    assert result.runtime_us == result.total_cycles / 24
+    assert result.instructions == board.cpu.instructions_retired
+    assert result.energy_nj > 0
+    breakdown = result.instruction_breakdown
+    assert sum(breakdown.values()) == result.instructions
+
+
+def test_stack_top_override():
+    board = fr2355_board().load(build_image(), stack_top=0x2FFF)
+    assert board.cpu.regs[1] == 0x2FFE  # forced even
+
+
+def test_custom_memory_map():
+    from repro.machine.memory import fr2355_memory_map
+
+    board = Board(memory_map=fr2355_memory_map(sram_size=0x400, fram_size=0x2000))
+    assert board.memory_map.kind_at(0xE000) is RegionKind.FRAM
+    assert board.memory_map.kind_at(0x7FFE) is RegionKind.UNMAPPED
+
+
+def test_wait_state_override():
+    board = Board(frequency_mhz=24, wait_states=0)
+    board.load(build_image())
+    result = board.run()
+    # Without wait states the only stalls come from contention.
+    assert result.stall_cycles < 10
+
+
+def test_result_snapshot_is_stable():
+    board = fr2355_board().load(build_image())
+    first = board.run()
+    second = board.result()
+    assert first.total_cycles == second.total_cycles
+    assert first.debug_words == second.debug_words

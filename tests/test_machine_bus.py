@@ -1,0 +1,142 @@
+"""Bus accounting: categories, wait states, contention, debug ports."""
+
+import pytest
+
+from repro.machine import Bus, BusError, Memory, fr2355_memory_map
+from repro.machine.bus import default_wait_states
+from repro.machine.memory import DEBUG_OUT_PORT, HALT_PORT, PUTC_PORT, RegionKind
+from repro.machine.trace import Attribution
+
+
+def make_bus(frequency_mhz=24):
+    return Bus(Memory(), fr2355_memory_map(), frequency_mhz=frequency_mhz)
+
+
+def test_default_wait_states_by_frequency():
+    assert default_wait_states(8) == 0
+    assert default_wait_states(16) == 1
+    assert default_wait_states(24) == 3
+
+
+def test_fram_fetch_counts_and_stalls():
+    bus = make_bus(24)
+    bus.begin_instruction()
+    bus.fetch_word(0x8000)  # cold miss: 3 wait states
+    assert bus.counters.stall_cycles == 3
+    assert bus.counters.fram_accesses == 1
+    bus.begin_instruction()
+    bus.fetch_word(0x8002)  # same hardware cache line: no stall
+    assert bus.counters.stall_cycles == 3
+    assert bus.counters.fram_accesses == 2
+
+
+def test_sram_accesses_never_stall():
+    bus = make_bus(24)
+    bus.begin_instruction()
+    bus.write(0x2000, 0x1234)
+    bus.begin_instruction()
+    assert bus.read(0x2000) == 0x1234
+    assert bus.counters.stall_cycles == 0
+    assert bus.counters.sram_accesses == 2
+
+
+def test_contention_penalty_within_instruction():
+    bus = make_bus(8)  # zero wait states at 8 MHz
+    bus.begin_instruction()
+    bus.fetch_word(0x8000)
+    assert bus.counters.stall_cycles == 0
+    bus.read(0x9000)  # second FRAM access in the same instruction
+    assert bus.counters.stall_cycles == 1
+    bus.read(0x9100)  # third
+    assert bus.counters.stall_cycles == 2
+    bus.begin_instruction()  # new instruction resets contention
+    bus.read(0x9000)
+    assert bus.counters.stall_cycles == 2
+
+
+def test_fram_write_invalidates_hardware_cache():
+    bus = make_bus(24)
+    bus.begin_instruction()
+    bus.fetch_word(0x8000)
+    stalls = bus.counters.stall_cycles
+    bus.begin_instruction()
+    bus.write(0x8000, 0xBEEF)  # write-through invalidate (+ wait states)
+    bus.begin_instruction()
+    bus.fetch_word(0x8000)  # must miss again
+    assert bus.counters.stall_cycles > stalls + 3
+
+
+def test_account_fetch_matches_fetch_word_accounting():
+    real = make_bus(24)
+    real.begin_instruction()
+    real.fetch_word(0x8000)
+    real.fetch_word(0x8002)
+    fast = make_bus(24)
+    fast.begin_instruction()
+    fast.account_fetch(0x8000, 2)
+    assert fast.counters.fram_accesses == real.counters.fram_accesses
+    assert fast.counters.stall_cycles == real.counters.stall_cycles
+
+
+def test_debug_ports():
+    bus = make_bus()
+    bus.begin_instruction()
+    bus.write(DEBUG_OUT_PORT, 0xCAFE)
+    bus.write(PUTC_PORT, ord("h"))
+    bus.write(PUTC_PORT, ord("i"))
+    assert bus.debug_words == [0xCAFE]
+    assert bus.output_text == "hi"
+    assert not bus.halted
+    bus.write(HALT_PORT, 1)
+    assert bus.halted
+
+
+def test_mmio_reads_return_zero():
+    bus = make_bus()
+    bus.begin_instruction()
+    assert bus.read(DEBUG_OUT_PORT) == 0
+
+
+def test_unmapped_and_misaligned_accesses():
+    bus = make_bus()
+    bus.begin_instruction()
+    with pytest.raises(BusError):
+        bus.read(0x4000)
+    with pytest.raises(BusError):
+        bus.write(0x4000, 1)
+    with pytest.raises(BusError):
+        bus.read(0x8001)  # odd word read
+    with pytest.raises(BusError):
+        bus.fetch_word(0x8001)
+    with pytest.raises(BusError):
+        bus.fetch_word(0x0200)  # executing MMIO
+    # Byte reads at odd addresses are fine.
+    assert bus.read(0x8001, byte=True) == 0
+
+
+def test_attribution_context():
+    bus = make_bus()
+    bus.begin_instruction()
+    with bus.attributed(Attribution.RUNTIME):
+        bus.read(0x9000)
+        with bus.attributed(Attribution.MEMCPY):
+            bus.read(0x9002)
+    bus.read(0x9004)
+    accesses = bus.counters.accesses
+    from repro.machine.trace import READ
+
+    assert accesses[(Attribution.RUNTIME, RegionKind.FRAM, READ)] == 1
+    assert accesses[(Attribution.MEMCPY, RegionKind.FRAM, READ)] == 1
+    assert accesses[(Attribution.APP, RegionKind.FRAM, READ)] == 1
+
+
+def test_counters_code_data_split():
+    bus = make_bus()
+    bus.begin_instruction()
+    bus.fetch_word(0x8000)
+    bus.read(0x9000)
+    bus.write(0x2000, 5)
+    counters = bus.counters
+    assert counters.code_accesses == 1
+    assert counters.data_accesses == 2
+    assert counters.code_data_ratio == 0.5

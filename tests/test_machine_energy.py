@@ -1,0 +1,72 @@
+"""Energy model: linearity and the paper's qualitative properties."""
+
+from repro.machine import EnergyModel
+from repro.toolchain import PLANS, build_baseline
+
+KERNEL = """
+int work[16];
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) work[i] = i * 3;
+    for (int pass = 0; pass < 8; pass++) {
+        for (int i = 0; i < 16; i++) acc += work[i];
+    }
+    __debug_out(acc & 0xFFFF);
+    return 0;
+}
+"""
+
+
+def run(plan, frequency):
+    return build_baseline(KERNEL, PLANS[plan], frequency_mhz=frequency).run()
+
+
+def test_fram_execution_costs_more_energy_than_sram():
+    unified = run("unified", 8)
+    all_sram = run("all_sram", 8)
+    assert unified.energy_nj > 1.3 * all_sram.energy_nj
+
+
+def test_energy_components_sum():
+    model = EnergyModel()
+    result = run("unified", 24)
+    breakdown = model.breakdown_nj(result.counters)
+    assert abs(
+        breakdown["core"] + breakdown["memory"] - model.energy_nj(result.counters)
+    ) < 1e-6
+    assert breakdown["core"] > 0 and breakdown["memory"] > 0
+
+
+def test_zero_cost_model_counts_nothing():
+    free = EnergyModel(
+        core_nj_per_cycle=0, fram_read_nj=0, fram_write_nj=0, sram_access_nj=0
+    )
+    result = run("unified", 24)
+    assert free.energy_nj(result.counters) == 0
+
+
+def test_access_energy_scales_with_constants():
+    base = EnergyModel()
+    double = EnergyModel(
+        fram_read_nj=2 * base.fram_read_nj,
+        fram_write_nj=2 * base.fram_write_nj,
+        sram_access_nj=2 * base.sram_access_nj,
+    )
+    result = run("unified", 24)
+    assert abs(
+        double.access_energy_nj(result.counters)
+        - 2 * base.access_energy_nj(result.counters)
+    ) < 1e-6
+
+
+def test_runtime_scales_inversely_with_frequency_for_sram_code():
+    slow = run("all_sram", 8)
+    fast = run("all_sram", 24)
+    # No wait states in SRAM: time ratio equals the clock ratio.
+    assert abs(slow.runtime_us / fast.runtime_us - 3.0) < 0.01
+
+
+def test_fram_wait_states_erode_frequency_gains():
+    slow = run("unified", 8)
+    fast = run("unified", 24)
+    assert 1.0 < slow.runtime_us / fast.runtime_us < 3.0

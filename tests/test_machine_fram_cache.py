@@ -1,0 +1,82 @@
+"""The 2-way, 4-line hardware FRAM read cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import FramReadCache
+
+
+def test_geometry_matches_fr2355():
+    cache = FramReadCache()
+    assert cache.total_bytes == 32  # 2 sets x 2 ways x 8 bytes
+
+
+def test_sequential_words_share_lines():
+    cache = FramReadCache()
+    assert not cache.access(0x8000)  # miss fills the 8-byte line
+    assert cache.access(0x8002)
+    assert cache.access(0x8004)
+    assert cache.access(0x8006)
+    assert not cache.access(0x8008)  # next line
+
+
+def test_two_way_associativity():
+    cache = FramReadCache()
+    # Three lines mapping to the same set (stride = sets * line).
+    a, b, c = 0x8000, 0x8010, 0x8020
+    cache.access(a)
+    cache.access(b)
+    assert cache.access(a)  # both fit: 2 ways
+    cache.access(c)  # evicts LRU (b)
+    assert not cache.access(b)
+
+
+def test_lru_order_updates_on_hit():
+    cache = FramReadCache()
+    a, b, c = 0x8000, 0x8010, 0x8020
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # a most recent; b is now LRU
+    cache.access(c)  # evicts b
+    assert cache.access(a)
+    assert not cache.access(b)
+
+
+def test_invalidate_single_line_and_all():
+    cache = FramReadCache()
+    cache.access(0x8000)
+    cache.invalidate(0x8002)  # same line
+    assert not cache.access(0x8000)
+    cache.access(0x8008)
+    cache.invalidate()
+    assert not cache.access(0x8008)
+
+
+def test_stats_and_reset():
+    cache = FramReadCache()
+    cache.access(0x8000)
+    cache.access(0x8000)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    cache.reset_stats()
+    assert cache.hit_rate == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0x8000, max_value=0xFFFF), max_size=200))
+def test_accounting_invariant(addresses):
+    cache = FramReadCache()
+    for address in addresses:
+        cache.access(address)
+    assert cache.hits + cache.misses == len(addresses)
+    # Capacity invariant: never more lines resident than ways per set.
+    assert all(len(ways) <= cache.ways for ways in cache._lines)
+
+
+@settings(max_examples=50, deadline=None)
+@given(base=st.integers(min_value=0x8000, max_value=0xFF00))
+def test_repeated_access_always_hits(base):
+    cache = FramReadCache()
+    cache.access(base)
+    for _ in range(10):
+        assert cache.access(base)

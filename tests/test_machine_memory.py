@@ -1,0 +1,71 @@
+"""Memory map and backing store."""
+
+import pytest
+
+from repro.machine import Memory, MemoryMap, Region, RegionKind, fr2355_memory_map
+
+
+def test_fr2355_map_layout():
+    memory_map = fr2355_memory_map()
+    assert memory_map.sram.start == 0x2000
+    assert memory_map.sram.size == 0x1000
+    assert memory_map.fram.end == 0x10000
+    assert memory_map.fram.size == 0x8000
+    assert memory_map.kind_at(0x2000) is RegionKind.SRAM
+    assert memory_map.kind_at(0x8000) is RegionKind.FRAM
+    assert memory_map.kind_at(0x0200) is RegionKind.MMIO
+    assert memory_map.kind_at(0x4000) is RegionKind.UNMAPPED
+
+
+def test_scaled_map():
+    memory_map = fr2355_memory_map(sram_size=0x400, fram_size=0x2000)
+    assert memory_map.sram.size == 0x400
+    assert memory_map.fram.start == 0xE000
+    assert memory_map.kind_at(0xDFFE) is RegionKind.UNMAPPED
+
+
+def test_overlapping_regions_rejected():
+    with pytest.raises(ValueError, match="overlap"):
+        MemoryMap(
+            [
+                Region("a", 0x1000, 0x100, RegionKind.SRAM),
+                Region("b", 0x10FE, 0x100, RegionKind.FRAM),
+            ]
+        )
+
+
+def test_oversize_sram_rejected():
+    with pytest.raises(ValueError):
+        fr2355_memory_map(sram_size=0x7000)
+
+
+def test_region_lookup():
+    memory_map = fr2355_memory_map()
+    assert memory_map.region_at(0x2345).name == "sram"
+    assert memory_map.region_named("fram").kind is RegionKind.FRAM
+    with pytest.raises(KeyError):
+        memory_map.region_named("flash")
+
+
+def test_memory_word_little_endian():
+    memory = Memory()
+    memory.write_word(0x100, 0xA1B2)
+    assert memory.read_byte(0x100) == 0xB2
+    assert memory.read_byte(0x101) == 0xA1
+    assert memory.read_word(0x100) == 0xA1B2
+
+
+def test_memory_bulk_and_masking():
+    memory = Memory()
+    memory.write_bytes(0x200, b"\x01\x02\x03")
+    assert memory.read_bytes(0x200, 3) == b"\x01\x02\x03"
+    memory.write_byte(0x200, 0x1FF)
+    assert memory.read_byte(0x200) == 0xFF
+    memory.write_word(0x300, 0x12345)
+    assert memory.read_word(0x300) == 0x2345
+
+
+def test_memory_wraps_address_space():
+    memory = Memory()
+    memory.write_word(0xFFFF + 2, 0x7777)  # wraps to 0x0001
+    assert memory.read_word(0x0001) == 0x7777

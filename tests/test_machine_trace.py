@@ -1,0 +1,78 @@
+"""AccessCounters: category bookkeeping used by every experiment."""
+
+from repro.machine.memory import RegionKind
+from repro.machine.trace import (
+    FETCH,
+    READ,
+    WRITE,
+    AccessCounters,
+    Attribution,
+)
+
+
+def make_counters():
+    counters = AccessCounters()
+    counters.record_fetch(Attribution.APP, RegionKind.FRAM, 2)
+    counters.record_fetch(Attribution.APP, RegionKind.SRAM, 3)
+    counters.record_fetch(Attribution.RUNTIME, RegionKind.FRAM, 5)
+    counters.record_data(Attribution.APP, RegionKind.FRAM, READ)
+    counters.record_data(Attribution.APP, RegionKind.FRAM, WRITE)
+    counters.record_data(Attribution.MEMCPY, RegionKind.SRAM, WRITE, words=4)
+    counters.record_instruction(Attribution.APP, RegionKind.FRAM, 3)
+    counters.record_instruction(Attribution.APP, RegionKind.SRAM, 2)
+    counters.record_instruction(Attribution.RUNTIME, RegionKind.FRAM, 6)
+    counters.record_instruction(Attribution.MEMCPY, RegionKind.FRAM, 4)
+    counters.stall_cycles = 7
+    return counters
+
+
+def test_region_totals():
+    counters = make_counters()
+    assert counters.fram_accesses == 2 + 5 + 1 + 1
+    assert counters.sram_accesses == 3 + 4
+
+
+def test_code_data_split_and_ratio():
+    counters = make_counters()
+    assert counters.code_accesses == 10
+    assert counters.data_accesses == 6
+    assert abs(counters.code_data_ratio - 10 / 6) < 1e-9
+
+
+def test_ratio_with_no_data_accesses_is_infinite():
+    counters = AccessCounters()
+    counters.record_fetch(Attribution.APP, RegionKind.FRAM, 1)
+    assert counters.code_data_ratio == float("inf")
+
+
+def test_cycle_totals():
+    counters = make_counters()
+    assert counters.unstalled_cycles == 3 + 2 + 6 + 4
+    assert counters.total_cycles == 15 + 7
+
+
+def test_instruction_breakdown_categories():
+    counters = make_counters()
+    breakdown = counters.instructions_by_source()
+    assert breakdown == {
+        "app_fram": 1,
+        "app_sram": 1,
+        "handler": 1,
+        "memcpy": 1,
+    }
+
+
+def test_startup_folds_into_app_fram():
+    counters = AccessCounters()
+    counters.record_instruction(Attribution.STARTUP, RegionKind.FRAM, 2)
+    assert counters.instructions_by_source()["app_fram"] == 1
+
+
+def test_snapshot_is_independent():
+    counters = make_counters()
+    snapshot = counters.snapshot()
+    counters.record_fetch(Attribution.APP, RegionKind.FRAM, 100)
+    counters.stall_cycles += 10
+    assert snapshot.fram_accesses == 9
+    assert snapshot.stall_cycles == 7
+    assert counters.fram_accesses == 109

@@ -1,0 +1,88 @@
+"""Access trace logging."""
+
+from repro.core import build_swapram
+from repro.machine.memory import RegionKind
+from repro.machine.trace import FETCH, WRITE
+from repro.machine.tracelog import TraceLog
+from repro.toolchain import PLANS, build_baseline
+
+SRC = """
+int data[4];
+int put(int index, int value) { data[index] = value; return value; }
+int main(void) {
+    for (int i = 0; i < 4; i++) put(i, i);
+    __debug_out(data[3]);
+    return 0;
+}
+"""
+
+
+def test_trace_records_accesses():
+    board = build_baseline(SRC, PLANS["unified"])
+    with TraceLog(board.bus, capacity=100000) as log:
+        board.run()
+    assert log.events
+    kinds = {event.access for event in log.events}
+    assert kinds == {"fetch", "read", "write"}
+    # Unified model: everything except MMIO is FRAM.
+    assert set(log.by_region()) <= {"fram", "mmio"}
+
+
+def test_trace_count_matches_counters():
+    board = build_baseline(SRC, PLANS["unified"])
+    with TraceLog(board.bus, capacity=1_000_000) as log:
+        result = board.run()
+    assert len(log.events) == result.code_accesses + result.data_accesses
+
+
+def test_detach_stops_logging():
+    board = build_baseline(SRC, PLANS["unified"])
+    log = TraceLog(board.bus).attach()
+    board.cpu.step()
+    seen = len(log.events)
+    log.detach()
+    board.run()
+    assert len(log.events) == seen
+
+
+def test_ring_capacity_bounds_memory():
+    board = build_baseline(SRC, PLANS["unified"])
+    with TraceLog(board.bus, capacity=32) as log:
+        board.run()
+    assert len(log.events) == 32
+    assert log.sequence > 32  # kept counting past the ring
+
+
+def test_filters():
+    board = build_baseline(SRC, PLANS["unified"])
+    data_base = board.linked.image.symbols["data"]
+    with TraceLog(
+        board.bus,
+        kinds={WRITE},
+        address_range=(data_base, data_base + 8),
+    ) as log:
+        board.run()
+    assert len(log.events) == 4  # exactly the four array stores
+    assert all(event.access == "write" for event in log.events)
+
+
+def test_swapram_copies_visible_in_trace():
+    system = build_swapram(SRC, PLANS["unified"])
+    with TraceLog(
+        system.board.bus, capacity=1_000_000, regions={RegionKind.SRAM}
+    ) as log:
+        system.run()
+    writes = [event for event in log.events if event.access == "write"]
+    memcpy_writes = [event for event in writes if event.attribution == "memcpy"]
+    assert memcpy_writes, "function copies must appear as SRAM writes"
+    fetches = [event for event in log.events if event.access == "fetch"]
+    assert fetches, "and the copies must then be executed"
+
+
+def test_dump_formatting():
+    board = build_baseline(SRC, PLANS["unified"])
+    with TraceLog(board.bus, capacity=10) as log:
+        board.run()
+    text = log.dump(limit=5)
+    assert len(text.splitlines()) == 5
+    assert "0x" in text

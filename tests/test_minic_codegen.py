@@ -1,0 +1,384 @@
+"""Mini-C code generation, validated by executing on the simulator."""
+
+import pytest
+
+from repro.minic import CompileError, compile_c
+
+
+def run_c(mini_c_runner, body):
+    """Wrap *body* statements in main() and return the first debug word."""
+    return mini_c_runner("int main(void) { " + body + " return 0; }")
+
+
+# -- arithmetic ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "expression,expected",
+    [
+        ("7 + 3", 10),
+        ("7 - 10", (7 - 10) & 0xFFFF),
+        ("6 * 7", 42),
+        ("1000 * 1000", (1000 * 1000) & 0xFFFF),
+        ("100 / 7", 14),
+        ("100 % 7", 2),
+        ("-100 / 7", (-14) & 0xFFFF),  # C truncates toward zero
+        ("-100 % 7", (-2) & 0xFFFF),
+        ("100 / -7", (-14) & 0xFFFF),
+        ("1 << 10", 1024),
+        ("0x8000 >> 3", 0xF000),  # arithmetic: sign extends
+        ("3 & 6", 2),
+        ("3 | 6", 7),
+        ("3 ^ 6", 5),
+        ("~0x00FF", 0xFF00),
+        ("-(5)", (-5) & 0xFFFF),
+        ("!0", 1),
+        ("!7", 0),
+    ],
+)
+def test_int_expressions(mini_c_runner, expression, expected):
+    assert run_c(mini_c_runner, f"__debug_out({expression});") == [expected]
+
+
+@pytest.mark.parametrize(
+    "expression,expected",
+    [
+        ("60000u / 7", 8571),
+        ("60000u % 7", 3),
+        ("0x8000u >> 3", 0x1000),  # logical for unsigned
+    ],
+)
+def test_unsigned_expressions(mini_c_runner, expression, expected):
+    source = expression.replace("60000u", "a").replace("0x8000u", "a")
+    first = "60000" if "60000u" in expression else "0x8000"
+    body = f"unsigned a = {first}; __debug_out({source});"
+    assert run_c(mini_c_runner, body) == [expected]
+
+
+def test_variable_shift_amounts(mini_c_runner):
+    body = """
+    int value = 0x0101; int n = 4;
+    __debug_out(value << n);
+    __debug_out(value >> n);
+    unsigned u = 0x8000; __debug_out(u >> n);
+    """
+    assert run_c(mini_c_runner, body) == [0x1010, 0x0010, 0x0800]
+
+
+# -- comparisons and control flow ------------------------------------------------------
+
+
+def test_signed_vs_unsigned_comparison(mini_c_runner):
+    body = """
+    int s = -1; unsigned u = 0xFFFF;
+    __debug_out(s < 1);        /* signed: true */
+    __debug_out(u < 1);        /* unsigned: false */
+    __debug_out(s == -1);
+    """
+    assert run_c(mini_c_runner, body) == [1, 0, 1]
+
+
+def test_short_circuit_evaluation(mini_c_runner):
+    source = """
+    int calls = 0;
+    int bump(void) { calls++; return 1; }
+    int main(void) {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        __debug_out(calls);
+        __debug_out(a);
+        __debug_out(b);
+        if (1 && bump()) { __debug_out(calls); }
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [0, 0, 1, 1]
+
+
+def test_ternary(mini_c_runner):
+    assert run_c(mini_c_runner, "int a = 5; __debug_out(a > 3 ? 10 : 20);") == [10]
+    assert run_c(mini_c_runner, "int a = 1; __debug_out(a > 3 ? 10 : 20);") == [20]
+
+
+def test_loops(mini_c_runner):
+    body = """
+    int total = 0;
+    for (int i = 1; i <= 10; i++) total += i;
+    __debug_out(total);
+    int n = 0;
+    while (n < 5) n++;
+    __debug_out(n);
+    int m = 10;
+    do { m--; } while (m > 7);
+    __debug_out(m);
+    """
+    assert run_c(mini_c_runner, body) == [55, 5, 7]
+
+
+def test_break_continue(mini_c_runner):
+    body = """
+    int total = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i == 5) break;
+        if (i & 1) continue;
+        total += i;
+    }
+    __debug_out(total);
+    """
+    assert run_c(mini_c_runner, body) == [0 + 2 + 4]
+
+
+# -- variables, arrays, pointers ---------------------------------------------------------
+
+
+def test_globals_and_locals(mini_c_runner):
+    source = """
+    int g = 42;
+    unsigned char gc = 0x12;
+    int main(void) {
+        int local = g + gc;
+        g = local * 2;
+        __debug_out(g);
+        __debug_out(gc);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [120, 0x12]
+
+
+def test_global_arrays_word_and_byte(mini_c_runner):
+    source = """
+    int words[4] = {10, 20, 30, 40};
+    unsigned char bytes[4] = {1, 2, 3, 4};
+    int main(void) {
+        words[1] = words[0] + words[2];
+        bytes[2] = (unsigned char)(bytes[3] * 3);
+        __debug_out(words[1]);
+        __debug_out(bytes[2]);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [40, 12]
+
+
+def test_local_arrays(mini_c_runner):
+    body = """
+    int box[4];
+    int i;
+    for (i = 0; i < 4; i++) box[i] = i * i;
+    __debug_out(box[0] + box[1] + box[2] + box[3]);
+    """
+    assert run_c(mini_c_runner, body) == [14]
+
+
+def test_local_array_initializer(mini_c_runner):
+    body = """
+    int seq[3] = {5, 6, 7};
+    __debug_out(seq[0] + seq[1] * seq[2]);
+    """
+    assert run_c(mini_c_runner, body) == [47]
+
+
+def test_pointers_and_address_of(mini_c_runner):
+    source = """
+    int value = 11;
+    void set(int *target, int v) { *target = v; }
+    int main(void) {
+        int local = 3;
+        set(&value, 99);
+        set(&local, 7);
+        __debug_out(value);
+        __debug_out(local);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [99, 7]
+
+
+def test_pointer_arithmetic_scaling(mini_c_runner):
+    source = """
+    int words[4] = {10, 20, 30, 40};
+    unsigned char bytes[4] = {1, 2, 3, 4};
+    int main(void) {
+        int *wp = words + 1;
+        const unsigned char *bp = bytes + 1;
+        __debug_out(*wp);
+        __debug_out(*(wp + 2));
+        __debug_out(*bp);
+        __debug_out(wp[1]);
+        __debug_out((int)(&words[3] - &words[0]));
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [20, 40, 2, 30, 3]
+
+
+def test_string_literals(mini_c_runner):
+    source = """
+    int main(void) {
+        const char *text = "AB";
+        __debug_out(text[0]);
+        __debug_out(text[1]);
+        __debug_out(text[2]);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [65, 66, 0]
+
+
+def test_char_truncation(mini_c_runner):
+    body = """
+    unsigned char c = (unsigned char)0x1FF;
+    __debug_out(c);
+    c = (unsigned char)(c + 10);
+    __debug_out(c);
+    """
+    assert run_c(mini_c_runner, body) == [0xFF, 9]
+
+
+# -- assignment operators ------------------------------------------------------------------
+
+
+def test_compound_assignment_scalar(mini_c_runner):
+    body = """
+    int a = 10;
+    a += 5;  __debug_out(a);
+    a -= 3;  __debug_out(a);
+    a *= 2;  __debug_out(a);
+    a /= 4;  __debug_out(a);
+    a %= 4;  __debug_out(a);
+    a = 6; a <<= 2; __debug_out(a);
+    a >>= 1; __debug_out(a);
+    a |= 0x10; __debug_out(a);
+    a &= 0x1C; __debug_out(a);
+    a ^= 0xFF; __debug_out(a);
+    """
+    assert run_c(mini_c_runner, body) == [15, 12, 24, 6, 2, 24, 12, 28, 28, 227]
+
+
+def test_compound_assignment_through_array(mini_c_runner):
+    source = """
+    int cells[2] = {3, 4};
+    int main(void) {
+        cells[0] += cells[1];
+        cells[1] *= 5;
+        __debug_out(cells[0]);
+        __debug_out(cells[1]);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [7, 20]
+
+
+def test_incdec_value_semantics(mini_c_runner):
+    body = """
+    int a = 5;
+    __debug_out(a++);
+    __debug_out(a);
+    __debug_out(++a);
+    __debug_out(a--);
+    __debug_out(--a);
+    """
+    assert run_c(mini_c_runner, body) == [5, 6, 7, 7, 5]
+
+
+def test_incdec_on_array_element(mini_c_runner):
+    source = """
+    int cells[2] = {1, 9};
+    int main(void) {
+        int idx = 0;
+        __debug_out(cells[idx++]);
+        __debug_out(cells[idx]++);
+        __debug_out(cells[1]);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [1, 9, 10]
+
+
+def test_pointer_incdec_scales(mini_c_runner):
+    source = """
+    int words[3] = {7, 8, 9};
+    int main(void) {
+        int *p = words;
+        p++;
+        __debug_out(*p);
+        ++p;
+        __debug_out(*p);
+        p--;
+        __debug_out(*p);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [8, 9, 8]
+
+
+# -- functions ------------------------------------------------------------------------------------
+
+
+def test_four_arguments(mini_c_runner):
+    source = """
+    int weave(int a, int b, int c, int d) { return a + b * 10 + c * 100 + d * 1000; }
+    int main(void) { __debug_out(weave(1, 2, 3, 4)); return 0; }
+    """
+    assert mini_c_runner(source) == [4321]
+
+
+def test_recursion(mini_c_runner):
+    source = """
+    int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main(void) { __debug_out(fib(10)); return 0; }
+    """
+    assert mini_c_runner(source) == [55]
+
+
+def test_mutual_recursion(mini_c_runner):
+    source = """
+    int is_odd(int n);
+    int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    int main(void) { __debug_out(is_even(10)); __debug_out(is_odd(7)); return 0; }
+    """
+    # Forward declarations are not supported; declare by definition order.
+    source = """
+    int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    int main(void) { __debug_out(is_even(10)); __debug_out(is_odd(7)); return 0; }
+    """
+    assert mini_c_runner(source) == [1, 1]
+
+
+def test_scope_shadowing(mini_c_runner):
+    body = """
+    int x = 1;
+    { int x = 2; __debug_out(x); }
+    __debug_out(x);
+    """
+    assert run_c(mini_c_runner, body) == [2, 1]
+
+
+# -- errors -------------------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source,match",
+    [
+        ("int main(void) { return missing; }", "undefined identifier"),
+        ("int main(void) { return f(1); }", "undefined function"),
+        ("int main(void) { break; }", "break outside"),
+        ("int main(void) { 5 = 3; return 0; }", "lvalue"),
+        ("int f(int a, int b, int c, int d, int e) { return 0; }", "four"),
+        ("int x; int x; int main(void) { return 0; }", "duplicate"),
+    ],
+)
+def test_compile_errors(source, match):
+    with pytest.raises(CompileError, match=match):
+        compile_c(source)
+
+
+def test_missing_main_rejected():
+    with pytest.raises(CompileError, match="main"):
+        compile_c("int helper(void) { return 1; }")

@@ -1,0 +1,190 @@
+"""Additional mini-C codegen behaviours."""
+
+import pytest
+
+from repro.minic import compile_c
+
+
+def test_comma_operator(mini_c_runner):
+    source = """
+    int main(void) {
+        int a = 0;
+        int b = (a = 5, a + 2);
+        __debug_out(a);
+        __debug_out(b);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [5, 7]
+
+
+def test_for_with_empty_clauses(mini_c_runner):
+    source = """
+    int main(void) {
+        int i = 0;
+        for (;;) {
+            i++;
+            if (i == 4) break;
+        }
+        __debug_out(i);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [4]
+
+
+def test_deeply_nested_expression_uses_stack_temporaries(mini_c_runner):
+    source = """
+    int main(void) {
+        int a = 1; int b = 2; int c = 3; int d = 4;
+        __debug_out(((a + b) * (c + d)) - ((a * b) + (c * d)) + ((a ^ b) | (c & d)));
+        return 0;
+    }
+    """
+    expected = ((1 + 2) * (3 + 4)) - ((1 * 2) + (3 * 4)) + ((1 ^ 2) | (3 & 4))
+    assert mini_c_runner(source) == [expected & 0xFFFF]
+
+
+def test_string_literals_are_interned():
+    program = compile_c(
+        """
+        int main(void) {
+            const char *a = "same";
+            const char *b = "same";
+            __debug_out(a == b);
+            return 0;
+        }
+        """
+    )
+    rodata = program.sections["rodata"]
+    from repro.asm.ast import DataItem
+
+    blobs = [tuple(item.values) for item in rodata if isinstance(item, DataItem)]
+    assert len(blobs) == 1  # one copy of "same"
+
+
+def test_interned_strings_compare_equal(mini_c_runner):
+    source = """
+    int main(void) {
+        const char *a = "same";
+        const char *b = "same";
+        __debug_out(a == b);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [1]
+
+
+def test_char_arithmetic_promotes(mini_c_runner):
+    source = """
+    unsigned char a = 200;
+    unsigned char b = 100;
+    int main(void) {
+        __debug_out(a + b);          /* promoted: 300 */
+        __debug_out((unsigned char)(a + b));  /* truncated: 44 */
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [300, 44]
+
+
+def test_while_condition_with_side_effect(mini_c_runner):
+    source = """
+    int main(void) {
+        int n = 5;
+        int steps = 0;
+        while (n--) steps++;
+        __debug_out(steps);
+        __debug_out(n & 0xFFFF);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [5, 0xFFFF]
+
+
+def test_nested_ternary(mini_c_runner):
+    source = """
+    int classify(int x) { return x < 0 ? 0 - 1 : x == 0 ? 0 : 1; }
+    int main(void) {
+        __debug_out(classify(0 - 5) & 0xFFFF);
+        __debug_out(classify(0));
+        __debug_out(classify(9));
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [0xFFFF, 0, 1]
+
+
+def test_logical_operators_as_values(mini_c_runner):
+    source = """
+    int main(void) {
+        int a = 3; int b = 0;
+        __debug_out(a && b);
+        __debug_out(a || b);
+        __debug_out(!(a && !b));
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [0, 1, 0]
+
+
+def test_global_pointer_variable(mini_c_runner):
+    source = """
+    int cells[3] = {7, 8, 9};
+    int *cursor;
+    int main(void) {
+        cursor = cells + 1;
+        __debug_out(*cursor);
+        cursor = cursor + 1;
+        __debug_out(*cursor);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [8, 9]
+
+
+def test_void_function_call_statement(mini_c_runner):
+    source = """
+    int counter = 0;
+    void bump(void) { counter++; }
+    int main(void) {
+        bump(); bump(); bump();
+        __debug_out(counter);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [3]
+
+
+def test_argument_evaluation_independent(mini_c_runner):
+    source = """
+    int pack(int a, int b, int c) { return a * 100 + b * 10 + c; }
+    int main(void) {
+        int i = 1;
+        __debug_out(pack(i++, i++, i++));
+        return 0;
+    }
+    """
+    # Our evaluation order is defined: left to right.
+    assert mini_c_runner(source) == [123]
+
+
+def test_large_frame_with_many_locals(mini_c_runner):
+    declarations = "\n".join(f"    int v{i} = {i};" for i in range(24))
+    total = " + ".join(f"v{i}" for i in range(24))
+    source = f"int main(void) {{\n{declarations}\n    __debug_out({total});\n    return 0;\n}}"
+    assert mini_c_runner(source) == [sum(range(24))]
+
+
+def test_byte_global_compound_assignment(mini_c_runner):
+    source = """
+    unsigned char level = 10;
+    int main(void) {
+        level += 250;   /* wraps at 8 bits on store */
+        __debug_out(level);
+        level <<= 2;
+        __debug_out(level);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [(10 + 250) & 0xFF, ((260 & 0xFF) << 2) & 0xFF]

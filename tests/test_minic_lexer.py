@@ -1,0 +1,71 @@
+"""Mini-C tokenizer and one-rule preprocessor."""
+
+import pytest
+
+from repro.minic import LexError, tokenize
+
+
+def kinds(source):
+    return [(token.kind, token.text or token.value) for token in tokenize(source)]
+
+
+def test_basic_tokens():
+    tokens = tokenize("int x = 0x10 + 2;")
+    texts = [(t.kind, t.text) for t in tokens[:-1]]
+    assert texts[0] == ("keyword", "int")
+    assert texts[1] == ("ident", "x")
+    assert tokens[3].value == 16
+    assert tokens[5].value == 2
+
+
+def test_maximal_munch_operators():
+    tokens = tokenize("a <<= b >> c <= d;")
+    ops = [t.text for t in tokens if t.kind == "op"]
+    assert ops == ["<<=", ">>", "<=", ";"]
+
+
+def test_char_and_string_literals():
+    tokens = tokenize("'A' '\\n' \"hi\\0\"")
+    assert tokens[0].value == 65
+    assert tokens[1].value == 10
+    assert tokens[2].kind == "string"
+    assert tokens[2].value == [ord("h"), ord("i"), 0]
+
+
+def test_comments_ignored():
+    tokens = tokenize("a // line\n /* block\n comment */ b")
+    idents = [t.text for t in tokens if t.kind == "ident"]
+    assert idents == ["a", "b"]
+
+
+def test_define_substitution():
+    tokens = tokenize("#define SIZE 32\nint a[SIZE];")
+    values = [t.value for t in tokens if t.kind == "num"]
+    assert values == [32]
+
+
+def test_define_expression_body():
+    tokens = tokenize("#define DOUBLE (2*HALF)\n#define HALF 8\nDOUBLE")
+    texts = [t.text for t in tokens if t.kind != "eof"]
+    assert "(" in texts and "*" in texts
+
+
+def test_keywords_not_substituted():
+    tokens = tokenize("#define int 5\nint x;")
+    assert tokens[0].kind == "keyword"
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(LexError):
+        tokenize("#include <stdio.h>")
+
+
+def test_bad_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("int a = `bad`;")
+
+
+def test_line_numbers():
+    tokens = tokenize("a\nb\n  c")
+    lines = [t.line for t in tokens if t.kind == "ident"]
+    assert lines == [1, 2, 3]

@@ -1,0 +1,137 @@
+"""Mini-C parser: declarations, statements, precedence, constants."""
+
+import pytest
+
+from repro.minic import CParseError, parse_c
+from repro.minic import cast
+from repro.minic.cparser import fold_constant
+
+
+def test_globals_and_sections_metadata():
+    unit = parse_c(
+        """
+        const int table[3] = {1, 2, 3};
+        unsigned counter = 5;
+        char buffer[8];
+        char text[6] = "hello";
+        """
+    )
+    table, counter, buffer, text = unit.globals
+    assert table.const and table.array_size == 3 and table.init == [1, 2, 3]
+    assert counter.type.signed_ is False and counter.init == 5
+    assert buffer.array_size == 8 and buffer.init is None
+    assert text.init[:5] == [ord(c) for c in "hello"] and text.init[5] == 0
+
+
+def test_function_parameters_and_array_decay():
+    unit = parse_c("int f(int a, unsigned char *p, int v[]) { return a; }")
+    params = unit.functions[0].params
+    assert params[0].type == cast.CType("int", True, 0)
+    assert params[1].type.pointer == 1 and params[1].type.base == "char"
+    assert params[2].type.pointer == 1  # array decays to pointer
+
+
+def test_precedence_shapes():
+    unit = parse_c("int f(void) { return 1 + 2 * 3 == 7 && 4 | 2; }")
+    expr = unit.functions[0].body.statements[0].value
+    assert isinstance(expr, cast.Binary) and expr.op == "&&"
+    left = expr.left
+    assert left.op == "=="
+    assert left.left.op == "+"
+    assert left.left.right.op == "*"
+
+
+def test_assignment_right_associative():
+    unit = parse_c("int f(int a, int b) { a = b = 1; return a; }")
+    assign = unit.functions[0].body.statements[0].expr
+    assert isinstance(assign, cast.Assign)
+    assert isinstance(assign.value, cast.Assign)
+
+
+def test_statement_forms():
+    unit = parse_c(
+        """
+        int f(int n) {
+            int total = 0;
+            if (n > 0) total += n; else total -= n;
+            while (n) { n--; }
+            do { n++; } while (n < 3);
+            for (int i = 0; i < 4; i++) { if (i == 2) continue; total++; }
+            for (;;) { break; }
+            return total;
+        }
+        """
+    )
+    body = unit.functions[0].body.statements
+    assert isinstance(body[1], cast.If)
+    assert isinstance(body[2], cast.While)
+    assert isinstance(body[3], cast.DoWhile)
+    assert isinstance(body[4], cast.For)
+    assert isinstance(body[5], cast.For) and body[5].cond is None
+
+
+def test_unary_and_postfix():
+    unit = parse_c("int f(int *p) { return -p[1] + ~*p + !p[0] + p[0]++; }")
+    assert unit.functions[0].name == "f"
+
+
+def test_cast_expression():
+    unit = parse_c("int f(int x) { return (unsigned char)x; }")
+    value = unit.functions[0].body.statements[0].value
+    assert isinstance(value, cast.Cast)
+    assert value.type.base == "char"
+
+
+def test_constant_folding():
+    assert _fold("3 + 4 * 2") == 11
+    assert _fold("(1 << 4) - 1") == 15
+    assert _fold("~0") == 0xFFFF
+    assert _fold("-1") == 0xFFFF
+    assert _fold("0x10 | 0x01") == 0x11
+    assert _fold("7 / 2") == 3
+    assert _fold("!5") == 0
+
+
+def _fold(text):
+    unit = parse_c(f"const int v = {text};")
+    return unit.globals[0].init
+
+
+def test_array_size_constant_expression():
+    unit = parse_c("#define N 8\nint a[N * 2];")
+    assert unit.globals[0].array_size == 16
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "int f( { return 0; }",
+        "int f(void) { return 0 }",
+        "int f(void) { foo(1)(2); }",  # only direct calls
+        "int = 5;",
+        "int f(void) { int x[y]; }",  # non-constant size
+    ],
+)
+def test_syntax_errors(source):
+    with pytest.raises(CParseError):
+        parse_c(source)
+
+
+def test_comma_operator():
+    unit = parse_c("int f(int a) { return (a = 1, a + 1); }")
+    value = unit.functions[0].body.statements[0].value
+    assert isinstance(value, cast.Binary) and value.op == ","
+
+
+def test_ternary_nesting():
+    unit = parse_c("int f(int a) { return a ? 1 : a ? 2 : 3; }")
+    value = unit.functions[0].body.statements[0].value
+    assert isinstance(value, cast.Ternary)
+    assert isinstance(value.other, cast.Ternary)
+
+
+def test_multi_declarator_statement():
+    unit = parse_c("int f(void) { int a = 1, b = 2; return a + b; }")
+    first = unit.functions[0].body.statements[0]
+    assert isinstance(first, cast.Block)
+    assert len(first.statements) == 2

@@ -1,0 +1,176 @@
+"""The switch statement (the paper's §4 jump-table replacement)."""
+
+import pytest
+
+from repro.minic import CParseError, compile_c, parse_c
+
+
+def test_basic_dispatch(mini_c_runner):
+    source = """
+    int pick(int which) {
+        switch (which) {
+        case 0: return 10;
+        case 1: return 20;
+        case 7: return 70;
+        default: return 99;
+        }
+    }
+    int main(void) {
+        __debug_out(pick(0));
+        __debug_out(pick(1));
+        __debug_out(pick(7));
+        __debug_out(pick(3));
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [10, 20, 70, 99]
+
+
+def test_fallthrough_semantics(mini_c_runner):
+    source = """
+    int tally(int which) {
+        int acc = 0;
+        switch (which) {
+        case 2: acc += 100;
+        case 1: acc += 10;
+        case 0: acc += 1;
+        }
+        return acc;
+    }
+    int main(void) {
+        __debug_out(tally(2));
+        __debug_out(tally(1));
+        __debug_out(tally(0));
+        __debug_out(tally(9));
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [111, 11, 1, 0]
+
+
+def test_break_exits_switch(mini_c_runner):
+    source = """
+    int main(void) {
+        int acc = 0;
+        switch (1) {
+        case 1: acc += 5; break;
+        case 2: acc += 50;
+        }
+        __debug_out(acc);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [5]
+
+
+def test_no_default_falls_to_end(mini_c_runner):
+    source = """
+    int main(void) {
+        int acc = 7;
+        switch (40) {
+        case 1: acc = 0;
+        }
+        __debug_out(acc);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [7]
+
+
+def test_continue_inside_switch_binds_to_loop(mini_c_runner):
+    source = """
+    int main(void) {
+        int total = 0;
+        for (int i = 0; i < 6; i++) {
+            switch (i & 1) {
+            case 1: continue;
+            }
+            total += i;
+        }
+        __debug_out(total);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [0 + 2 + 4]
+
+
+def test_constant_case_expressions(mini_c_runner):
+    source = """
+    #define BASE 4
+    int main(void) {
+        switch (8) {
+        case BASE * 2: __debug_out(1); break;
+        default: __debug_out(0);
+        }
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [1]
+
+
+def test_nested_switch_break_levels(mini_c_runner):
+    source = """
+    int main(void) {
+        int acc = 0;
+        switch (1) {
+        case 1:
+            switch (2) {
+            case 2: acc += 1; break;
+            case 3: acc += 100;
+            }
+            acc += 10;
+            break;
+        case 9: acc += 1000;
+        }
+        __debug_out(acc);
+        return 0;
+    }
+    """
+    assert mini_c_runner(source) == [11]
+
+
+def test_duplicate_case_rejected():
+    with pytest.raises(CParseError, match="duplicate case"):
+        parse_c("int main(void) { switch (1) { case 1: break; case 1: break; } return 0; }")
+
+
+def test_duplicate_default_rejected():
+    with pytest.raises(CParseError, match="duplicate default"):
+        parse_c(
+            "int main(void) { switch (1) { default: break; default: break; } return 0; }"
+        )
+
+
+def test_statement_before_label_rejected():
+    with pytest.raises(CParseError, match="before the first case"):
+        parse_c("int main(void) { switch (1) { return 0; } }")
+
+
+def test_break_still_required_outside_loops():
+    from repro.minic import CompileError
+
+    with pytest.raises(CompileError, match="continue outside"):
+        compile_c("int main(void) { switch (1) { case 1: continue; } return 0; }")
+
+
+def test_switch_under_swapram():
+    from repro.core import build_swapram
+    from repro.toolchain import PLANS
+
+    source = """
+    int handle(int kind) {
+        switch (kind) {
+        case 0: return 11;
+        case 1: return 22;
+        default: return 33;
+        }
+    }
+    int main(void) {
+        int acc = 0;
+        for (int i = 0; i < 5; i++) acc += handle(i);
+        __debug_out(acc);
+        return 0;
+    }
+    """
+    system = build_swapram(source, PLANS["unified"])
+    assert system.run().debug_words == [11 + 22 + 33 * 3]

@@ -1,0 +1,147 @@
+"""Assembly runtime helpers (__mulhi & friends) against Python semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minic.runtime_lib import (
+    HELPER_NAMES,
+    runtime_library_functions,
+)
+from tests.helpers import run_asm
+
+
+def call_helper(name, a, b):
+    """Run one helper with R12=a, R13=b; return R12 afterwards."""
+    harness = f"""
+.func __start
+    MOV #0x3000, SP
+    MOV #{a}, R12
+    MOV #{b}, R13
+    CALL #{name}
+    MOV R12, &0x0200
+    MOV #1, &0x0202
+.endfunc
+"""
+    from repro.asm import SectionLayout, assemble
+    from repro.asm.ast import Program
+    from repro.asm.parser import parse_asm
+    from repro.machine import fr2355_board
+
+    program = parse_asm(harness, entry="__start")
+    for function in runtime_library_functions([name]):
+        program.functions.append(function)
+    image = assemble(
+        program, SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00)
+    )
+    board = fr2355_board().load(image)
+    board.run()
+    return board.bus.debug_words[0]
+
+
+def _signed(value):
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def test_helper_registry():
+    assert "__mulhi" in HELPER_NAMES
+    functions = runtime_library_functions(["__divhi"])
+    names = {function.name for function in functions}
+    assert names == {"__divhi", "__udivhi"}  # dependency pulled in
+    assert all(function.is_library for function in functions)
+    with pytest.raises(KeyError):
+        runtime_library_functions(["__nothing"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+def test_mulhi(a, b):
+    assert call_helper("__mulhi", a, b) == (a * b) & 0xFFFF
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(0, 0xFFFF), b=st.integers(1, 0xFFFF))
+def test_udivhi_uremhi(a, b):
+    assert call_helper("__udivhi", a, b) == a // b
+    assert call_helper("__uremhi", a, b) == a % b
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(-0x8000, 0x7FFF), b=st.integers(-0x8000, 0x7FFF))
+def test_divhi_remhi_truncate_toward_zero(a, b):
+    if b == 0:
+        return
+    quotient = call_helper("__divhi", a & 0xFFFF, b & 0xFFFF)
+    remainder = call_helper("__remhi", a & 0xFFFF, b & 0xFFFF)
+    expected_q = int(a / b)
+    expected_r = a - expected_q * b
+    assert _signed(quotient) == expected_q
+    assert _signed(remainder) == expected_r
+
+
+@settings(max_examples=25, deadline=None)
+@given(value=st.integers(0, 0xFFFF), count=st.integers(0, 15))
+def test_shift_helpers(value, count):
+    assert call_helper("__ashlhi", value, count) == (value << count) & 0xFFFF
+    assert call_helper("__lshrhi", value, count) == value >> count
+    assert call_helper("__ashrhi", value, count) == (_signed(value) >> count) & 0xFFFF
+
+
+def test_shift_count_masked_to_four_bits():
+    assert call_helper("__ashlhi", 1, 17) == 2  # 17 & 15 == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(-0x7FFF, 0x7FFF), b=st.integers(-0x7FFF, 0x7FFF))
+def test_fixmul_q15(a, b):
+    result = call_helper("__fixmul", a & 0xFFFF, b & 0xFFFF)
+    sign = -1 if (a < 0) != (b < 0) else 1
+    expected = sign * ((abs(a) * abs(b)) >> 15)
+    assert _signed(result) == expected
+
+
+@pytest.mark.parametrize(
+    "a,b,expected",
+    [
+        (16384, 16384, 8192),  # 0.5 * 0.5 = 0.25 in Q15
+        (32767, 32767, 32766),
+        (-16384 & 0xFFFF, 16384, -8192),
+        (0, 12345, 0),
+    ],
+)
+def test_fixmul_known_values(a, b, expected):
+    assert _signed(call_helper("__fixmul", a, b)) == expected
+
+
+def test_helpers_preserve_callee_saved_registers():
+    board = run_asm(
+        """
+.func __start
+    MOV #0x3000, SP
+    MOV #0x1111, R10
+    MOV #0x2222, R11
+    MOV #1234, R12
+    MOV #77, R13
+    CALL #__fixmul
+    CMP #0x1111, R10
+    JNE .Lfail
+    CMP #0x2222, R11
+    JNE .Lfail
+    MOV #1, &0x0200
+    MOV #1, &0x0202
+.Lfail:
+    MOV #0, &0x0200
+    MOV #1, &0x0202
+.endfunc
+"""
+        + _fixmul_source(),
+        entry="__start",
+    )
+    assert board.bus.debug_words[0] == 1
+
+
+def _fixmul_source():
+    from repro.minic.runtime_lib import _HELPER_SOURCES
+
+    return _HELPER_SOURCES["__fixmul"]

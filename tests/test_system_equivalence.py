@@ -1,0 +1,84 @@
+"""Section 5.1: the cache systems must not change program behaviour.
+
+Every benchmark's output (checksums over the debug port) must be
+identical under baseline, SwapRAM and the block cache, and must match
+the pure-Python reference implementation. The four quick benchmarks run
+in the default test pass; the full nine-benchmark matrix is regenerated
+by the benchmark harness (``benchmarks/``).
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.blockcache import build_blockcache
+from repro.core import build_swapram
+from repro.core.policy import CostAwareQueuePolicy, StackPolicy
+from repro.toolchain import FitError, PLANS, build_baseline
+
+QUICK = ("crc", "rc4", "rsa", "lzfx")
+
+
+@pytest.mark.parametrize("name", QUICK)
+def test_three_systems_agree(name):
+    bench = get_benchmark(name)
+    plan = PLANS["unified"]
+    baseline = build_baseline(bench.source, plan).run()
+    assert baseline.debug_words == bench.expected
+
+    swapram = build_swapram(bench.source, plan).run()
+    assert swapram.debug_words == bench.expected
+
+    try:
+        block = build_blockcache(bench.source, plan).run()
+    except FitError:
+        return  # DNF is a legitimate outcome for the block cache
+    assert block.debug_words == bench.expected
+
+
+@pytest.mark.parametrize("name", QUICK)
+def test_swapram_final_data_state_matches_baseline(name):
+    """Beyond the output words, mutable data memory must end identical."""
+    bench = get_benchmark(name)
+    plan = PLANS["unified"]
+    base_board = build_baseline(bench.source, plan)
+    base_board.run()
+    base_extent = base_board.linked.image.section_extents
+
+    system = build_swapram(bench.source, plan)
+    system.run()
+
+    for section in ("data", "bss"):
+        base_addr, size = base_extent[section]
+        if not size:
+            continue
+        swap_addr, _ = system.linked.image.section_extents[section]
+        base_bytes = base_board.memory.read_bytes(base_addr, size)
+        swap_bytes = system.board.memory.read_bytes(swap_addr, size)
+        assert base_bytes == swap_bytes, section
+
+
+@pytest.mark.parametrize("policy", [StackPolicy, CostAwareQueuePolicy])
+def test_alternative_policies_preserve_behaviour(policy):
+    bench = get_benchmark("crc")
+    system = build_swapram(bench.source, PLANS["unified"], policy_class=policy)
+    assert system.run().debug_words == bench.expected
+
+
+def test_swapram_with_random_input_sequences():
+    """§5.1's random-input validation, on the RC4 stream cipher."""
+    from repro.bench.programs import rc4
+
+    for scale in (1, 2):
+        source, expected = rc4.build(scale=scale)
+        swap = build_swapram(source, PLANS["unified"]).run()
+        assert swap.debug_words == expected
+
+
+def test_split_memory_equivalence():
+    bench = get_benchmark("crc")
+    for plan_name in ("unified", "standard"):
+        plan = PLANS[plan_name]
+        baseline = build_baseline(bench.source, plan).run()
+        swap = build_swapram(bench.source, plan).run()
+        assert baseline.debug_words == bench.expected
+        assert swap.debug_words == bench.expected

@@ -1,0 +1,108 @@
+"""Linker plans, layout, fit checking, startup code."""
+
+import pytest
+
+from repro.machine.memory import RegionKind
+from repro.toolchain import (
+    FitError,
+    MemoryPlan,
+    PLANS,
+    build_baseline,
+    compile_program,
+    link,
+    measure_sections,
+)
+
+SMALL = """
+int table[4] = {1, 2, 3, 4};
+int main(void) {
+    __debug_out(table[0] + table[3]);
+    return 0;
+}
+"""
+
+
+def test_unified_plan_leaves_sram_empty():
+    program = compile_program(SMALL)
+    linked = link(program, PLANS["unified"])
+    sram = linked.memory_map.sram
+    assert linked.cache_base == sram.start
+    assert linked.cache_size == sram.size
+    assert linked.layout.base("text") == linked.memory_map.fram.start
+    # Stack lives in FRAM for the unified model.
+    assert linked.memory_map.kind_at(linked.stack_top - 2) is RegionKind.FRAM
+
+
+def test_standard_plan_puts_data_in_sram():
+    program = compile_program(SMALL)
+    linked = link(program, PLANS["standard"])
+    assert linked.layout.base("data") == linked.memory_map.sram.start
+    assert linked.memory_map.kind_at(linked.stack_top - 2) is RegionKind.SRAM
+    assert linked.cache_size < linked.memory_map.sram.size
+
+
+def test_code_sram_plan():
+    program = compile_program(SMALL)
+    linked = link(program, PLANS["code_sram"])
+    assert linked.layout.base("text") == linked.memory_map.sram.start
+
+
+def test_measure_matches_assembled_sizes():
+    program = compile_program(SMALL)
+    measured = measure_sections(program)
+    linked = link(program, PLANS["unified"])
+    for section, (base, size) in linked.image.section_extents.items():
+        if size:
+            assert measured[section] == size, section
+
+
+def test_fit_error_reports_overflow():
+    tiny = MemoryPlan("tiny", fram_size=0x100)
+    program = compile_program(SMALL)
+    with pytest.raises(FitError, match="overflow"):
+        link(program, tiny)
+
+
+def test_cache_reserve_limits_data_area():
+    big_data = """
+    int blob[256];
+    int main(void) { blob[0] = 1; __debug_out(blob[0]); return 0; }
+    """
+    plan = PLANS["standard"].with_cache_reserve(0x380)
+    with pytest.raises(FitError):
+        link(compile_program(big_data), plan)  # 512B data + stack vs 128B
+
+
+def test_startup_added_once_and_blacklisted():
+    program = compile_program(SMALL)
+    assert program.entry == "__start"
+    assert program.functions[0].name == "__start"
+    assert program.functions[0].blacklisted
+    before = len(program.functions)
+    from repro.toolchain.build import add_startup
+
+    add_startup(program)
+    assert len(program.functions) == before
+
+
+def test_baseline_runs_and_reports():
+    board = build_baseline(SMALL, PLANS["unified"], frequency_mhz=24)
+    result = board.run()
+    assert result.debug_words == [5]
+    assert result.fram_accesses > 0
+    assert result.sram_accesses == 0  # unified: nothing lives in SRAM
+    assert result.total_cycles > result.unstalled_cycles  # wait states at 24 MHz
+
+
+def test_baseline_8mhz_has_fewer_stalls():
+    fast = build_baseline(SMALL, PLANS["unified"], frequency_mhz=24).run()
+    slow = build_baseline(SMALL, PLANS["unified"], frequency_mhz=8).run()
+    assert slow.stall_cycles < fast.stall_cycles
+    assert slow.unstalled_cycles == fast.unstalled_cycles
+
+
+def test_scaled_plan():
+    plan = PLANS["unified"].scaled(sram_size=0x800, fram_size=0x4000)
+    linked = link(compile_program(SMALL), plan)
+    assert linked.memory_map.sram.size == 0x800
+    assert linked.cache_size == 0x800

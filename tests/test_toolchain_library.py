@@ -1,0 +1,125 @@
+"""Library instrumentation (§4): recover compiled code, re-instrument it."""
+
+import pytest
+
+from repro.asm import SectionLayout, assemble, parse_asm
+from repro.asm.ast import Program
+from repro.machine import Memory, fr2355_board
+from repro.toolchain.library import (
+    LibraryRecoveryError,
+    recover_function,
+    recover_library,
+)
+
+LIBRARY_SOURCE = """
+.func lib_clamp
+    CMP #100, R12
+    JL .Ldone
+    MOV #100, R12
+.Ldone:
+    RET
+.endfunc
+.func lib_scale
+    PUSH R11
+    MOV R12, R11
+    ADD R11, R12
+    ADD R11, R12
+    CALL #lib_clamp
+    POP R11
+    RET
+.endfunc
+"""
+
+LAYOUT = SectionLayout(text=0x8000, rodata=0x9000, data=0x9800, bss=0x9C00)
+
+
+def _compiled_library():
+    """Assemble the library as if it were a vendor-supplied binary."""
+    image = assemble(parse_asm(LIBRARY_SOURCE, entry="lib_clamp"), LAYOUT)
+    memory = Memory()
+    image.load_into(memory)
+    return image, memory
+
+
+def test_recovery_reproduces_instruction_stream():
+    image, memory = _compiled_library()
+    original = parse_asm(LIBRARY_SOURCE).function("lib_scale")
+    info = image.functions["lib_scale"]
+    recovered = recover_function(
+        memory.read_word,
+        "lib_scale",
+        info.address,
+        info.end,
+        {image.functions["lib_clamp"].address: "lib_clamp"},
+    )
+    assert recovered.is_library
+    assert len(recovered.instructions()) == len(original.instructions())
+    mnemonics = [item.mnemonic for item in recovered.instructions()]
+    assert mnemonics == [item.mnemonic for item in original.instructions()]
+
+
+def test_recovered_code_reassembles_identically():
+    image, memory = _compiled_library()
+    functions = recover_library(image, memory)
+    program = Program(entry="lib_clamp")
+    program.functions.extend(functions)
+    reimage = assemble(program, LAYOUT)
+    for name, info in image.functions.items():
+        new_info = reimage.functions[name]
+        assert new_info.size == info.size
+    rememory = Memory()
+    reimage.load_into(rememory)
+    base, size = image.section_extents["text"]
+    assert rememory.read_bytes(base, size) == memory.read_bytes(base, size)
+
+
+def test_recovered_intra_function_branches_are_symbolic():
+    image, memory = _compiled_library()
+    info = image.functions["lib_clamp"]
+    recovered = recover_function(memory.read_word, "lib_clamp", info.address, info.end)
+    jump = recovered.instructions()[1]
+    from repro.isa.operands import Sym
+
+    assert isinstance(jump.target, Sym)
+    assert jump.target.name.startswith(".Llib_clamp_recovered")
+    assert len(recovered.labels()) == 1
+
+
+def test_data_in_code_range_rejected():
+    memory = Memory()
+    memory.write_word(0x8000, 0x0000)  # not a valid opcode
+    with pytest.raises(LibraryRecoveryError):
+        recover_function(memory.read_word, "broken", 0x8000, 0x8004)
+
+
+def test_recovered_library_joins_swapram_workflow():
+    """The paper's end goal: recovered library code is cached like source."""
+    image, memory = _compiled_library()
+    recovered = recover_library(image, memory)
+
+    app = parse_asm(
+        """
+        .func __start
+            MOV #__stack_top, SP
+            MOV #30, R12
+            CALL #lib_scale
+            MOV R12, &0x0200
+            MOV #60, R12
+            CALL #lib_scale
+            MOV R12, &0x0200
+            MOV #1, &0x0202
+        .endfunc
+        """,
+        entry="__start",
+    )
+    app.function("__start").blacklisted = True
+    app.functions.extend(recovered)
+
+    from repro.core import build_swapram
+    from repro.toolchain import PLANS
+
+    system = build_swapram(app, PLANS["unified"])
+    result = system.run()
+    assert result.debug_words == [90, 100]  # 3x30, then clamped 3x60
+    assert "lib_scale" in system.stats.per_function_caches
+    assert "lib_clamp" in system.stats.per_function_caches
