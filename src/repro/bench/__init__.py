@@ -12,6 +12,7 @@ from repro.bench.suite import (
     BENCHMARK_NAMES,
     BenchmarkProgram,
     PAPER_TABLE1,
+    QUICK_NAMES,
     get_benchmark,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "BENCHMARK_NAMES",
     "BenchmarkProgram",
     "PAPER_TABLE1",
+    "QUICK_NAMES",
     "get_benchmark",
 ]

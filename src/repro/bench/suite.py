@@ -30,6 +30,12 @@ PAPER_TABLE1 = {
 
 BENCHMARK_NAMES = list(PAPER_TABLE1)
 
+#: The small/fast subset used by the default test pass and smoke runs;
+#: the full set runs under ``pytest --runslow`` and the benchmark
+#: harness. One benchmark per behaviour family: table-driven checksum,
+#: stream cipher, modular arithmetic, compression.
+QUICK_NAMES = ("crc", "rc4", "rsa", "lzfx")
+
 
 def _module(name):
     import importlib

@@ -7,10 +7,13 @@
     python -m repro program.c --system block         # prior-work block cache
     python -m repro program.c --plan standard --mhz 8
     python -m repro program.c --system swapram --stats --listing
+    python -m repro difftest --seed 1234 --count 50   # differential fuzzing
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics, and
 ``--listing`` disassembles the final (possibly self-modified) code.
+The ``difftest`` subcommand runs the differential conformance fuzzer
+(see :mod:`repro.difftest.cli`).
 """
 
 import argparse
@@ -113,6 +116,11 @@ def _print_report(result, out):
 
 
 def main(argv=None, out=sys.stdout):
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "difftest":
+        from repro.difftest.cli import main as difftest_main
+
+        return difftest_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()

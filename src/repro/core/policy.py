@@ -58,6 +58,23 @@ class CachePolicy:
     def used_bytes(self):
         return sum(node.size for node in self.nodes)
 
+    def free_bytes(self):
+        """Bytes of the cache window not covered by any node.
+
+        Computed by scanning the gaps between address-ordered nodes
+        rather than as ``size - used_bytes()``, so that
+        ``used + free == size`` genuinely certifies the allocator's
+        consistency: it holds only when every node lies inside the
+        window and no two nodes overlap.
+        """
+        free = 0
+        cursor = self.base
+        for node in sorted(self.nodes, key=lambda node: node.address):
+            free += max(node.address - cursor, 0)
+            cursor = max(cursor, node.end)
+        free += max(self.end - cursor, 0)
+        return free
+
     def _overlapping(self, address, size):
         lo, hi = address, address + size
         return [node for node in self.nodes if node.address < hi and node.end > lo]

@@ -1,0 +1,47 @@
+"""Differential conformance testing (fuzzing) for the cache systems.
+
+SwapRAM's central claim (§5.1) is behavioural transparency: a
+transformed binary must be bit-identical in its observable behaviour to
+the untransformed one. This package turns that claim into an executable
+oracle:
+
+* :mod:`repro.difftest.ast` -- a tiny program AST that renders to
+  mini-C *and* evaluates directly in Python with the platform's 16-bit
+  semantics, giving a simulator-independent reference result;
+* :mod:`repro.difftest.generator` -- a seeded random program generator
+  producing deep call graphs, recursion, switch dispatch and array
+  traffic sized to stress cache eviction;
+* :mod:`repro.difftest.runner` -- the N-way differential runner:
+  reference vs baseline vs SwapRAM (plan x policy matrix) vs block
+  cache, with runtime invariant checkers;
+* :mod:`repro.difftest.invariants` -- the invariant checkers, reusable
+  from unit tests;
+* :mod:`repro.difftest.shrink` -- a greedy minimiser that reduces any
+  divergence to a small reproducer.
+
+Entry point: ``python -m repro difftest --seed N --count M``.
+"""
+
+from repro.difftest.generator import generate_program
+from repro.difftest.runner import (
+    DiffReport,
+    Divergence,
+    ExecConfig,
+    corrupt_one_reloc,
+    full_matrix,
+    quick_matrix,
+    run_differential,
+)
+from repro.difftest.shrink import shrink
+
+__all__ = [
+    "DiffReport",
+    "Divergence",
+    "ExecConfig",
+    "corrupt_one_reloc",
+    "full_matrix",
+    "generate_program",
+    "quick_matrix",
+    "run_differential",
+    "shrink",
+]

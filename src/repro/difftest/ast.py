@@ -1,0 +1,685 @@
+"""Generator AST: renders to mini-C and evaluates under reference semantics.
+
+Every construct exists in exactly two forms that must agree: ``render``
+produces mini-C source the toolchain compiles, and the evaluator in
+:class:`Evaluator` computes the same program directly in Python with the
+platform's data model (16-bit words, wrapping arithmetic, shift counts
+masked to 0-15, ``char`` unsigned). The evaluator is the differential
+runner's reference implementation -- it never touches the simulator, so
+a disagreement implicates the toolchain or a cache runtime, not the
+oracle.
+
+To keep the two semantics provably aligned the language is restricted
+to the unambiguous core of mini-C:
+
+* every variable is ``unsigned`` (16-bit) except ``for``-loop counters,
+  whose values stay below 0x8000 so signedness cannot matter;
+* expressions are pure -- assignment, ``++`` and calls never nest
+  inside other expressions, so C's unspecified evaluation order is
+  irrelevant (calls appear only as a whole statement or the sole RHS
+  of an assignment);
+* divisors are forced non-zero by construction (``expr | 1``), and
+  shift counts are masked to 0-15 at the AST level;
+* loops have structurally bounded trip counts and recursion decreases
+  an explicit depth parameter, so every program terminates.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+MASK = 0xFFFF
+
+
+class ReferenceError_(Exception):
+    """The reference evaluator hit something the generator must prevent."""
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class Const:
+    value: int
+
+    def render(self):
+        return str(self.value & MASK)
+
+
+@dataclass
+class Var:
+    """A local variable or parameter."""
+
+    name: str
+
+    def render(self):
+        return self.name
+
+
+@dataclass
+class GVar:
+    """A global scalar."""
+
+    name: str
+
+    def render(self):
+        return self.name
+
+
+@dataclass
+class Load:
+    """``array[index]`` on a global array; the index must be in range."""
+
+    array: str
+    index: object
+
+    def render(self):
+        return f"{self.array}[{self.index.render()}]"
+
+
+@dataclass
+class Unary:
+    op: str  # '-', '~', '!'
+    operand: object
+
+    def render(self):
+        return f"({self.op}{self.operand.render()})"
+
+
+@dataclass
+class Binary:
+    """A binary operator, rendered with **unsigned semantics pinned**.
+
+    C's usual arithmetic conversions pick signed semantics only when
+    both operands are signed; casting the left operand to ``unsigned``
+    therefore forces every division, modulo, right shift and comparison
+    to the unsigned behaviour the reference evaluator implements,
+    regardless of what int-typed literals or loop counters appear in
+    the operands.
+    """
+
+    op: str  # arithmetic/bitwise/shift/relational/logical
+    left: object
+    right: object
+
+    def render(self):
+        return f"(((unsigned){self.left.render()}) {self.op} {self.right.render()})"
+
+
+@dataclass
+class Cond:
+    """The ternary operator ``c ? t : f``."""
+
+    cond: object
+    then: object
+    other: object
+
+    def render(self):
+        return (
+            f"({self.cond.render()} ? {self.then.render()}"
+            f" : {self.other.render()})"
+        )
+
+
+@dataclass
+class Call:
+    func: str
+    args: List[object]
+
+    def render(self):
+        return f"{self.func}({', '.join(a.render() for a in self.args)})"
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Decl:
+    """``unsigned name = init;`` (loop counters declare their own)."""
+
+    name: str
+    init: object
+
+    def render(self, indent):
+        return [f"{indent}unsigned {self.name} = {self.init.render()};"]
+
+
+@dataclass
+class Assign:
+    """``target op value;`` where op is '=' or a compound form."""
+
+    target: object  # Var | GVar | Load
+    op: str  # '=', '+=', '-=', '^=', '&=', '|='
+    value: object
+
+    def render(self, indent):
+        return [f"{indent}{self.target.render()} {self.op} {self.value.render()};"]
+
+
+@dataclass
+class CallStmt:
+    """A call executed for its side effects: ``f(a, b);``."""
+
+    call: Call
+
+    def render(self, indent):
+        return [f"{indent}{self.call.render()};"]
+
+
+@dataclass
+class If:
+    cond: object
+    then: List[object]
+    other: Optional[List[object]] = None
+
+    def render(self, indent):
+        lines = [f"{indent}if ({self.cond.render()}) {{"]
+        lines += render_block(self.then, indent + "    ")
+        if self.other:
+            lines.append(f"{indent}}} else {{")
+            lines += render_block(self.other, indent + "    ")
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class For:
+    """``for (int var = 0; var < bound; var++)`` with a constant bound."""
+
+    var: str
+    bound: int
+    body: List[object] = field(default_factory=list)
+
+    def render(self, indent):
+        lines = [
+            f"{indent}for (int {self.var} = 0; "
+            f"{self.var} < {self.bound}; {self.var}++) {{"
+        ]
+        lines += render_block(self.body, indent + "    ")
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class DoWhile:
+    """A counted do/while: runs ``bound`` times (bound >= 1)."""
+
+    var: str
+    bound: int
+    body: List[object] = field(default_factory=list)
+
+    def render(self, indent):
+        inner = indent + "    "
+        lines = [f"{indent}{{", f"{inner}unsigned {self.var} = 0;", f"{inner}do {{"]
+        lines += render_block(self.body, inner + "    ")
+        lines.append(f"{inner}    {self.var} = {self.var} + 1;")
+        lines.append(f"{inner}}} while ({self.var} < {self.bound});")
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class Case:
+    value: int
+    body: List[object] = field(default_factory=list)
+    has_break: bool = True  # False = deliberate C fallthrough
+
+
+@dataclass
+class Switch:
+    sel: object
+    cases: List[Case] = field(default_factory=list)
+    default: Optional[List[object]] = None
+
+    def render(self, indent):
+        inner = indent + "    "
+        lines = [f"{indent}switch ({self.sel.render()}) {{"]
+        for case in self.cases:
+            lines.append(f"{indent}case {case.value}:")
+            lines += render_block(case.body, inner)
+            if case.has_break:
+                lines.append(f"{inner}break;")
+        if self.default is not None:
+            lines.append(f"{indent}default:")
+            lines += render_block(self.default, inner)
+        lines.append(f"{indent}}}")
+        return lines
+
+
+@dataclass
+class Return:
+    value: object
+
+    def render(self, indent):
+        return [f"{indent}return {self.value.render()};"]
+
+
+@dataclass
+class DebugOut:
+    value: object
+
+    def render(self, indent):
+        return [f"{indent}__debug_out({self.value.render()});"]
+
+
+def render_block(stmts, indent):
+    lines = []
+    for stmt in stmts:
+        lines += stmt.render(indent)
+    return lines
+
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclass
+class GlobalArray:
+    name: str
+    ctype: str  # 'unsigned' | 'unsigned char'
+    values: List[int]  # initial values; all-zero + not const -> bss
+    const: bool = False
+
+    @property
+    def element_bytes(self):
+        return 1 if "char" in self.ctype else 2
+
+    @property
+    def element_mask(self):
+        return 0xFF if "char" in self.ctype else MASK
+
+    @property
+    def is_bss(self):
+        return not self.const and not any(self.values)
+
+    def render(self):
+        if self.is_bss:
+            return f"{self.ctype} {self.name}[{len(self.values)}];"
+        prefix = "const " if self.const else ""
+        body = ", ".join(str(v) for v in self.values)
+        return f"{prefix}{self.ctype} {self.name}[{len(self.values)}] = {{ {body} }};"
+
+
+@dataclass
+class GlobalScalar:
+    name: str
+    value: int
+
+    def render(self):
+        return f"unsigned {self.name} = {self.value & MASK};"
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    params: List[str]
+    body: List[object] = field(default_factory=list)
+
+    def render(self):
+        if self.name == "main":
+            head = "int main(void) {"
+        else:
+            args = ", ".join(f"unsigned {p}" for p in self.params) or "void"
+            head = f"unsigned {self.name}({args}) {{"
+        return "\n".join([head] + render_block(self.body, "    ") + ["}"])
+
+
+@dataclass
+class GenProgram:
+    """A generated program: globals + functions (main last)."""
+
+    seed: int
+    arrays: List[GlobalArray] = field(default_factory=list)
+    scalars: List[GlobalScalar] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)  # main included, last
+
+    def render(self):
+        parts = [f"/* difftest program, seed {self.seed} */"]
+        parts += [a.render() for a in self.arrays]
+        parts += [s.render() for s in self.scalars]
+        parts += [f.render() for f in self.functions]
+        return "\n\n".join(parts) + "\n"
+
+    def function(self, name):
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def mutable_arrays(self):
+        return [a for a in self.arrays if not a.const]
+
+    def evaluate(self, max_steps=2_000_000):
+        return Evaluator(self, max_steps=max_steps).run()
+
+
+# -- reference evaluation ------------------------------------------------------
+
+
+@dataclass
+class RefResult:
+    """What the reference evaluator observed."""
+
+    debug_words: List[int]
+    arrays: dict  # name -> final list of element values
+    scalars: dict  # name -> final value
+    steps: int
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+def _as_bool(value):
+    return 1 if value else 0
+
+
+class Evaluator:
+    """Executes a :class:`GenProgram` under the 16-bit reference semantics."""
+
+    def __init__(self, program, max_steps=2_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self.steps = 0
+        self.debug = []
+        self.arrays = {a.name: list(a.values) for a in program.arrays}
+        self.array_meta = {a.name: a for a in program.arrays}
+        self.scalars = {s.name: s.value & MASK for s in program.scalars}
+        self.functions = {f.name: f for f in program.functions}
+
+    def run(self):
+        main = self.functions["main"]
+        try:
+            self.exec_block(main.body, {})
+        except _ReturnSignal:
+            pass
+        return RefResult(
+            debug_words=list(self.debug),
+            arrays={name: list(vals) for name, vals in self.arrays.items()},
+            scalars=dict(self.scalars),
+            steps=self.steps,
+        )
+
+    def _tick(self, n=1):
+        self.steps += n
+        if self.steps > self.max_steps:
+            raise ReferenceError_(
+                f"reference evaluation exceeded {self.max_steps} steps"
+            )
+
+    # -- statements ------------------------------------------------------------
+
+    def exec_block(self, stmts, frame):
+        for stmt in stmts:
+            self.exec_stmt(stmt, frame)
+
+    def exec_stmt(self, stmt, frame):
+        self._tick()
+        kind = type(stmt)
+        if kind is Decl:
+            frame[stmt.name] = self.eval(stmt.init, frame)
+        elif kind is Assign:
+            value = self.eval(stmt.value, frame)
+            self._store(stmt.target, stmt.op, value, frame)
+        elif kind is CallStmt:
+            self.eval(stmt.call, frame)
+        elif kind is If:
+            if self.eval(stmt.cond, frame):
+                self.exec_block(stmt.then, frame)
+            elif stmt.other:
+                self.exec_block(stmt.other, frame)
+        elif kind is For:
+            for i in range(stmt.bound):
+                frame[stmt.var] = i
+                self.exec_block(stmt.body, frame)
+        elif kind is DoWhile:
+            for i in range(max(stmt.bound, 1)):
+                frame[stmt.var] = i
+                self.exec_block(stmt.body, frame)
+        elif kind is Switch:
+            self._exec_switch(stmt, frame)
+        elif kind is Return:
+            raise _ReturnSignal(self.eval(stmt.value, frame))
+        elif kind is DebugOut:
+            self.debug.append(self.eval(stmt.value, frame))
+        else:
+            raise ReferenceError_(f"unknown statement {stmt!r}")
+
+    def _exec_switch(self, stmt, frame):
+        sel = self.eval(stmt.sel, frame)
+        taken = False
+        try:
+            for case in stmt.cases:
+                if taken or (case.value & MASK) == sel:
+                    taken = True
+                    self.exec_block(case.body, frame)
+                    if case.has_break:
+                        raise _BreakSignal()
+            if not taken and stmt.default is not None:
+                self.exec_block(stmt.default, frame)
+        except _BreakSignal:
+            pass
+
+    def _store(self, target, op, value, frame):
+        kind = type(target)
+        if kind is Var:
+            current = frame.get(target.name, 0)
+            frame[target.name] = self._apply(op, current, value) & MASK
+        elif kind is GVar:
+            current = self.scalars[target.name]
+            self.scalars[target.name] = self._apply(op, current, value) & MASK
+        elif kind is Load:
+            meta = self.array_meta[target.array]
+            if meta.const:
+                raise ReferenceError_(f"store to const array {target.array}")
+            index = self.eval(target.index, frame)
+            if not 0 <= index < len(meta.values):
+                raise ReferenceError_(
+                    f"index {index} out of range for {target.array}"
+                )
+            current = self.arrays[target.array][index]
+            self.arrays[target.array][index] = (
+                self._apply(op, current, value) & meta.element_mask
+            )
+        else:
+            raise ReferenceError_(f"bad assignment target {target!r}")
+
+    @staticmethod
+    def _apply(op, current, value):
+        if op == "=":
+            return value
+        if op == "+=":
+            return current + value
+        if op == "-=":
+            return current - value
+        if op == "^=":
+            return current ^ value
+        if op == "&=":
+            return current & value
+        if op == "|=":
+            return current | value
+        raise ReferenceError_(f"bad compound op {op!r}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def eval(self, expr, frame):
+        self._tick()
+        kind = type(expr)
+        if kind is Const:
+            return expr.value & MASK
+        if kind is Var:
+            return frame[expr.name] & MASK
+        if kind is GVar:
+            return self.scalars[expr.name]
+        if kind is Load:
+            meta = self.array_meta[expr.array]
+            index = self.eval(expr.index, frame)
+            if not 0 <= index < len(meta.values):
+                raise ReferenceError_(f"index {index} out of range for {expr.array}")
+            return self.arrays[expr.array][index]
+        if kind is Unary:
+            value = self.eval(expr.operand, frame)
+            if expr.op == "-":
+                return (-value) & MASK
+            if expr.op == "~":
+                return (~value) & MASK
+            if expr.op == "!":
+                return _as_bool(value == 0)
+            raise ReferenceError_(f"bad unary {expr.op!r}")
+        if kind is Binary:
+            return self._binary(expr, frame)
+        if kind is Cond:
+            if self.eval(expr.cond, frame):
+                return self.eval(expr.then, frame)
+            return self.eval(expr.other, frame)
+        if kind is Call:
+            return self.call(expr.func, [self.eval(a, frame) for a in expr.args])
+        raise ReferenceError_(f"unknown expression {expr!r}")
+
+    def _binary(self, expr, frame):
+        op = expr.op
+        if op == "&&":
+            return _as_bool(self.eval(expr.left, frame) and self.eval(expr.right, frame))
+        if op == "||":
+            return _as_bool(self.eval(expr.left, frame) or self.eval(expr.right, frame))
+        left = self.eval(expr.left, frame)
+        right = self.eval(expr.right, frame)
+        if op == "+":
+            return (left + right) & MASK
+        if op == "-":
+            return (left - right) & MASK
+        if op == "*":
+            return (left * right) & MASK
+        if op == "/":
+            if right == 0:
+                raise ReferenceError_("division by zero reached the evaluator")
+            return left // right
+        if op == "%":
+            if right == 0:
+                raise ReferenceError_("modulo by zero reached the evaluator")
+            return left % right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return (left << (right & 15)) & MASK
+        if op == ">>":
+            return left >> (right & 15)
+        if op == "<":
+            return _as_bool(left < right)
+        if op == "<=":
+            return _as_bool(left <= right)
+        if op == ">":
+            return _as_bool(left > right)
+        if op == ">=":
+            return _as_bool(left >= right)
+        if op == "==":
+            return _as_bool(left == right)
+        if op == "!=":
+            return _as_bool(left != right)
+        raise ReferenceError_(f"bad binary {op!r}")
+
+    def call(self, name, args):
+        func = self.functions.get(name)
+        if func is None:
+            raise ReferenceError_(f"call to unknown function {name!r}")
+        if len(args) != len(func.params):
+            raise ReferenceError_(f"arity mismatch calling {name!r}")
+        frame = {p: a & MASK for p, a in zip(func.params, args)}
+        try:
+            self.exec_block(func.body, frame)
+        except _ReturnSignal as signal:
+            return signal.value & MASK
+        raise ReferenceError_(f"function {name!r} fell off its end")
+
+
+# -- generic AST traversal (used by the shrinker) ------------------------------
+
+_EXPR_FIELDS: dict = {
+    Decl: ("init",),
+    Assign: ("value",),
+    If: ("cond",),
+    Switch: ("sel",),
+    Return: ("value",),
+    DebugOut: ("value",),
+}
+
+_CHILD_BLOCKS: dict = {
+    If: ("then", "other"),
+    For: ("body",),
+    DoWhile: ("body",),
+}
+
+
+def statement_blocks(stmt) -> List[Tuple[object, str, List[object]]]:
+    """Nested statement lists of *stmt* as (owner, attr, list) triples."""
+    blocks = []
+    for attr in _CHILD_BLOCKS.get(type(stmt), ()):
+        block = getattr(stmt, attr)
+        if block:
+            blocks.append((stmt, attr, block))
+    if type(stmt) is Switch:
+        for case in stmt.cases:
+            if case.body:
+                blocks.append((case, "body", case.body))
+        if stmt.default:
+            blocks.append((stmt, "default", stmt.default))
+    return blocks
+
+
+def iter_expressions(stmt):
+    """Yield the top-level expressions of *stmt* (not of nested blocks)."""
+    for attr in _EXPR_FIELDS.get(type(stmt), ()):
+        yield stmt, attr, getattr(stmt, attr)
+    if type(stmt) is Assign and type(stmt.target) is Load:
+        yield stmt.target, "index", stmt.target.index
+
+
+def expression_children(expr):
+    """(owner, key, child) triples for the sub-expressions of *expr*."""
+    kind = type(expr)
+    if kind is Unary:
+        return [(expr, "operand", expr.operand)]
+    if kind is Binary:
+        return [(expr, "left", expr.left), (expr, "right", expr.right)]
+    if kind is Cond:
+        return [
+            (expr, "cond", expr.cond),
+            (expr, "then", expr.then),
+            (expr, "other", expr.other),
+        ]
+    if kind is Call:
+        return [(expr.args, i, a) for i, a in enumerate(expr.args)]
+    if kind is Load:
+        return [(expr, "index", expr.index)]
+    return []
+
+
+def called_functions(program):
+    """name -> number of static call sites across the whole program."""
+    counts: dict = {}
+
+    def visit_expr(expr):
+        if type(expr) is Call:
+            counts[expr.func] = counts.get(expr.func, 0) + 1
+        for _, _, child in expression_children(expr):
+            visit_expr(child)
+
+    def visit_block(block):
+        for stmt in block:
+            for _, _, expr in iter_expressions(stmt):
+                visit_expr(expr)
+            if type(stmt) is CallStmt:
+                visit_expr(stmt.call)
+            for _, _, inner in statement_blocks(stmt):
+                visit_block(inner)
+
+    for func in program.functions:
+        visit_block(func.body)
+    return counts

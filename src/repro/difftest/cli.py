@@ -1,0 +1,138 @@
+"""The ``repro difftest`` subcommand: run a differential fuzzing campaign.
+
+::
+
+    python -m repro difftest --seed 1234 --count 50
+    python -m repro difftest --seed 7 --count 1 --quick
+    python -m repro difftest --seed 0 --count 200 --size small
+
+Each seed deterministically generates one program, runs it across the
+differential matrix and cross-checks every observable (see
+:mod:`repro.difftest.runner`). Any divergence is shrunk to a minimal
+reproducer and written to ``results/difftest/seed<N>.c`` -- a
+standalone mini-C file (with the divergence report in its header
+comment) that ``python -m repro`` can run directly. The exit status is
+the number of diverging seeds, so the command doubles as a CI gate.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.difftest.generator import generate_program
+from repro.difftest.runner import full_matrix, quick_matrix, run_differential
+from repro.difftest.shrink import shrink, shrink_report
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="repro difftest",
+        description="Differential conformance fuzzing: reference vs baseline "
+        "vs SwapRAM vs block cache.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first seed (default: 0)")
+    parser.add_argument(
+        "--count", type=int, default=20, help="number of seeds (default: 20)"
+    )
+    parser.add_argument(
+        "--size",
+        choices=("small", "medium", "large"),
+        default="medium",
+        help="generated program size (default: medium)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the bounded 4-config matrix instead of the full one",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergences without minimising them",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results/difftest",
+        help="where reproducers are written (default: results/difftest)",
+    )
+    parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=200,
+        help="max differential runs the shrinker may spend per divergence",
+    )
+    return parser
+
+
+def write_reproducer(directory, report, program, note=""):
+    """Write a standalone reproducer and return its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"seed{report.seed}.c"
+    lines = [
+        f"// difftest reproducer: seed {report.seed}",
+        f"// reproduce: python -m repro difftest --seed {report.seed} --count 1",
+    ]
+    for divergence in report.divergences:
+        lines.append(f"// divergence: {divergence}")
+    if note:
+        lines.append(f"// {note}")
+    lines.append("")
+    lines.append(program.render())
+    path.write_text("\n".join(lines))
+    return path
+
+
+def shrink_divergence(report, program, budget=200, fault=None, configs=None):
+    """Minimise *program* while it reproduces the report's first divergence."""
+    first = report.divergences[0]
+    # Re-running just the diverging configuration keeps each predicate
+    # call cheap; the reference evaluation happens either way.
+    pool = configs if configs is not None else full_matrix() + quick_matrix()
+    matching = [config for config in pool if config.name == first.config]
+    configs = matching[:1] or pool
+
+    def still_fails(candidate):
+        candidate_report = run_differential(candidate, configs, fault=fault)
+        return any(
+            d.config == first.config and d.kind == first.kind
+            for d in candidate_report.divergences
+        )
+
+    return shrink(program, still_fails, max_predicate_calls=budget)
+
+
+def main(argv=None, out=sys.stdout):
+    args = _parser().parse_args(argv)
+    configs = quick_matrix() if args.quick else full_matrix()
+
+    failures = 0
+    for seed in range(args.seed, args.seed + args.count):
+        program = generate_program(seed, size=args.size)
+        report = run_differential(program, configs)
+        print(report.summary(), file=out)
+        for anomaly in report.anomalies:
+            print(f"  note: {anomaly}", file=out)
+        if report.ok:
+            continue
+        failures += 1
+        note = ""
+        if not args.no_shrink and report.divergences[0].kind != "generator":
+            shrunk = shrink_divergence(
+                report, program, budget=args.shrink_budget
+            )
+            note = shrink_report(program, shrunk)
+            print(f"  {note}", file=out)
+            program = shrunk
+        path = write_reproducer(args.results_dir, report, program, note)
+        print(f"  reproducer: {path}", file=out)
+
+    print(
+        f"difftest: {args.count} seeds, {failures} with divergences",
+        file=out,
+    )
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

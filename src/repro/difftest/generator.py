@@ -1,0 +1,565 @@
+"""Seeded random mini-C program generator for differential testing.
+
+Programs are built bottom-up: leaf functions first, then functions that
+may call any earlier one (mini-C requires definitions to precede
+calls), then a switch-based dispatcher standing in for a function
+pointer table (mini-C forbids computed calls -- the paper rewrote
+bitcount's jump table the same way, §4), then ``main``. Function bodies
+mix scalar arithmetic, global-array reads and writes, bounded loops,
+conditionals, switch fallthrough and bounded recursion.
+
+Three structural rules keep the generated programs inside the envelope
+where the reference evaluator's semantics are provably exact:
+
+* loop counters are **read-only** inside their bodies (so trip counts
+  are the literal bounds) and recursion decrements a dedicated ``n``
+  parameter that nothing else writes, with every call site passing the
+  function's fixed depth bound;
+* a **dynamic cost budget** bounds the work one ``main`` performs:
+  charges scale by the enclosing loops' trip counts, calls add the
+  callee's estimate, recursion multiplies by the depth bound, and the
+  libcall operators (multiply, divide, shifts) cost what their helper
+  loops cost -- call sites are only generated while the estimate stays
+  under budget;
+* a **stack depth budget** does the same for worst-case frame bytes,
+  keeping the deepest chain inside the scaled platform's 256 B stack
+  with a margin for the libcalls' own frames.
+
+Physical size is governed separately: each function is regenerated (or
+truncated) until its rendered form stays inside the conditional-jump
+range of one function, and function generation stops once the program
+approaches the 8 KiB FRAM budget. The result still rivals or exceeds
+the 1 KiB SRAM cache, which is the point -- eviction traffic, not fit.
+"""
+
+import random
+
+from repro.difftest.ast import (
+    Assign,
+    Binary,
+    Call,
+    CallStmt,
+    Case,
+    Cond,
+    Const,
+    DebugOut,
+    Decl,
+    DoWhile,
+    For,
+    FunctionDef,
+    GenProgram,
+    GlobalArray,
+    GlobalScalar,
+    GVar,
+    If,
+    Load,
+    Return,
+    Switch,
+    Unary,
+    Var,
+)
+
+#: Worst-case stack bytes one frame may use (saved regs, frame slots
+#: for locals and spilled arguments, expression temporaries).
+FRAME_BYTES = 32
+#: Stack left for generated code once the libcalls' own frames and the
+#: startup call are set aside (plans give programs 0x100 stack bytes).
+STACK_BUDGET = 0x100 - 56
+
+#: Dynamic-cost ceiling for one run of ``main`` (roughly instructions).
+MAIN_COST_BUDGET = 16_000
+
+#: Rendered-size ceilings (chars; code bytes come out at ~0.67x chars).
+#: A function must stay well inside the +-512-word conditional jump
+#: range; the program must leave FRAM room for data, stack and the
+#: cache runtimes' metadata sections.
+FUNC_CHAR_LIMIT = 1_000
+PROGRAM_CHAR_BUDGET = 4_200
+MAIN_CHAR_LIMIT = 1_500
+
+#: Approximate dynamic cost of each operator (the libcall ones loop).
+_OP_COST = {"*": 14, "/": 55, "%": 55, "<<": 12, ">>": 12}
+
+_WRAP_OPS = ("+", "-", "*", "^", "&", "|")
+_COMPARE_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_COMPOUND_OPS = ("=", "+=", "-=", "^=", "&=", "|=")
+
+
+class _Env:
+    """Names visible to generated code, split by writability.
+
+    ``readable`` includes loop counters and the recursion depth
+    parameter; ``writable`` never does -- assigning to either would
+    break the evaluator's structural model of loops and recursion.
+    """
+
+    def __init__(self, readable=(), writable=()):
+        self.readable = list(readable)
+        self.writable = list(writable)
+
+    def child(self, extra_readable=(), extra_writable=()):
+        return _Env(
+            self.readable + list(extra_readable) + list(extra_writable),
+            self.writable + list(extra_writable),
+        )
+
+
+class _FuncInfo:
+    """Generation-time facts about a finished function."""
+
+    def __init__(self, name, params, cost, depth, recursion_bound=None):
+        self.name = name
+        self.params = params
+        self.cost = cost  # estimated dynamic cost of one call
+        self.depth = depth  # worst-case stack bytes one call consumes
+        self.recursion_bound = recursion_bound  # fixed value for param 'n'
+
+
+class _Budget:
+    """Tracks the estimated cost/depth of the function being built.
+
+    ``scale`` is the product of the enclosing loops' trip counts, so a
+    charge inside a 4x3 loop nest costs 12x -- that is what the
+    simulator will actually execute.
+    """
+
+    def __init__(self, cost_limit, depth_limit=STACK_BUDGET):
+        self.cost = 0
+        self.scale = 1
+        self.extra_depth = 0  # deepest callee chain hanging off this frame
+        self.cost_limit = cost_limit
+        self.depth_limit = depth_limit
+
+    @property
+    def depth(self):
+        return FRAME_BYTES + self.extra_depth
+
+    def charge(self, cost, depth=0):
+        self.cost += cost * self.scale
+        self.extra_depth = max(self.extra_depth, depth)
+
+    def can_afford(self, cost, depth=0):
+        return (
+            self.cost + cost * self.scale <= self.cost_limit
+            and FRAME_BYTES + depth <= self.depth_limit
+        )
+
+
+class ProgramGenerator:
+    """One seeded generation run; see :func:`generate_program`."""
+
+    def __init__(self, seed, size="medium"):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.size = size
+        self.arrays = []
+        self.scalars = []
+        self.funcs = []  # _FuncInfo, in definition order
+        self.defs = []  # FunctionDef, same order
+        self.temp_counter = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fresh(self, prefix):
+        self.temp_counter += 1
+        return f"{prefix}{self.temp_counter}"
+
+    def _const(self):
+        rng = self.rng
+        if rng.random() < 0.5:
+            return Const(rng.randrange(0, 64))
+        return Const(rng.randrange(0, 0x10000))
+
+    def _mutable_arrays(self):
+        return [a for a in self.arrays if not a.const]
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, env, budget, depth=0):
+        """A pure, call-free expression over *env*."""
+        rng = self.rng
+        budget.charge(1)
+        if depth >= 2 or rng.random() < 0.35:
+            return self._leaf(env)
+        roll = rng.random()
+        if roll < 0.55:
+            op = rng.choice(_WRAP_OPS)
+            budget.charge(_OP_COST.get(op, 1))
+            return Binary(op, self.expr(env, budget, depth + 1),
+                          self.expr(env, budget, depth + 1))
+        if roll < 0.65:
+            op = rng.choice(("<<", ">>"))
+            budget.charge(_OP_COST[op])
+            count = Binary("&", self.expr(env, budget, depth + 1), Const(15))
+            return Binary(op, self.expr(env, budget, depth + 1), count)
+        if roll < 0.72:
+            op = rng.choice(("/", "%"))
+            budget.charge(_OP_COST[op])
+            divisor = Binary("|", self.expr(env, budget, depth + 1), Const(1))
+            return Binary(op, self.expr(env, budget, depth + 1), divisor)
+        if roll < 0.82:
+            return Unary(rng.choice(("-", "~", "!")),
+                         self.expr(env, budget, depth + 1))
+        if roll < 0.92:
+            return self.condition(env, budget, depth + 1)
+        return Cond(
+            self.condition(env, budget, depth + 1),
+            self.expr(env, budget, depth + 1),
+            self.expr(env, budget, depth + 1),
+        )
+
+    def condition(self, env, budget, depth=0):
+        rng = self.rng
+        budget.charge(2)
+        if depth < 2 and rng.random() < 0.2:
+            return Binary(
+                rng.choice(("&&", "||")),
+                self.condition(env, budget, depth + 1),
+                self.condition(env, budget, depth + 1),
+            )
+        return Binary(
+            rng.choice(_COMPARE_OPS),
+            self.expr(env, budget, depth + 1),
+            self.expr(env, budget, depth + 1),
+        )
+
+    def _leaf(self, env):
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.40 and env.readable:
+            return Var(rng.choice(env.readable))
+        if roll < 0.55 and self.arrays:
+            array = rng.choice(self.arrays)
+            return Load(array.name, self._index(array, env))
+        if roll < 0.65 and self.scalars:
+            return GVar(rng.choice(self.scalars).name)
+        return self._const()
+
+    def _index(self, array, env):
+        """An in-range index: ``expr & (len-1)`` (lengths are powers of two)."""
+        mask = len(array.values) - 1
+        if env.readable and self.rng.random() < 0.7:
+            base = Var(self.rng.choice(env.readable))
+        else:
+            base = Const(self.rng.randrange(0, 0x10000))
+        return Binary("&", base, Const(mask))
+
+    def call_expr(self, env, budget):
+        """A call to an earlier function, or None if none fits the budget."""
+        rng = self.rng
+        affordable = [
+            f for f in self.funcs if budget.can_afford(f.cost, f.depth)
+        ]
+        if not affordable:
+            return None
+        callee = rng.choice(affordable)
+        budget.charge(callee.cost, callee.depth)
+        args = [self.expr(env, budget, depth=1) for _ in callee.params]
+        if callee.recursion_bound is not None:
+            # The first parameter is the recursion depth; it must stay
+            # at the bound the callee's cost estimate was computed for.
+            args[0] = Const(callee.recursion_bound)
+        return Call(callee.name, args)
+
+    # -- statements ------------------------------------------------------------
+
+    def stmts(self, env, budget, nesting, count):
+        return [self.stmt(env, budget, nesting) for _ in range(count)]
+
+    def stmt(self, env, budget, nesting):
+        rng = self.rng
+        roll = rng.random()
+        if nesting >= 3 or roll < 0.30:
+            # Deep nesting collapses to simple statements so generation
+            # (and the rendered program) stays bounded.
+            return self._assign(env, budget)
+        if roll < 0.45:
+            call = self.call_expr(env, budget)
+            if call is None:
+                return self._assign(env, budget)
+            if env.writable and rng.random() < 0.8:
+                return Assign(Var(rng.choice(env.writable)),
+                              rng.choice(_COMPOUND_OPS), call)
+            return CallStmt(call)
+        if roll < 0.60 and self._mutable_arrays():
+            array = rng.choice(self._mutable_arrays())
+            return Assign(
+                Load(array.name, self._index(array, env)),
+                rng.choice(_COMPOUND_OPS),
+                self.expr(env, budget),
+            )
+        if roll < 0.75 and nesting < 2:
+            bound = rng.randrange(2, 6)
+            var = self._fresh("i")
+            budget.charge(2)  # loop control per iteration, roughly
+            budget.scale *= bound
+            if rng.random() < 0.7:
+                body = self.stmts(env.child(extra_readable=[var]), budget,
+                                  nesting + 1, rng.randrange(1, 3))
+                node = For(var, bound, body)
+            else:
+                body = self.stmts(env, budget, nesting + 1, rng.randrange(1, 3))
+                node = DoWhile(var, bound, body)
+            budget.scale //= bound
+            return node
+        if roll < 0.90:
+            cond = self.condition(env, budget)
+            then = self.stmts(env, budget, nesting + 1, rng.randrange(1, 3))
+            other = None
+            if rng.random() < 0.5:
+                other = self.stmts(env, budget, nesting + 1,
+                                   rng.randrange(1, 3))
+            return If(cond, then, other)
+        return self._switch_stmt(env, budget, nesting)
+
+    def _assign(self, env, budget):
+        rng = self.rng
+        value = self.expr(env, budget)
+        op = rng.choice(_COMPOUND_OPS)
+        if env.writable and rng.random() < 0.6:
+            return Assign(Var(rng.choice(env.writable)), op, value)
+        if self.scalars and rng.random() < 0.5:
+            return Assign(GVar(rng.choice(self.scalars).name), op, value)
+        if self._mutable_arrays():
+            array = rng.choice(self._mutable_arrays())
+            return Assign(Load(array.name, self._index(array, env)), op, value)
+        return Assign(Var(env.writable[0]), "=", value)
+
+    def _switch_stmt(self, env, budget, nesting):
+        rng = self.rng
+        sel = Binary("&", self.expr(env, budget), Const(3))
+        cases = []
+        for value in range(rng.randrange(2, 5)):
+            body = self.stmts(env, budget, nesting + 1, 1)
+            cases.append(Case(value & 3, body, has_break=rng.random() < 0.7))
+        cases[-1].has_break = True
+        default = None
+        if rng.random() < 0.6:
+            default = self.stmts(env, budget, nesting + 1, 1)
+        return Switch(sel, cases, default)
+
+    # -- globals and functions -------------------------------------------------
+
+    def _make_globals(self):
+        rng = self.rng
+        n_arrays = rng.randrange(3, 6)
+        kinds = ["const", "data", "bss", "char"]
+        for index in range(n_arrays):
+            kind = kinds[index] if index < len(kinds) else rng.choice(kinds)
+            length = rng.choice((8, 16, 32))
+            name = f"g{kind[0]}{index}"
+            if kind == "const":
+                values = [rng.randrange(0, 0x10000) for _ in range(length)]
+                self.arrays.append(GlobalArray(name, "unsigned", values, const=True))
+            elif kind == "data":
+                values = [rng.randrange(0, 0x10000) for _ in range(length)]
+                self.arrays.append(GlobalArray(name, "unsigned", values))
+            elif kind == "bss":
+                self.arrays.append(GlobalArray(name, "unsigned", [0] * length))
+            else:
+                values = [rng.randrange(0, 0x100) for _ in range(length)]
+                self.arrays.append(GlobalArray(name, "unsigned char", values))
+        for index in range(rng.randrange(1, 3)):
+            self.scalars.append(
+                GlobalScalar(f"gs{index}", rng.randrange(0, 0x10000))
+            )
+
+    def _make_function(self, index):
+        rng = self.rng
+        name = f"fn{index}"
+        if rng.random() < 0.25:
+            self._make_recursive(name)
+            return
+        params = [f"p{i}" for i in range(rng.randrange(1, 4))]
+
+        for _attempt in range(3):
+            budget = _Budget(cost_limit=rng.randrange(100, 700))
+            env = _Env(readable=params, writable=params)
+            body = []
+            for _ in range(rng.randrange(1, 3)):
+                local = self._fresh("t")
+                body.append(Decl(local, self.expr(env, budget)))
+                env = env.child(extra_writable=[local])
+            body += self.stmts(env, budget, 0, rng.randrange(2, 4))
+            body.append(Return(self.expr(env, budget)))
+            definition = FunctionDef(name, params, body)
+            if len(definition.render()) <= FUNC_CHAR_LIMIT:
+                break
+        else:
+            # Truncation fallback: keep the declarations and the return.
+            body = [s for s in body if isinstance(s, (Decl, Return))]
+            definition = FunctionDef(name, params, body)
+        self.defs.append(definition)
+        self.funcs.append(
+            _FuncInfo(name, params, budget.cost + 6, budget.depth)
+        )
+
+    def _make_recursive(self, name):
+        """``f(n, ...)``: recurse with n-1 until n == 0 (bounded depth)."""
+        rng = self.rng
+        depth_bound = rng.randrange(2, 6)
+        params = ["n"] + [f"p{i}" for i in range(rng.randrange(1, 3))]
+        # 'n' is readable but never writable: the recursion terminates
+        # only because nothing perturbs the n-1 countdown.
+        env = _Env(readable=params, writable=params[1:])
+        for _attempt in range(3):
+            budget = _Budget(cost_limit=250)
+            base = Return(self.expr(env, budget))
+            mid = self.stmts(env, budget, 1, rng.randrange(1, 3))
+            rec_args = [Binary("-", Var("n"), Const(1))] + [
+                self.expr(env, budget) for _ in params[1:]
+            ]
+            combine = Binary(
+                rng.choice(("+", "^", "-")),
+                Call(name, rec_args),
+                self.expr(env, budget),
+            )
+            body = [
+                If(Binary("==", Var("n"), Const(0)), [base]),
+                *mid,
+                Return(combine),
+            ]
+            definition = FunctionDef(name, params, body)
+            if len(definition.render()) <= FUNC_CHAR_LIMIT:
+                break
+        per_level_cost = budget.cost + 10
+        cost = per_level_cost * (depth_bound + 1)
+        depth = budget.depth + FRAME_BYTES * depth_bound
+        self.defs.append(definition)
+        self.funcs.append(
+            _FuncInfo(name, params, cost, depth, recursion_bound=depth_bound)
+        )
+
+    def _make_dispatcher(self):
+        """Function-pointer-style dispatch: switch over a selector."""
+        rng = self.rng
+        targets = list(self.funcs)
+        rng.shuffle(targets)
+        targets = targets[: min(len(targets), 4)]
+        cases = []
+        worst_cost, worst_depth = 0, 0
+        for value, callee in enumerate(targets):
+            args = []
+            for _ in callee.params:
+                source = rng.choice(("a", "b", "const"))
+                args.append(self._const() if source == "const" else Var(source))
+            if callee.recursion_bound is not None:
+                args[0] = Const(callee.recursion_bound)
+            cases.append(
+                Case(value, [Return(Call(callee.name, args))], has_break=False)
+            )
+            worst_cost = max(worst_cost, callee.cost)
+            worst_depth = max(worst_depth, callee.depth)
+        default = [Return(Binary("^", Var("a"), Var("b")))]
+        body = [
+            Switch(Binary("&", Var("sel"), Const(3)), cases, default),
+            Return(Var("a")),  # unreachable; keeps the all-paths-return invariant
+        ]
+        self.defs.append(FunctionDef("dispatch", ["sel", "a", "b"], body))
+        self.funcs.append(
+            _FuncInfo(
+                "dispatch",
+                ["sel", "a", "b"],
+                worst_cost + 14,
+                worst_depth + FRAME_BYTES,
+            )
+        )
+
+    def _make_main(self):
+        rng = self.rng
+        dispatcher = self.funcs[-1]
+        iterations = rng.randrange(3, 9)
+
+        for _attempt in range(3):
+            budget = _Budget(cost_limit=MAIN_COST_BUDGET)
+            env = _Env(readable=["acc"], writable=["acc"])
+            loop_env = env.child(extra_readable=["it"])
+            budget.scale = iterations
+            loop_body = [
+                Assign(
+                    Var("acc"),
+                    "+=",
+                    Call(
+                        "dispatch",
+                        [Var("it"), Var("acc"),
+                         self.expr(loop_env, budget, depth=1)],
+                    ),
+                )
+            ]
+            budget.charge(dispatcher.cost, dispatcher.depth)
+            loop_body += self.stmts(loop_env, budget, 1, rng.randrange(1, 3))
+            budget.scale = 1
+            body = [
+                Decl("acc", Const(rng.randrange(0, 0x10000))),
+                For("it", iterations, loop_body),
+            ]
+            body += self.stmts(env, budget, 0, rng.randrange(1, 3))
+            body += self._main_tail()
+            # The whole of main -- random statements plus the fixed
+            # checksum tail -- must respect the jump-range cap.
+            if len(FunctionDef("main", [], body).render()) <= MAIN_CHAR_LIMIT:
+                break
+        else:
+            # Give up on the random statements; a checksummed dispatch
+            # loop alone still drives the whole call graph.
+            body = [
+                Decl("acc", Const(rng.randrange(0, 0x10000))),
+                For("it", iterations, loop_body[:1]),
+            ] + self._main_tail()
+
+        self.defs.append(FunctionDef("main", [], body))
+
+    def _main_tail(self):
+        """DebugOut of the accumulator plus a checksum of every mutable
+        global, so the debug stream covers final data state even where
+        memories are not compared."""
+        tail = [DebugOut(Var("acc"))]
+        for array in self._mutable_arrays():
+            sum_var = self._fresh("sum")
+            tail.append(Decl(sum_var, Const(0)))
+            tail.append(
+                For(
+                    "ck",
+                    len(array.values),
+                    [
+                        Assign(
+                            Var(sum_var),
+                            "+=",
+                            Binary("^", Load(array.name, Var("ck")), Var("ck")),
+                        )
+                    ],
+                )
+            )
+            tail.append(DebugOut(Var(sum_var)))
+        for scalar in self.scalars:
+            tail.append(DebugOut(GVar(scalar.name)))
+        tail.append(Return(Const(0)))
+        return tail
+
+    def generate(self):
+        self._make_globals()
+        n_funcs = {"small": (3, 6), "medium": (6, 11), "large": (9, 14)}[self.size]
+        chars = 0
+        for index in range(self.rng.randrange(*n_funcs)):
+            self._make_function(index)
+            chars += len(self.defs[-1].render())
+            if chars > PROGRAM_CHAR_BUDGET:
+                break
+        self._make_dispatcher()
+        self._make_main()
+        return GenProgram(
+            seed=self.seed,
+            arrays=self.arrays,
+            scalars=self.scalars,
+            functions=self.defs,
+        )
+
+
+def generate_program(seed, size="medium"):
+    """Deterministically generate a program for *seed*.
+
+    The same (seed, size) pair always yields an identical program,
+    across runs and Python versions -- the generator only draws from
+    :class:`random.Random` methods with stable algorithms.
+    """
+    return ProgramGenerator(seed, size=size).generate()

@@ -1,0 +1,141 @@
+"""Runtime invariant checkers shared by the fuzzer and the unit tests.
+
+Each checker returns a list of violation strings (empty means the
+invariant holds), so the differential runner can fold them into its
+divergence report and ``tests/test_core_runtime.py`` can assert on
+them directly.
+
+The invariants come from the miss-handler control flow (§3.3): every
+handler invocation either caches the function or falls back to NVM,
+eviction aborts are a kind of fallback, and the active counters the
+call-stack-integrity pass maintains must all balance back to zero once
+``main`` has returned. The cache-policy checks encode what it means for
+the SRAM allocator to be consistent: every node inside the configured
+window, no two nodes overlapping, and the gap scan's free bytes plus
+the nodes' used bytes covering the window exactly.
+"""
+
+
+def check_swapram_stats(stats):
+    """Accounting identities over a finished run's SwapRamStats."""
+    violations = []
+    if stats.misses != stats.caches + stats.nvm_fallbacks:
+        violations.append(
+            f"misses ({stats.misses}) != caches ({stats.caches}) + "
+            f"nvm_fallbacks ({stats.nvm_fallbacks})"
+        )
+    if stats.aborts > stats.nvm_fallbacks:
+        violations.append(
+            f"aborts ({stats.aborts}) > nvm_fallbacks ({stats.nvm_fallbacks})"
+        )
+    if stats.frozen_fallbacks > stats.nvm_fallbacks:
+        violations.append(
+            f"frozen_fallbacks ({stats.frozen_fallbacks}) > "
+            f"nvm_fallbacks ({stats.nvm_fallbacks})"
+        )
+    if stats.evictions > 0 and stats.caches == 0:
+        violations.append(f"evictions ({stats.evictions}) with zero caches")
+    per_function = sum(stats.per_function_caches.values())
+    if per_function != stats.caches + stats.prefetches:
+        violations.append(
+            f"per-function cache counts ({per_function}) != "
+            f"caches ({stats.caches}) + prefetches ({stats.prefetches})"
+        )
+    return violations
+
+
+def check_eviction_bound(stats):
+    """Evictions can never exceed misses.
+
+    Each miss caches at most one function, and a function must have
+    been cached before it can be evicted, so the eviction count is
+    bounded by the number of successful caches -- itself bounded by the
+    miss count. (Prefetched functions are evictable too, hence the
+    prefetch term.)
+    """
+    violations = []
+    if stats.evictions > stats.caches + stats.prefetches:
+        violations.append(
+            f"evictions ({stats.evictions}) > caches ({stats.caches}) "
+            f"+ prefetches ({stats.prefetches})"
+        )
+    if stats.evictions > stats.misses + stats.prefetches:
+        violations.append(
+            f"evictions ({stats.evictions}) > misses ({stats.misses}) "
+            f"+ prefetches ({stats.prefetches})"
+        )
+    return violations
+
+
+def check_policy_accounting(policy):
+    """The SRAM allocator's view of the cache window is consistent."""
+    violations = []
+    for node in policy.nodes:
+        if node.address < policy.base or node.end > policy.end:
+            violations.append(
+                f"node func_id={node.func_id} "
+                f"[{node.address:#x}, {node.end:#x}) outside cache "
+                f"window [{policy.base:#x}, {policy.end:#x})"
+            )
+    ordered = sorted(policy.nodes, key=lambda node: node.address)
+    for first, second in zip(ordered, ordered[1:]):
+        if first.end > second.address:
+            violations.append(
+                f"nodes func_id={first.func_id} and func_id={second.func_id} "
+                f"overlap at {second.address:#x}"
+            )
+    total = policy.used_bytes() + policy.free_bytes()
+    if total != policy.size:
+        violations.append(
+            f"used ({policy.used_bytes()}) + free ({policy.free_bytes()}) "
+            f"= {total} != cache size ({policy.size})"
+        )
+    return violations
+
+
+def check_active_counters(system):
+    """All ``__sr_active`` counters are back to zero after main returns.
+
+    The instrumentation increments a function's counter at every call
+    site and decrements it at the matching return (§3.3.3); once the
+    program has halted, any nonzero counter means an unbalanced
+    call/return pair -- exactly the corruption a bad relocation tends
+    to produce.
+    """
+    violations = []
+    runtime = system.runtime
+    for func in system.meta.functions:
+        count = runtime.bus.memory.read_word(
+            runtime.active_base + 2 * func.func_id
+        )
+        if count:
+            violations.append(
+                f"active counter for {func.name} is {count} at exit"
+            )
+    return violations
+
+
+def check_blockcache_stats(stats):
+    """Accounting identity over a finished run's BlockCacheStats."""
+    violations = []
+    if stats.entries != stats.hits + stats.misses:
+        violations.append(
+            f"entries ({stats.entries}) != hits ({stats.hits}) + "
+            f"misses ({stats.misses})"
+        )
+    per_block = sum(stats.per_block_caches.values())
+    if per_block != stats.misses:
+        violations.append(
+            f"per-block cache counts ({per_block}) != misses ({stats.misses})"
+        )
+    return violations
+
+
+def check_swapram_system(system):
+    """All SwapRAM invariants for a finished run, in one call."""
+    return (
+        check_swapram_stats(system.stats)
+        + check_eviction_bound(system.stats)
+        + check_policy_accounting(system.runtime.policy)
+        + check_active_counters(system)
+    )

@@ -1,0 +1,203 @@
+"""Greedy test-case minimisation for differential failures.
+
+Given a failing :class:`~repro.difftest.ast.GenProgram` and a
+*predicate* (program -> bool, "does this still fail the same way?"),
+:func:`shrink` repeatedly tries simplifying edits -- from coarse to
+fine -- and keeps every edit the predicate accepts:
+
+1. drop functions nothing calls (and globals nothing references);
+2. delete individual statements;
+3. hoist an ``if``'s then-block over the conditional;
+4. replace an expression with one of its children or with ``0``.
+
+The predicate is the sole authority on validity: an edit that produces
+a program violating the generator's own contract (an undeclared
+variable, a function falling off its end) makes the reference evaluator
+raise, the predicate returns False, and the edit is simply rejected.
+Predicates should reject ``generator``-kind divergences for the same
+reason -- a reduction that fails *differently* is not a reduction.
+
+Every accepted edit restarts the scan on the smaller program, so the
+result is a local minimum: no single remaining edit still fails. A
+predicate-call budget bounds the whole process, since each call is a
+full differential run.
+"""
+
+import copy
+
+from repro.difftest.ast import (
+    Const,
+    If,
+    Return,
+    called_functions,
+    expression_children,
+    iter_expressions,
+    statement_blocks,
+)
+
+
+def _blocks(program):
+    """Every statement list in *program*, in deterministic order.
+
+    Yields (function, block) pairs; the same traversal on a deepcopy
+    visits the copied blocks in the same order, which is how edits are
+    addressed across copies.
+    """
+    for func in program.functions:
+        queue = [func.body]
+        while queue:
+            block = queue.pop(0)
+            yield func, block
+            for stmt in block:
+                for _owner, _attr, inner in statement_blocks(stmt):
+                    queue.append(inner)
+
+
+def _expr_sites(stmt):
+    """Every expression node reachable from *stmt*, with its slot."""
+    sites = []
+
+    def walk(owner, key, expr):
+        sites.append((owner, key, expr))
+        for child_owner, child_key, child in expression_children(expr):
+            walk(child_owner, child_key, child)
+
+    for owner, key, expr in iter_expressions(stmt):
+        walk(owner, key, expr)
+    if type(stmt).__name__ == "CallStmt":
+        walk(stmt, "call", stmt.call)
+    return sites
+
+
+def _set_expr(owner, key, value):
+    if isinstance(owner, list):
+        owner[key] = value
+    else:
+        setattr(owner, key, value)
+
+
+def _drop_dead_code(program):
+    """One variant with uncalled functions and unreferenced globals gone."""
+    variant = copy.deepcopy(program)
+    changed = False
+    called = called_functions(variant)
+    kept = []
+    for func in variant.functions:
+        if func.name != "main" and not called.get(func.name, 0):
+            changed = True
+            continue
+        kept.append(func)
+    variant.functions = kept
+
+    # A global referenced nowhere appears in the rendering exactly once
+    # (its own declaration). The predicate re-validates regardless.
+    rendering = variant.render()
+    for attr in ("arrays", "scalars"):
+        survivors = []
+        for item in getattr(variant, attr):
+            if rendering.count(item.name) <= 1:
+                changed = True
+                continue
+            survivors.append(item)
+        setattr(variant, attr, survivors)
+    return variant if changed else None
+
+
+def _variants(program):
+    """Yield candidate reductions, coarse to fine, lazily (deepcopies)."""
+    dead = _drop_dead_code(program)
+    if dead is not None:
+        yield dead
+
+    # Statement deletions. Addressed by (block ordinal, statement index);
+    # the final top-level Return of a function is kept so the program
+    # still renders as compilable mini-C.
+    layout = [
+        (ordinal, len(block), func, block)
+        for ordinal, (func, block) in enumerate(_blocks(program))
+    ]
+    for ordinal, length, func, block in layout:
+        for index in range(length):
+            stmt = block[index]
+            if (
+                isinstance(stmt, Return)
+                and block is func.body
+                and index == length - 1
+            ):
+                continue
+            variant = copy.deepcopy(program)
+            for v_ordinal, (_func, v_block) in enumerate(_blocks(variant)):
+                if v_ordinal == ordinal:
+                    del v_block[index]
+                    break
+            yield variant
+
+    # Hoist an if's then-branch over the conditional.
+    for ordinal, length, _func, block in layout:
+        for index in range(length):
+            if not isinstance(block[index], If):
+                continue
+            variant = copy.deepcopy(program)
+            for v_ordinal, (_vfunc, v_block) in enumerate(_blocks(variant)):
+                if v_ordinal == ordinal:
+                    v_block[index : index + 1] = list(v_block[index].then)
+                    break
+            yield variant
+
+    # Expression replacements: each node -> one of its children, or 0.
+    for ordinal, length, _func, block in layout:
+        for index in range(length):
+            for site, (_owner, _key, expr) in enumerate(_expr_sites(block[index])):
+                options = list(range(len(expression_children(expr))))
+                if not isinstance(expr, Const):
+                    options.append(-1)  # the Const(0) option
+                for choice in options:
+                    variant = copy.deepcopy(program)
+                    for v_ordinal, (_vfunc, v_block) in enumerate(_blocks(variant)):
+                        if v_ordinal != ordinal:
+                            continue
+                        owner, key, v_expr = _expr_sites(v_block[index])[site]
+                        kids = expression_children(v_expr)
+                        replacement = kids[choice][2] if choice >= 0 else Const(0)
+                        _set_expr(owner, key, replacement)
+                        break
+                    yield variant
+
+
+def shrink(program, predicate, max_predicate_calls=300):
+    """Minimise *program* while *predicate* keeps accepting it.
+
+    Returns the smallest program found (possibly the input unchanged).
+    *predicate* is called with candidate programs; exceptions it raises
+    count as rejection. The search stops at a local minimum or after
+    *max_predicate_calls* differential runs, whichever comes first.
+    """
+    calls = 0
+    current = program
+    improved = True
+    while improved and calls < max_predicate_calls:
+        improved = False
+        for variant in _variants(current):
+            if calls >= max_predicate_calls:
+                break
+            calls += 1
+            try:
+                keep = bool(predicate(variant))
+            except Exception:
+                keep = False
+            if keep:
+                current = variant
+                improved = True
+                break
+    return current
+
+
+def shrink_report(original, shrunk):
+    """A one-line summary of how far the shrinker got."""
+    before = len(original.render())
+    after = len(shrunk.render())
+    saved = 100.0 * (before - after) / before if before else 0.0
+    return (
+        f"shrunk {before} -> {after} rendered chars ({saved:.0f}% smaller), "
+        f"{len(original.functions)} -> {len(shrunk.functions)} functions"
+    )

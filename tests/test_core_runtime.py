@@ -180,3 +180,49 @@ def test_swapram_output_matches_baseline_with_eviction_pressure():
     baseline = build_baseline(source, PLANS["unified"]).run()
     system = build_swapram(source, PLANS["unified"], cache_limit=96)
     assert system.run().debug_words == baseline.debug_words
+
+
+def test_runtime_invariants_under_eviction_pressure():
+    """The difftest invariant checkers hold on a thrashing run:
+    evictions never exceed misses, and the allocator's free + used
+    bytes always equal the configured cache size."""
+    from repro.difftest.invariants import check_swapram_system
+
+    source = """
+    int a(int x) { return x + 3; }
+    int b(int x) { return x * 3; }
+    int c(int x) { return x ^ 0x55; }
+    int main(void) {
+        int acc = 1;
+        for (int i = 0; i < 8; i++) { acc = c(b(a(acc))) & 0x3FF; }
+        __debug_out(acc);
+        return 0;
+    }
+    """
+    system = build_swapram(source, PLANS["unified"], cache_limit=96)
+    system.run()
+
+    stats = system.stats
+    assert stats.evictions > 0  # the cache limit must actually thrash
+    assert stats.evictions <= stats.misses
+    assert stats.misses == stats.caches + stats.nvm_fallbacks
+
+    policy = system.runtime.policy
+    assert policy.used_bytes() + policy.free_bytes() == policy.size
+    assert check_swapram_system(system) == []
+
+
+def test_allocator_accounting_catches_bad_node():
+    """free_bytes() is a gap scan, so used + free == size certifies
+    in-bounds, non-overlapping nodes -- and detects corrupted ones."""
+    from repro.core.policy import CacheNode
+    from repro.difftest.invariants import check_policy_accounting
+
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    system.run()
+    policy = system.runtime.policy
+    assert check_policy_accounting(policy) == []
+
+    policy.nodes.append(CacheNode(func_id=99, address=policy.end - 2, size=8))
+    assert policy.used_bytes() + policy.free_bytes() != policy.size
+    assert check_policy_accounting(policy)

@@ -3,22 +3,30 @@
 Every benchmark's output (checksums over the debug port) must be
 identical under baseline, SwapRAM and the block cache, and must match
 the pure-Python reference implementation. The four quick benchmarks run
-in the default test pass; the full nine-benchmark matrix is regenerated
-by the benchmark harness (``benchmarks/``).
+in the default test pass; the remaining five of the paper's nine carry
+the ``slow`` marker and run with ``pytest --runslow`` (CI does). The
+randomised counterpart of these tests is the differential fuzzer
+(``python -m repro difftest``; see ``repro.difftest``).
 """
 
 import pytest
 
-from repro.bench import get_benchmark
+from repro.bench import BENCHMARK_NAMES, QUICK_NAMES, get_benchmark
 from repro.blockcache import build_blockcache
 from repro.core import build_swapram
 from repro.core.policy import CostAwareQueuePolicy, StackPolicy
 from repro.toolchain import FitError, PLANS, build_baseline
 
-QUICK = ("crc", "rc4", "rsa", "lzfx")
+QUICK = QUICK_NAMES
+
+#: All nine paper benchmarks; the non-QUICK ones are marked slow.
+FULL = tuple(
+    name if name in QUICK else pytest.param(name, marks=pytest.mark.slow)
+    for name in BENCHMARK_NAMES
+)
 
 
-@pytest.mark.parametrize("name", QUICK)
+@pytest.mark.parametrize("name", FULL)
 def test_three_systems_agree(name):
     bench = get_benchmark(name)
     plan = PLANS["unified"]
@@ -30,12 +38,15 @@ def test_three_systems_agree(name):
 
     try:
         block = build_blockcache(bench.source, plan).run()
-    except FitError:
-        return  # DNF is a legitimate outcome for the block cache
+    except FitError as error:
+        # DNF is a legitimate outcome for the block cache (the paper
+        # reports them too) -- but it must show up in the test report,
+        # not silently pass as if the equivalence had been checked.
+        pytest.skip(f"block cache DNF on {name}: {error}")
     assert block.debug_words == bench.expected
 
 
-@pytest.mark.parametrize("name", QUICK)
+@pytest.mark.parametrize("name", FULL)
 def test_swapram_final_data_state_matches_baseline(name):
     """Beyond the output words, mutable data memory must end identical."""
     bench = get_benchmark(name)
@@ -60,6 +71,16 @@ def test_swapram_final_data_state_matches_baseline(name):
 @pytest.mark.parametrize("policy", [StackPolicy, CostAwareQueuePolicy])
 def test_alternative_policies_preserve_behaviour(policy):
     bench = get_benchmark("crc")
+    system = build_swapram(bench.source, PLANS["unified"], policy_class=policy)
+    assert system.run().debug_words == bench.expected
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("policy", [StackPolicy, CostAwareQueuePolicy])
+def test_alternative_policies_full_matrix(name, policy):
+    """The full benchmark x replacement-policy equivalence matrix."""
+    bench = get_benchmark(name)
     system = build_swapram(bench.source, PLANS["unified"], policy_class=policy)
     assert system.run().debug_words == bench.expected
 
