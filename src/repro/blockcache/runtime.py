@@ -44,6 +44,18 @@ class BlockCacheStats:
     words_copied: int = 0
     per_block_caches: dict = field(default_factory=dict)
 
+    def as_dict(self):
+        """Plain-data view for reports, traces and the difftest runner."""
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushes": self.flushes,
+            "chains": self.chains,
+            "words_copied": self.words_copied,
+            "per_block_caches": dict(self.per_block_caches),
+        }
+
 
 def djb2_word(value):
     """djb2 over the two bytes of a 16-bit value (shift/add only, §4)."""
@@ -63,6 +75,10 @@ class BlockCacheRuntime:
         self.meta = meta
         self.costs = meta.cost_model
         self.stats = BlockCacheStats()
+        #: Opt-in observability hook (see :mod:`repro.obs.timeline`).
+        #: ``None`` by default; every use is behind an ``is not None``
+        #: guard so the untraced hot path is unchanged.
+        self.timeline = None
 
         symbols = image.symbols
         self.cur_addr = symbols[CUR_CFI]
@@ -132,6 +148,13 @@ class BlockCacheRuntime:
     def _flush(self):
         """Discard every cached block and clear the hash table."""
         self.stats.flushes += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "flush",
+                size=(self.num_slots - len(self.free_slots)) * self.slot_bytes,
+                occupancy=0,
+                note=f"{len(self.cached_blocks)}-blocks",
+            )
         for index in range(self.meta.hash_entries):
             self.charger.charge(self.costs.flush_instructions_per_entry)
             entry = self._entry_addr(index)
@@ -159,6 +182,13 @@ class BlockCacheRuntime:
             slot_addr = self._lookup(block_id)
             if slot_addr is not None:
                 self.stats.hits += 1
+                if self.timeline is not None:
+                    self.timeline.record(
+                        "hit",
+                        func=self.meta.blocks[block_id].function,
+                        address=slot_addr,
+                        note=self.meta.blocks[block_id].label,
+                    )
             else:
                 slot_addr = self._cache_block(block_id)
             # A flush in _cache_block discards the copy holding the source
@@ -172,6 +202,14 @@ class BlockCacheRuntime:
     def _cache_block(self, block_id):
         bus = self.bus
         self.stats.misses += 1
+        if self.timeline is not None:
+            info = self.meta.blocks[block_id]
+            self.timeline.record(
+                "miss",
+                func=info.function,
+                note=info.label,
+                occupancy=(self.num_slots - len(self.free_slots)) * self.slot_bytes,
+            )
         if not self.free_slots:
             self._flush()
         slot = self.free_slots.pop(0)
@@ -196,6 +234,15 @@ class BlockCacheRuntime:
         label = self.meta.blocks[block_id].label
         counts = self.stats.per_block_caches
         counts[label] = counts.get(label, 0) + 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "cache",
+                func=self.meta.blocks[block_id].function,
+                address=slot_addr,
+                size=size,
+                occupancy=(self.num_slots - len(self.free_slots)) * self.slot_bytes,
+                note=label,
+            )
         return slot_addr
 
     def _chain(self, cpu, slot_addr):
@@ -217,3 +264,5 @@ class BlockCacheRuntime:
         self.charger.charge(self.costs.chain_instructions)
         self.bus.write(source + 2, slot_addr)
         self.stats.chains += 1
+        if self.timeline is not None:
+            self.timeline.record("chain", address=source, note=f"->{slot_addr:#06x}")

@@ -7,13 +7,17 @@
     python -m repro program.c --system block         # prior-work block cache
     python -m repro program.c --plan standard --mhz 8
     python -m repro program.c --system swapram --stats --listing
+    python -m repro program.c --trace results/traces/program.trace.json
     python -m repro difftest --seed 1234 --count 50   # differential fuzzing
+    python -m repro trace crc --system swapram        # full observability
 
 Prints the program's debug-port output and a run report (cycles,
-accesses, energy); ``--stats`` adds cache-runtime statistics, and
-``--listing`` disassembles the final (possibly self-modified) code.
-The ``difftest`` subcommand runs the differential conformance fuzzer
-(see :mod:`repro.difftest.cli`).
+accesses, energy); ``--stats`` adds cache-runtime statistics,
+``--listing`` disassembles the final (possibly self-modified) code, and
+``--trace PATH`` records a Perfetto trace of the run. The ``difftest``
+subcommand runs the differential conformance fuzzer (see
+:mod:`repro.difftest.cli`); the ``trace`` subcommand records and
+profiles one benchmark run (see :mod:`repro.obs.cli`).
 """
 
 import argparse
@@ -61,6 +65,13 @@ def _parser():
         "--listing",
         action="store_true",
         help="disassemble the text section after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Perfetto trace of the run to PATH "
+        "(a .report.json sidecar lands next to it)",
     )
     parser.add_argument(
         "--max-instructions",
@@ -121,6 +132,10 @@ def main(argv=None, out=sys.stdout):
         from repro.difftest.cli import main as difftest_main
 
         return difftest_main(argv[1:], out=out)
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()
@@ -134,8 +149,25 @@ def main(argv=None, out=sys.stdout):
         print(f"DNF: {error}", file=out)
         return 2
 
-    result = system.run(max_instructions=args.max_instructions)
+    session = None
+    if args.trace:
+        from repro.obs import TraceSession
+
+        session = TraceSession.attach(system)
+    try:
+        result = system.run(max_instructions=args.max_instructions)
+    finally:
+        if session is not None:
+            session.finish()
     _print_report(result, out)
+    if session is not None:
+        from repro.obs import write_session_artifacts
+
+        session.result = result
+        trace_path, report_path = write_session_artifacts(
+            session, args.trace, label=args.source
+        )
+        print(f"trace        : {trace_path} (+ {report_path.name})", file=out)
 
     if args.stats and stats is not None:
         print(f"cache stats  : {stats}", file=out)

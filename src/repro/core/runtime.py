@@ -54,9 +54,31 @@ class SwapRamStats:
 
     @property
     def thrash_ratio(self):
-        """Re-caches per function actually cached -- AES-style thrashing."""
-        cached = len(self.per_function_caches) or 1
-        return self.caches / cached
+        """Re-caches per function actually cached -- AES-style thrashing.
+
+        0.0 when nothing was ever cached: a run that never cached a
+        function cannot have thrashed (it may well have fallen back to
+        NVM on every miss, which other counters expose).
+        """
+        if not self.per_function_caches:
+            return 0.0
+        return self.caches / len(self.per_function_caches)
+
+    def as_dict(self):
+        """Plain-data view for reports, traces and the difftest runner."""
+        return {
+            "misses": self.misses,
+            "caches": self.caches,
+            "evictions": self.evictions,
+            "aborts": self.aborts,
+            "nvm_fallbacks": self.nvm_fallbacks,
+            "words_copied": self.words_copied,
+            "freezes": self.freezes,
+            "frozen_fallbacks": self.frozen_fallbacks,
+            "prefetches": self.prefetches,
+            "thrash_ratio": self.thrash_ratio,
+            "per_function_caches": dict(self.per_function_caches),
+        }
 
 
 class SwapRamRuntime:
@@ -81,6 +103,10 @@ class SwapRamRuntime:
         self.thrash_guard = thrash_guard
         self.prefetcher = prefetcher
         self.stats = SwapRamStats()
+        #: Opt-in observability hook (see :mod:`repro.obs.timeline`).
+        #: ``None`` by default; every use is behind an ``is not None``
+        #: guard so the untraced hot path is unchanged.
+        self.timeline = None
 
         symbols = image.symbols
         self.cur_func_addr = symbols[CUR_FUNC]
@@ -128,6 +154,14 @@ class SwapRamRuntime:
                 raise RuntimeError(f"miss handler: bad funcId {func_id}")
             nvm_addr = bus.read(self.functab_base + 4 * func_id)
             size = bus.read(self.functab_base + 4 * func_id + 2)
+            if self.timeline is not None:
+                self.timeline.record(
+                    "miss",
+                    func=func.name,
+                    func_id=func_id,
+                    size=size,
+                    occupancy=self.policy.used_bytes(),
+                )
 
             target = self._try_cache(func, nvm_addr, size)
             if self.prefetcher is not None and target != nvm_addr:
@@ -152,6 +186,15 @@ class SwapRamRuntime:
             bus.write(self.redir_base + 2 * callee.func_id, node.address)
             self.prefetcher.note_prefetch()
             self.stats.prefetches += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    "prefetch",
+                    func=callee.name,
+                    func_id=callee.func_id,
+                    address=node.address,
+                    size=size,
+                    occupancy=self.policy.used_bytes(),
+                )
             counts = self.stats.per_function_caches
             counts[callee.name] = counts.get(callee.name, 0) + 1
 
@@ -165,17 +208,33 @@ class SwapRamRuntime:
         placement = self.policy.plan(size, is_active=self._is_active)
         if placement is None:
             self.stats.nvm_fallbacks += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    "nvm-fallback", func=func.name, func_id=func.func_id,
+                    note="no-placement",
+                )
             return nvm_addr
         charge(costs.scan_instructions_per_node * max(placement.nodes_scanned, 1))
 
         # Thrash-guard extension (§5.4): while frozen, misses that would
         # evict live cache contents run from NVM instead of churning.
         if self.thrash_guard is not None:
+            freezes_before = self.stats.freezes
             frozen = self.thrash_guard.observe_miss(bool(placement.victims))
             self.stats.freezes = self.thrash_guard.freezes
+            if self.timeline is not None and self.stats.freezes > freezes_before:
+                self.timeline.record(
+                    "freeze", func=func.name, func_id=func.func_id,
+                    occupancy=self.policy.used_bytes(),
+                )
             if frozen and placement.victims:
                 self.stats.frozen_fallbacks += 1
                 self.stats.nvm_fallbacks += 1
+                if self.timeline is not None:
+                    self.timeline.record(
+                        "nvm-fallback", func=func.name, func_id=func.func_id,
+                        note="frozen",
+                    )
                 return nvm_addr
 
         # Flag victims, then verify none is on the call stack (§3.3.3).
@@ -189,6 +248,16 @@ class SwapRamRuntime:
             if active:
                 self.stats.aborts += 1
                 self.stats.nvm_fallbacks += 1
+                if self.timeline is not None:
+                    victim_name = self.by_id[victim.func_id].name
+                    self.timeline.record(
+                        "abort", func=func.name, func_id=func.func_id,
+                        note=f"active-victim:{victim_name}",
+                    )
+                    self.timeline.record(
+                        "nvm-fallback", func=func.name, func_id=func.func_id,
+                        note="abort",
+                    )
                 return nvm_addr
 
         for victim in placement.victims:
@@ -201,6 +270,12 @@ class SwapRamRuntime:
         bus.write(self.redir_base + 2 * func.func_id, node.address)
 
         self.stats.caches += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "cache", func=func.name, func_id=func.func_id,
+                address=node.address, size=size,
+                occupancy=self.policy.used_bytes(),
+            )
         counts = self.stats.per_function_caches
         counts[func.name] = counts.get(func.name, 0) + 1
         return node.address
@@ -214,6 +289,15 @@ class SwapRamRuntime:
         """Reset a victim's metadata (paper §3.3.2)."""
         bus = self.bus
         self.stats.evictions += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "evict",
+                func=self.by_id[victim.func_id].name,
+                func_id=victim.func_id,
+                address=victim.address,
+                size=victim.size,
+                occupancy=self.policy.used_bytes(),
+            )
         bus.write(self.redir_base + 2 * victim.func_id, self.handler_addr)
         meta = self.by_id[victim.func_id]
         nvm_base = self.nvm_addr[victim.func_id]

@@ -83,6 +83,51 @@ def write_reproducer(directory, report, program, note=""):
     return path
 
 
+def dump_divergence_trace(directory, report, program):
+    """Record an observability trace of the first diverging config's run.
+
+    Written next to the reproducer as ``seed<N>.trace.json`` (plus the
+    ``.report.json`` sidecar) so the divergence can be stepped through
+    in Perfetto. Best-effort: a crash divergence still yields a trace of
+    the partial run; build failures yield nothing. Returns the trace
+    path or None.
+    """
+    from repro.difftest.runner import (
+        MAX_INSTRUCTIONS,
+        build_system,
+        full_matrix,
+        quick_matrix,
+    )
+    from repro.machine.cpu import SimulationError
+    from repro.obs import TraceSession, write_session_artifacts
+
+    first = report.divergences[0]
+    pool = full_matrix() + quick_matrix()
+    matching = [config for config in pool if config.name == first.config]
+    if not matching:
+        return None  # 'reference'/generator divergences have no config
+    config = matching[0]
+    try:
+        runnable, _system, _board = build_system(config, program.render())
+    except Exception:
+        return None
+    session = TraceSession.attach(runnable)
+    try:
+        runnable.run(max_instructions=MAX_INSTRUCTIONS)
+    except SimulationError:
+        pass  # the partial trace is exactly what the crash needs
+    finally:
+        session.finish()
+    path = Path(directory) / f"seed{report.seed}.trace.json"
+    trace_path, _report_path = write_session_artifacts(
+        session,
+        path,
+        label=f"seed{report.seed}",
+        extra_metadata={"config": config.name, "divergence": str(first)},
+    )
+    return trace_path
+
+
 def shrink_divergence(report, program, budget=200, fault=None, configs=None):
     """Minimise *program* while it reproduces the report's first divergence."""
     first = report.divergences[0]
@@ -126,6 +171,9 @@ def main(argv=None, out=sys.stdout):
             program = shrunk
         path = write_reproducer(args.results_dir, report, program, note)
         print(f"  reproducer: {path}", file=out)
+        trace_path = dump_divergence_trace(args.results_dir, report, program)
+        if trace_path is not None:
+            print(f"  trace: {trace_path}", file=out)
 
     print(
         f"difftest: {args.count} seeds, {failures} with divergences",

@@ -97,6 +97,7 @@ class DiffReport:
     divergences: list = field(default_factory=list)
     anomalies: list = field(default_factory=list)  # soft cycle-order notes
     cycles: dict = field(default_factory=dict)  # config name -> total cycles
+    results: dict = field(default_factory=dict)  # config name -> RunResult.as_dict()
 
     @property
     def ok(self):
@@ -171,12 +172,19 @@ def corrupt_one_reloc(system):
     return False
 
 
-def _build_and_run(config, source, fault=None):
-    """Returns (result, system_or_None); raises FitError and friends."""
+def build_system(config, source, fault=None):
+    """Build (without running) the system for one configuration.
+
+    Returns ``(runnable, system_or_None, board)`` -- *runnable* has the
+    ``run(max_instructions=...)`` entry point. Split out from
+    :func:`_build_and_run` so callers (the trace dumper, observability
+    tooling) can attach instrumentation before the run starts. Raises
+    FitError and friends.
+    """
     plan = PLANS[config.plan]
     if config.kind == "baseline":
         board = build_baseline(source, plan)
-        return board.run(max_instructions=MAX_INSTRUCTIONS), None, board
+        return board, None, board
     if config.kind == "swapram":
         system = build_swapram(
             source,
@@ -186,11 +194,17 @@ def _build_and_run(config, source, fault=None):
         )
         if fault is not None:
             fault(system)
-        return system.run(max_instructions=MAX_INSTRUCTIONS), system, system.board
+        return system, system, system.board
     if config.kind == "blockcache":
         system = build_blockcache(source, plan, cache_limit=config.cache_limit)
-        return system.run(max_instructions=MAX_INSTRUCTIONS), system, system.board
+        return system, system, system.board
     raise ValueError(f"unknown config kind: {config.kind}")
+
+
+def _build_and_run(config, source, fault=None):
+    """Returns (result, system_or_None, board); raises FitError and friends."""
+    runnable, system, board = build_system(config, source, fault)
+    return runnable.run(max_instructions=MAX_INSTRUCTIONS), system, board
 
 
 def _pack(values, element_bytes, element_mask):
@@ -313,7 +327,8 @@ def run_differential(program_or_seed, configs=None, fault=None):
             continue
 
         report.outcomes[name] = "ok"
-        report.cycles[name] = result.total_cycles
+        report.results[name] = result.as_dict()
+        report.cycles[name] = report.results[name]["total_cycles"]
         if result.debug_words != ref.debug_words:
             report.divergences.append(
                 Divergence(

@@ -76,15 +76,7 @@ def collect():
                 reference_output = result.debug_words
             assert result.debug_words == reference_output
             rows.append(
-                {
-                    "config": label,
-                    "plan": plan_name,
-                    "frequency_mhz": frequency,
-                    "runtime_us": result.runtime_us,
-                    "energy_nj": result.energy_nj,
-                    "total_cycles": result.total_cycles,
-                    "fram_accesses": result.fram_accesses,
-                }
+                {"config": label, "plan": plan_name, **result.as_dict()}
             )
     return rows
 

@@ -24,6 +24,34 @@ def format_table(headers, rows, title=None):
     return "\n".join(lines)
 
 
+def run_summary_table(named_results, title="Run summary"):
+    """One row per named run, built from ``RunResult.as_dict()``.
+
+    *named_results* is an iterable of ``(label, RunResult-or-dict)``.
+    """
+    rows = []
+    for label, result in named_results:
+        record = result.as_dict() if hasattr(result, "as_dict") else dict(result)
+        rows.append(
+            [
+                label,
+                record["instructions"],
+                record["total_cycles"],
+                record["stall_cycles"],
+                record["fram_accesses"],
+                record["sram_accesses"],
+                f"{record['runtime_us']:.1f}",
+                f"{record['energy_nj'] / 1000:.2f}",
+            ]
+        )
+    return format_table(
+        ("run", "instrs", "cycles", "stalls", "fram", "sram",
+         "runtime(us)", "energy(uJ)"),
+        rows,
+        title=title,
+    )
+
+
 def percent(new, old):
     """Signed percentage change, formatted like the paper's cells."""
     if not old:

@@ -48,6 +48,26 @@ class RunResult:
     def code_data_ratio(self):
         return self.code_accesses / self.data_accesses if self.data_accesses else 0.0
 
+    def as_dict(self):
+        """Plain-data view for reports, traces and the difftest runner."""
+        return {
+            "frequency_mhz": self.frequency_mhz,
+            "instructions": self.instructions,
+            "unstalled_cycles": self.unstalled_cycles,
+            "stall_cycles": self.stall_cycles,
+            "total_cycles": self.total_cycles,
+            "fram_accesses": self.fram_accesses,
+            "sram_accesses": self.sram_accesses,
+            "code_accesses": self.code_accesses,
+            "data_accesses": self.data_accesses,
+            "code_data_ratio": self.code_data_ratio,
+            "runtime_us": self.runtime_us,
+            "energy_nj": self.energy_nj,
+            "instruction_breakdown": dict(self.instruction_breakdown),
+            "debug_words": list(self.debug_words),
+            "output_text": self.output_text,
+        }
+
 
 class Board:
     """A complete simulated system (CPU + memory + accounting)."""

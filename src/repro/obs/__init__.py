@@ -1,0 +1,59 @@
+"""Opt-in observability: timelines, per-function profiles, Perfetto.
+
+Everything here attaches from the outside -- the machine layer and the
+cache runtimes carry no tracing cost unless a :class:`TraceSession` is
+attached (see ``benchmarks/test_simulator_speed.py`` for the guard).
+
+* :mod:`repro.obs.timeline` -- cycle-stamped runtime events (miss,
+  cache, evict, abort, nvm-fallback, freeze, prefetch, ...);
+* :mod:`repro.obs.funcmap` -- exact PC -> function attribution,
+  including self-modifying SRAM cache contents;
+* :mod:`repro.obs.collector` -- per-function cycle/stall/energy split
+  and the inferred call tree;
+* :mod:`repro.obs.perfetto` -- Chrome/Perfetto ``trace_event`` export;
+* :mod:`repro.obs.report` -- text tables, folded stacks, JSON reports;
+* :mod:`repro.obs.cli` -- the ``repro trace`` subcommand.
+"""
+
+from repro.obs.collector import CallNode, Collector, FunctionProfile
+from repro.obs.funcmap import FunctionMap, build_function_map
+from repro.obs.perfetto import (
+    perfetto_events,
+    perfetto_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.report import (
+    call_tree_text,
+    collapsed_stacks,
+    occupancy_table,
+    profile_rows,
+    profile_table,
+    trace_report,
+    write_session_artifacts,
+)
+from repro.obs.session import TraceSession
+from repro.obs.timeline import Timeline, TimelineEvent, occupancy_intervals
+
+__all__ = [
+    "CallNode",
+    "Collector",
+    "FunctionMap",
+    "FunctionProfile",
+    "Timeline",
+    "TimelineEvent",
+    "TraceSession",
+    "build_function_map",
+    "call_tree_text",
+    "collapsed_stacks",
+    "occupancy_intervals",
+    "occupancy_table",
+    "perfetto_events",
+    "perfetto_trace",
+    "profile_rows",
+    "profile_table",
+    "trace_report",
+    "validate_trace",
+    "write_session_artifacts",
+    "write_trace",
+]

@@ -1,0 +1,186 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Produces the JSON-object flavour of the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* a **call-stack track** (tid 1) of ``B``/``E`` duration events from the
+  collector's call/return timeline;
+* a **cache-events track** (tid 2) of ``i`` instant events for every
+  runtime event (miss, cache, evict, abort, nvm-fallback, freeze,
+  prefetch, hit, flush, chain);
+* a **cache-occupancy counter track** (``C`` events) sampled at every
+  event that carries an occupancy snapshot.
+
+Timestamps are microseconds at the board's configured clock
+(``cycle / frequency_mhz``), so Perfetto's time axis reads as simulated
+wall-clock and slice widths are honest cycle counts.
+
+``validate_trace`` is the schema check shared by the unit tests, the
+CLI (which refuses to write an invalid trace) and the CI smoke job.
+"""
+
+import json
+from pathlib import Path
+
+PID = 1
+
+_METADATA = [
+    {"ph": "M", "pid": PID, "name": "process_name", "args": {"name": "repro board"}},
+    {"ph": "M", "pid": PID, "tid": 1, "name": "thread_name",
+     "args": {"name": "call stack"}},
+    {"ph": "M", "pid": PID, "tid": 2, "name": "thread_name",
+     "args": {"name": "cache events"}},
+]
+
+
+def perfetto_events(session):
+    """Flatten a finished :class:`TraceSession` into trace events.
+
+    The B/E call-stack track is re-bracketed here rather than trusting
+    the raw call/return stream: an ``events_limit`` can drop returns
+    (or calls) from the timeline's tail, so orphaned returns are
+    skipped and frames still open at the end are closed at the final
+    timestamp -- the exported trace always validates.
+    """
+    scale = 1.0 / session.frequency_mhz  # cycles -> microseconds
+    events = list(_METADATA)
+    open_frames = []  # names of currently-open B events on tid 1
+    last_ts = 0.0
+    for event in session.events:
+        ts = event.cycle * scale
+        last_ts = max(last_ts, ts)
+        if event.kind == "call":
+            events.append(
+                {"ph": "B", "pid": PID, "tid": 1, "ts": ts,
+                 "cat": "function", "name": event.func}
+            )
+            open_frames.append(event.func)
+        elif event.kind == "return":
+            if not open_frames:
+                continue  # its B was dropped by the event limit
+            events.append(
+                {"ph": "E", "pid": PID, "tid": 1, "ts": ts,
+                 "cat": "function", "name": open_frames.pop()}
+            )
+        else:
+            args = {
+                key: value
+                for key, value in event.as_dict().items()
+                if key not in ("cycle", "kind") and value != ""
+            }
+            events.append(
+                {"ph": "i", "pid": PID, "tid": 2, "ts": ts, "s": "t",
+                 "cat": "cache", "name": event.kind, "args": args}
+            )
+        if event.occupancy is not None:
+            events.append(
+                {"ph": "C", "pid": PID, "ts": ts, "name": "cache-occupancy",
+                 "args": {"used_bytes": event.occupancy}}
+            )
+    if session.result is not None:
+        last_ts = max(last_ts, session.result.total_cycles * scale)
+    while open_frames:
+        events.append(
+            {"ph": "E", "pid": PID, "tid": 1, "ts": last_ts,
+             "cat": "function", "name": open_frames.pop()}
+        )
+    return events
+
+
+def perfetto_trace(session, extra_metadata=None):
+    """The full JSON-object trace for a finished session."""
+    trace = {
+        "traceEvents": perfetto_events(session),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.obs",
+            "frequency_mhz": session.frequency_mhz,
+        },
+    }
+    if session.result is not None:
+        trace["otherData"]["total_cycles"] = session.result.total_cycles
+    if extra_metadata:
+        trace["otherData"].update(extra_metadata)
+    return trace
+
+
+def validate_trace(trace):
+    """Schema-check a trace object; returns a list of problems (empty = ok).
+
+    Checks the invariants Perfetto's importer relies on: required keys
+    per phase, per-thread timestamp monotonicity for duration events,
+    and properly nested, name-matched B/E pairs.
+    """
+    problems = []
+    if not isinstance(trace, dict) or not isinstance(
+        trace.get("traceEvents"), list
+    ):
+        return ["trace is not an object with a traceEvents list"]
+    stacks = {}  # tid -> [name, ...]
+    last_ts = {}  # tid -> ts
+    for index, event in enumerate(trace["traceEvents"]):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("B", "E", "i", "C", "M", "X"):
+            problems.append(f"event {index}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
+            problems.append(f"event {index}: missing/negative ts")
+            continue
+        if "pid" not in event:
+            problems.append(f"event {index}: missing pid")
+        if ph in ("B", "E", "i", "X"):
+            tid = event.get("tid")
+            if tid is None:
+                problems.append(f"event {index}: missing tid")
+                continue
+            previous = last_ts.get(tid)
+            if previous is not None and event["ts"] < previous:
+                problems.append(
+                    f"event {index}: ts {event['ts']} < previous "
+                    f"{previous} on tid {tid}"
+                )
+            last_ts[tid] = event["ts"]
+        if ph in ("B", "i", "C", "X") and not event.get("name"):
+            problems.append(f"event {index}: missing name")
+        if ph == "B":
+            stacks.setdefault(tid, []).append(event.get("name"))
+        elif ph == "E":
+            stack = stacks.setdefault(tid, [])
+            if not stack:
+                problems.append(f"event {index}: E without matching B")
+            else:
+                opened = stack.pop()
+                name = event.get("name")
+                if name and name != opened:
+                    problems.append(
+                        f"event {index}: E name {name!r} does not match "
+                        f"open B {opened!r}"
+                    )
+        elif ph == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"event {index}: counter without args")
+    for tid, stack in stacks.items():
+        if stack:
+            problems.append(f"tid {tid}: {len(stack)} unclosed B event(s)")
+    return problems
+
+
+def write_trace(path, trace):
+    """Validate and write *trace* as JSON; returns the path.
+
+    Raises :class:`ValueError` on schema problems so callers never ship
+    a trace Perfetto would reject.
+    """
+    problems = validate_trace(trace)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid trace: " + "; ".join(problems[:5])
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace, indent=None, separators=(",", ":")))
+    return path

@@ -1,0 +1,166 @@
+"""Human- and machine-readable views of a traced run.
+
+* :func:`profile_table` -- the per-function text profile (cycles,
+  stalls, app/runtime/memcpy split, FRAM traffic, energy share);
+* :func:`call_tree_text` -- flamegraph-style inclusive/exclusive tree;
+* :func:`collapsed_stacks` -- ``flamegraph.pl``-compatible folded
+  stacks (``a;b;c <exclusive cycles>`` per line);
+* :func:`trace_report` -- the JSON document written next to every
+  Perfetto trace, built on the ``as_dict`` methods of
+  :class:`RunResult` and the runtime stats.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.report import format_table
+from repro.obs.perfetto import perfetto_trace, write_trace
+from repro.obs.timeline import CALL_KINDS
+
+
+def profile_rows(session):
+    """Per-function dicts sorted by total cycles, energy included."""
+    model = session.energy_model
+    return [
+        profile.as_dict(energy_model=model)
+        for profile in session.collector.sorted_profiles()
+    ]
+
+
+def profile_table(session, top=None, title="Per-function attribution"):
+    """The text profile table for a finished session."""
+    rows = profile_rows(session)
+    if top is not None:
+        rows = rows[:top]
+    total = max(session.collector.total_cycles, 1)
+    headers = (
+        "function", "calls", "instrs", "cycles", "%",
+        "stalls", "app", "runtime", "memcpy", "fram", "energy(nJ)",
+    )
+    table = [
+        [
+            row["name"],
+            row["calls"],
+            row["instructions"],
+            row["cycles"],
+            f"{100.0 * row['cycles'] / total:.1f}",
+            row["stalls"],
+            row["app_cycles"],
+            row["runtime_cycles"],
+            row["memcpy_cycles"],
+            row["fram_accesses"],
+            f"{row['energy_nj']:.0f}",
+        ]
+        for row in rows
+    ]
+    return format_table(headers, table, title=title)
+
+
+def call_tree_text(session, max_depth=None, min_percent=0.5):
+    """Indented inclusive/exclusive call tree (flamegraph in text form)."""
+    root = session.call_tree
+    total = max(root.inclusive, 1)
+    lines = []
+
+    def visit(node, depth):
+        if max_depth is not None and depth > max_depth:
+            return
+        inclusive = node.inclusive
+        percent = 100.0 * inclusive / total
+        if percent < min_percent:
+            return
+        lines.append(
+            f"{'  ' * depth}{node.name}  "
+            f"incl={inclusive} ({percent:.1f}%)  excl={node.cycles}  "
+            f"calls={node.calls}"
+        )
+        for child in sorted(
+            node.children.values(), key=lambda child: child.inclusive, reverse=True
+        ):
+            visit(child, depth + 1)
+
+    for child in sorted(
+        root.children.values(), key=lambda child: child.inclusive, reverse=True
+    ):
+        visit(child, 0)
+    return "\n".join(lines)
+
+
+def collapsed_stacks(session):
+    """Folded stacks: one ``frame;frame;... exclusive_cycles`` per line."""
+    lines = []
+
+    def visit(node, prefix):
+        path = f"{prefix};{node.name}" if prefix else node.name
+        if node.cycles:
+            lines.append(f"{path} {node.cycles}")
+        for child in sorted(node.children.values(), key=lambda child: child.name):
+            visit(child, path)
+
+    for child in sorted(session.call_tree.children.values(),
+                        key=lambda child: child.name):
+        visit(child, "")
+    return "\n".join(lines)
+
+
+def occupancy_table(session, top=None):
+    """Cache residency intervals as text."""
+    intervals = session.occupancy()
+    if top is not None:
+        intervals = intervals[:top]
+    rows = [
+        [
+            interval["func"],
+            f"{interval['address']:#06x}",
+            interval["size"],
+            interval["start_cycle"],
+            interval["end_cycle"] if interval["end_cycle"] is not None else "-",
+        ]
+        for interval in intervals
+    ]
+    return format_table(
+        ("function", "address", "bytes", "cached@", "evicted@"),
+        rows,
+        title="SRAM cache residency",
+    )
+
+
+def trace_report(session, label=""):
+    """The machine-readable sidecar document for a traced run."""
+    report = {
+        "label": label,
+        "frequency_mhz": session.frequency_mhz,
+        "functions": profile_rows(session),
+        "call_tree": session.call_tree.as_dict(),
+        "collapsed_stacks": collapsed_stacks(session).splitlines(),
+        "occupancy": session.occupancy(),
+        "events": [
+            event.as_dict()
+            for event in session.events
+            if event.kind not in CALL_KINDS
+        ],
+        "event_counts": session.timeline.by_kind(),
+        "events_dropped": session.timeline.dropped,
+    }
+    if session.result is not None:
+        report["result"] = session.result.as_dict()
+    stats = session.stats
+    if stats is not None and hasattr(stats, "as_dict"):
+        report["stats"] = stats.as_dict()
+    return report
+
+
+def write_session_artifacts(session, path, label="", extra_metadata=None):
+    """Write the Perfetto trace plus its sidecar report.
+
+    *path* is the trace destination; the report lands next to it with a
+    ``.report.json`` suffix. Returns ``(trace_path, report_path)``.
+    """
+    trace_path = write_trace(
+        path, perfetto_trace(session, extra_metadata=extra_metadata)
+    )
+    report_path = Path(trace_path).with_suffix(".report.json")
+    report_path.write_text(
+        json.dumps(trace_report(session, label=label), indent=2)
+    )
+    return trace_path, report_path

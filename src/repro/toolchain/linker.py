@@ -17,7 +17,7 @@ the paper's experiments:
 Capacity overruns raise :class:`FitError`: the paper's DNF outcome.
 """
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.asm.assembler import SectionLayout, assemble
 from repro.asm.ast import DataItem, Label
@@ -81,6 +81,10 @@ class LinkedProgram:
     cache_size: int
     memory_map: object
     section_sizes: dict
+    #: The assembly-level program the image was built from. Kept so
+    #: observability can recover exact per-function address ranges
+    #: (symbol start + summed instruction lengths).
+    program: object = field(default=None, repr=False)
 
     @property
     def nvm_code_bytes(self):
@@ -183,4 +187,5 @@ def link(program, plan, extra_symbols=None):
         cache_size=cache_size,
         memory_map=memory_map,
         section_sizes=sizes,
+        program=program,
     )

@@ -226,3 +226,32 @@ def test_allocator_accounting_catches_bad_node():
     policy.nodes.append(CacheNode(func_id=99, address=policy.end - 2, size=8))
     assert policy.used_bytes() + policy.free_bytes() != policy.size
     assert check_policy_accounting(policy)
+
+
+def test_thrash_ratio_zero_when_nothing_cached():
+    """Regression: a run that never caches must report 0.0, not divide
+    by an empty per-function map or count NVM fallbacks as thrash."""
+    from repro.core.runtime import SwapRamStats
+
+    stats = SwapRamStats()
+    assert stats.thrash_ratio == 0.0
+    stats.misses = 5
+    stats.nvm_fallbacks = 5
+    assert stats.thrash_ratio == 0.0
+
+    stats.caches = 4
+    stats.per_function_caches = {"a": 3, "b": 1}
+    assert stats.thrash_ratio == 2.0
+
+
+def test_stats_as_dict_mirrors_fields():
+    system = build_swapram(CALL_ONCE, PLANS["unified"])
+    system.run()
+    record = system.stats.as_dict()
+    assert record["misses"] == system.stats.misses
+    assert record["caches"] == system.stats.caches
+    assert record["thrash_ratio"] == system.stats.thrash_ratio
+    assert record["per_function_caches"] == system.stats.per_function_caches
+    # A copy, not the live dict.
+    record["per_function_caches"]["x"] = 1
+    assert "x" not in system.stats.per_function_caches

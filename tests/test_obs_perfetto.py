@@ -1,0 +1,146 @@
+"""Perfetto trace export: schema, round trip, validation."""
+
+import json
+
+import pytest
+
+from repro.core import build_swapram
+from repro.obs import (
+    TraceSession,
+    perfetto_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.toolchain import PLANS
+
+SOURCE = """
+int helper(int x) { return x * 2; }
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i++) { __debug_out(helper(i)); }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def traced():
+    system = build_swapram(SOURCE, PLANS["unified"])
+    session = TraceSession.attach(system)
+    result = system.run()
+    session.finish(result)
+    return system, session, result
+
+
+@pytest.fixture(scope="module")
+def trace(traced):
+    _, session, _ = traced
+    return perfetto_trace(session)
+
+
+def test_json_round_trip_validates(trace):
+    recovered = json.loads(json.dumps(trace))
+    assert validate_trace(recovered) == []
+    assert recovered["otherData"]["tool"] == "repro.obs"
+
+
+def test_total_cycles_recorded(trace, traced):
+    _, _, result = traced
+    assert trace["otherData"]["total_cycles"] == result.total_cycles
+
+
+def test_duration_events_balance_per_thread(trace):
+    depth = 0
+    for event in trace["traceEvents"]:
+        if event["ph"] == "B":
+            depth += 1
+        elif event["ph"] == "E":
+            depth -= 1
+            assert depth >= 0
+    assert depth == 0
+
+
+def test_call_stack_track_contains_app_functions(trace):
+    names = {
+        event["name"]
+        for event in trace["traceEvents"]
+        if event["ph"] == "B" and event["tid"] == 1
+    }
+    assert {"main", "helper"} <= names
+
+
+def test_instant_events_carry_cache_kinds(trace):
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert instants
+    kinds = {event["name"] for event in instants}
+    assert "miss" in kinds and "cache" in kinds
+    for event in instants:
+        assert event["s"] == "t"
+        assert event["tid"] == 2
+
+
+def test_counter_track_samples_occupancy(trace):
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert counters
+    used = [event["args"]["used_bytes"] for event in counters]
+    assert all(value >= 0 for value in used)
+    assert max(used) > 0
+
+
+def test_timestamps_are_scaled_microseconds(trace, traced):
+    _, session, result = traced
+    scale = 1.0 / session.frequency_mhz
+    stamped = [e for e in trace["traceEvents"] if "ts" in e]
+    assert stamped
+    assert max(event["ts"] for event in stamped) <= result.total_cycles * scale
+
+
+def test_truncated_timeline_still_exports_valid_trace():
+    """Regression: an events limit drops returns from the tail of the
+    timeline; the exporter must close the orphaned B slices itself."""
+    system = build_swapram(SOURCE, PLANS["unified"])
+    session = TraceSession.attach(system, events_limit=20)
+    result = system.run()
+    session.finish(result)
+    assert session.timeline.dropped > 0
+    trace = perfetto_trace(session)
+    assert validate_trace(trace) == []
+
+
+def test_write_trace_refuses_invalid():
+    bad = {"traceEvents": [{"ph": "E", "pid": 1, "tid": 1, "ts": 0.0}]}
+    with pytest.raises(ValueError):
+        write_trace("/tmp/never-written.json", bad)
+
+
+def test_write_trace_writes_loadable_json(tmp_path, trace):
+    path = write_trace(tmp_path / "deep" / "run.trace.json", trace)
+    assert path.exists()
+    assert validate_trace(json.loads(path.read_text())) == []
+
+
+def test_validator_catches_problems():
+    assert validate_trace([]) != []
+    assert validate_trace({"traceEvents": [{"ph": "?"}]}) != []
+    # Non-monotone timestamps on one thread.
+    assert validate_trace(
+        {
+            "traceEvents": [
+                {"ph": "i", "pid": 1, "tid": 1, "ts": 5.0, "name": "a", "s": "t"},
+                {"ph": "i", "pid": 1, "tid": 1, "ts": 1.0, "name": "b", "s": "t"},
+            ]
+        }
+    ) != []
+    # Mismatched B/E names.
+    assert validate_trace(
+        {
+            "traceEvents": [
+                {"ph": "B", "pid": 1, "tid": 1, "ts": 0.0, "name": "f"},
+                {"ph": "E", "pid": 1, "tid": 1, "ts": 1.0, "name": "g"},
+            ]
+        }
+    ) != []
+    # Unclosed B.
+    assert validate_trace(
+        {"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "ts": 0.0, "name": "f"}]}
+    ) != []
