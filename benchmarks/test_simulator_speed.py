@@ -4,7 +4,22 @@ These are true pytest-benchmark measurements (multiple rounds): how
 fast the CPU core interprets, how fast the toolchain builds, and what
 SwapRAM's native-hook machinery costs in host time. Useful to catch
 performance regressions that would make the evaluation unbearably slow.
+Every run here is *metrics-detached* -- ``runtime.metrics`` stays
+``None`` -- so these numbers are the zero-overhead guard for the
+opt-in hooks in ``repro.obs`` and ``repro.metrics``. For persistent
+trajectory numbers, use ``python -m repro bench snapshot`` instead.
 """
+
+import pytest
+
+try:
+    import pytest_benchmark  # noqa: F401 -- provides the `benchmark` fixture
+except ImportError:
+    pytest.skip(
+        "pytest-benchmark is not installed; these microbenchmarks need "
+        "its `benchmark` fixture (pip install pytest-benchmark)",
+        allow_module_level=True,
+    )
 
 from repro.bench import get_benchmark
 from repro.core import build_swapram

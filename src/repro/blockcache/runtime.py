@@ -79,6 +79,10 @@ class BlockCacheRuntime:
         #: ``None`` by default; every use is behind an ``is not None``
         #: guard so the untraced hot path is unchanged.
         self.timeline = None
+        #: Opt-in metrics hook (see :mod:`repro.metrics.instrument`).
+        #: Same discipline as ``timeline``: ``None`` by default, every
+        #: use guarded by ``is not None``.
+        self.metrics = None
 
         symbols = image.symbols
         self.cur_addr = symbols[CUR_CFI]
@@ -148,6 +152,8 @@ class BlockCacheRuntime:
     def _flush(self):
         """Discard every cached block and clear the hash table."""
         self.stats.flushes += 1
+        if self.metrics is not None:
+            self.metrics.counter("blockcache.flushes").inc()
         if self.timeline is not None:
             self.timeline.record(
                 "flush",
@@ -169,6 +175,8 @@ class BlockCacheRuntime:
         bus = self.bus
         costs = self.costs
         self.stats.entries += 1
+        if self.metrics is not None:
+            self.metrics.counter("blockcache.entries").inc()
         self.charger.begin_invocation()
         self.memcpy_charger.begin_invocation()
         flushes_before = self.stats.flushes
@@ -182,6 +190,8 @@ class BlockCacheRuntime:
             slot_addr = self._lookup(block_id)
             if slot_addr is not None:
                 self.stats.hits += 1
+                if self.metrics is not None:
+                    self.metrics.counter("blockcache.hits").inc()
                 if self.timeline is not None:
                     self.timeline.record(
                         "hit",
@@ -202,6 +212,8 @@ class BlockCacheRuntime:
     def _cache_block(self, block_id):
         bus = self.bus
         self.stats.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("blockcache.misses").inc()
         if self.timeline is not None:
             info = self.meta.blocks[block_id]
             self.timeline.record(
@@ -219,6 +231,8 @@ class BlockCacheRuntime:
         size = bus.read(self.blocktab + 4 * block_id + 2)
         words = (size + 1) // 2
         self.stats.words_copied += words
+        if self.metrics is not None:
+            self.metrics.histogram("blockcache.copied_words").observe(words)
         with bus.attributed(Attribution.MEMCPY):
             self.memcpy_charger.charge(
                 self.costs.memcpy_setup_instructions, Attribution.MEMCPY
@@ -264,5 +278,7 @@ class BlockCacheRuntime:
         self.charger.charge(self.costs.chain_instructions)
         self.bus.write(source + 2, slot_addr)
         self.stats.chains += 1
+        if self.metrics is not None:
+            self.metrics.counter("blockcache.chains").inc()
         if self.timeline is not None:
             self.timeline.record("chain", address=source, note=f"->{slot_addr:#06x}")

@@ -10,6 +10,8 @@
     python -m repro program.c --trace results/traces/program.trace.json
     python -m repro difftest --seed 1234 --count 50   # differential fuzzing
     python -m repro trace crc --system swapram        # full observability
+    python -m repro bench snapshot                    # perf telemetry snapshot
+    python -m repro bench compare BENCH_1.json BENCH_2.json
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,
@@ -17,7 +19,9 @@ accesses, energy); ``--stats`` adds cache-runtime statistics,
 ``--trace PATH`` records a Perfetto trace of the run. The ``difftest``
 subcommand runs the differential conformance fuzzer (see
 :mod:`repro.difftest.cli`); the ``trace`` subcommand records and
-profiles one benchmark run (see :mod:`repro.obs.cli`).
+profiles one benchmark run (see :mod:`repro.obs.cli`); the ``bench``
+subcommand writes/compares ``BENCH_<n>.json`` performance snapshots
+(see :mod:`repro.metrics.cli`).
 """
 
 import argparse
@@ -136,6 +140,10 @@ def main(argv=None, out=sys.stdout):
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:], out=out)
+    if argv and argv[0] == "bench":
+        from repro.metrics.cli import main as bench_main
+
+        return bench_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()

@@ -107,6 +107,10 @@ class SwapRamRuntime:
         #: ``None`` by default; every use is behind an ``is not None``
         #: guard so the untraced hot path is unchanged.
         self.timeline = None
+        #: Opt-in metrics hook (see :mod:`repro.metrics.instrument`).
+        #: Same discipline as ``timeline``: ``None`` by default, every
+        #: use guarded by ``is not None``.
+        self.metrics = None
 
         symbols = image.symbols
         self.cur_func_addr = symbols[CUR_FUNC]
@@ -143,6 +147,8 @@ class SwapRamRuntime:
         costs = self.costs
         charge = self.handler_charger.charge
         self.stats.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("swapram.misses").inc()
         self.handler_charger.begin_invocation()
         self.memcpy_charger.begin_invocation()
 
@@ -186,6 +192,8 @@ class SwapRamRuntime:
             bus.write(self.redir_base + 2 * callee.func_id, node.address)
             self.prefetcher.note_prefetch()
             self.stats.prefetches += 1
+            if self.metrics is not None:
+                self.metrics.counter("swapram.prefetches").inc()
             if self.timeline is not None:
                 self.timeline.record(
                     "prefetch",
@@ -208,6 +216,8 @@ class SwapRamRuntime:
         placement = self.policy.plan(size, is_active=self._is_active)
         if placement is None:
             self.stats.nvm_fallbacks += 1
+            if self.metrics is not None:
+                self.metrics.counter("swapram.nvm_fallbacks").inc()
             if self.timeline is not None:
                 self.timeline.record(
                     "nvm-fallback", func=func.name, func_id=func.func_id,
@@ -230,6 +240,8 @@ class SwapRamRuntime:
             if frozen and placement.victims:
                 self.stats.frozen_fallbacks += 1
                 self.stats.nvm_fallbacks += 1
+                if self.metrics is not None:
+                    self.metrics.counter("swapram.nvm_fallbacks").inc()
                 if self.timeline is not None:
                     self.timeline.record(
                         "nvm-fallback", func=func.name, func_id=func.func_id,
@@ -248,6 +260,9 @@ class SwapRamRuntime:
             if active:
                 self.stats.aborts += 1
                 self.stats.nvm_fallbacks += 1
+                if self.metrics is not None:
+                    self.metrics.counter("swapram.aborts").inc()
+                    self.metrics.counter("swapram.nvm_fallbacks").inc()
                 if self.timeline is not None:
                     victim_name = self.by_id[victim.func_id].name
                     self.timeline.record(
@@ -270,6 +285,12 @@ class SwapRamRuntime:
         bus.write(self.redir_base + 2 * func.func_id, node.address)
 
         self.stats.caches += 1
+        if self.metrics is not None:
+            self.metrics.counter("swapram.caches").inc()
+            self.metrics.histogram("swapram.cached_function_bytes").observe(size)
+            self.metrics.gauge("swapram.occupancy_bytes").set(
+                self.policy.used_bytes()
+            )
         if self.timeline is not None:
             self.timeline.record(
                 "cache", func=func.name, func_id=func.func_id,
@@ -289,6 +310,8 @@ class SwapRamRuntime:
         """Reset a victim's metadata (paper §3.3.2)."""
         bus = self.bus
         self.stats.evictions += 1
+        if self.metrics is not None:
+            self.metrics.counter("swapram.evictions").inc()
         if self.timeline is not None:
             self.timeline.record(
                 "evict",
@@ -313,6 +336,8 @@ class SwapRamRuntime:
         bus = self.bus
         words = (size + 1) // 2
         self.stats.words_copied += words
+        if self.metrics is not None:
+            self.metrics.histogram("swapram.copied_words").observe(words)
         with bus.attributed(Attribution.MEMCPY):
             self.memcpy_charger.charge(
                 self.costs.memcpy_setup_instructions, Attribution.MEMCPY

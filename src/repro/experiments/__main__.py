@@ -2,17 +2,19 @@
 
 Regenerates every table and figure, sharing one memoized runner so no
 (benchmark, system, frequency) point is simulated twice. Expect a few
-minutes of wall-clock time.
+minutes of wall-clock time. Host timing flows through the repo's one
+timing code path (:class:`repro.metrics.registry.PhaseTimer`), one
+phase per artifact, and a phase summary closes the run.
 """
-
-import time
 
 from repro.experiments import fig1, fig7, fig8, fig9, fig10, table1, table2
 from repro.experiments.runner import ExperimentRunner
+from repro.metrics.registry import PhaseTimer
 
 
 def main():
     runner = ExperimentRunner()
+    timer = PhaseTimer()
     artifacts = [
         ("Table 1", lambda: table1.render(runner=runner)),
         ("Figure 1", lambda: fig1.render()),
@@ -23,10 +25,18 @@ def main():
         ("Figure 10", lambda: fig10.render(runner=runner)),
     ]
     for name, render in artifacts:
-        started = time.time()
-        print(render())
-        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+        with timer.phase(name):
+            print(render())
+        print(f"[{name} regenerated in {timer.seconds(name):.1f}s]")
         print()
+    print(
+        "[total: "
+        + ", ".join(
+            f"{name} {spans['seconds']:.1f}s"
+            for name, spans in timer.as_dict().items()
+        )
+        + f" = {timer.total_seconds:.1f}s]"
+    )
 
 
 if __name__ == "__main__":

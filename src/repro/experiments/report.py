@@ -27,10 +27,21 @@ def format_table(headers, rows, title=None):
 def run_summary_table(named_results, title="Run summary"):
     """One row per named run, built from ``RunResult.as_dict()``.
 
-    *named_results* is an iterable of ``(label, RunResult-or-dict)``.
+    *named_results* is an iterable of ``(label, entry)`` where *entry*
+    is a ``RunResult``, its ``as_dict()`` form, or an
+    :class:`~repro.experiments.runner.RunRecord`. RunRecords (and any
+    entry carrying host timing) additionally fill the host wall-clock
+    and simulated-instructions-per-host-second columns; plain results
+    show ``-`` there.
     """
     rows = []
-    for label, result in named_results:
+    for label, entry in named_results:
+        host_run_s = getattr(entry, "host_run_s", 0.0)
+        instr_per_s = getattr(entry, "host_instructions_per_s", 0.0)
+        result = getattr(entry, "result", entry)
+        if result is None:  # a DNF RunRecord carries no measurements
+            rows.append([label, "DNF"] + ["-"] * 8)
+            continue
         record = result.as_dict() if hasattr(result, "as_dict") else dict(result)
         rows.append(
             [
@@ -42,11 +53,13 @@ def run_summary_table(named_results, title="Run summary"):
                 record["sram_accesses"],
                 f"{record['runtime_us']:.1f}",
                 f"{record['energy_nj'] / 1000:.2f}",
+                f"{host_run_s:.2f}" if host_run_s else "-",
+                f"{instr_per_s / 1000:.0f}" if instr_per_s else "-",
             ]
         )
     return format_table(
         ("run", "instrs", "cycles", "stalls", "fram", "sram",
-         "runtime(us)", "energy(uJ)"),
+         "runtime(us)", "energy(uJ)", "host(s)", "Kinstr/s"),
         rows,
         title=title,
     )

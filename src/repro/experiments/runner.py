@@ -14,6 +14,7 @@ from typing import Optional
 from repro.bench import get_benchmark
 from repro.blockcache import build_blockcache
 from repro.core import build_swapram
+from repro.metrics.registry import PhaseTimer
 from repro.toolchain import FitError, PLANS, build_baseline
 
 BASELINE = "baseline"
@@ -36,6 +37,15 @@ class RunRecord:
     section_sizes: dict = field(default_factory=dict)
     size_report: dict = field(default_factory=dict)
     runtime_stats: object = field(default=None, repr=False)
+    host_build_s: float = 0.0  # wall-clock to compile + link + load
+    host_run_s: float = 0.0  # wall-clock of the simulation itself
+
+    @property
+    def host_instructions_per_s(self):
+        """Simulated instructions per host second (simulator speed)."""
+        if self.dnf or self.result is None or not self.host_run_s:
+            return 0.0
+        return self.result.instructions / self.host_run_s
 
     @property
     def fram_accesses(self):
@@ -117,20 +127,27 @@ class ExperimentRunner:
             frequency_mhz=frequency_mhz,
             plan_name=plan_name,
         )
+        timer = PhaseTimer()
         try:
             if system == BASELINE:
-                board = build_baseline(program.source, plan, frequency_mhz)
-                result = board.run(max_instructions=self.max_instructions)
+                with timer.phase("build"):
+                    board = build_baseline(program.source, plan, frequency_mhz)
+                with timer.phase("run"):
+                    result = board.run(max_instructions=self.max_instructions)
                 record.section_sizes = dict(board.linked.section_sizes)
             elif system == SWAPRAM:
-                built = build_swapram(program.source, plan, frequency_mhz)
-                result = built.run(max_instructions=self.max_instructions)
+                with timer.phase("build"):
+                    built = build_swapram(program.source, plan, frequency_mhz)
+                with timer.phase("run"):
+                    result = built.run(max_instructions=self.max_instructions)
                 record.section_sizes = dict(built.linked.section_sizes)
                 record.size_report = built.size_report()
                 record.runtime_stats = built.stats
             elif system == BLOCK:
-                built = build_blockcache(program.source, plan, frequency_mhz)
-                result = built.run(max_instructions=self.max_instructions)
+                with timer.phase("build"):
+                    built = build_blockcache(program.source, plan, frequency_mhz)
+                with timer.phase("run"):
+                    result = built.run(max_instructions=self.max_instructions)
                 record.section_sizes = dict(built.linked.section_sizes)
                 record.size_report = built.size_report()
                 record.runtime_stats = built.stats
@@ -139,6 +156,9 @@ class ExperimentRunner:
         except FitError:
             record.dnf = True
             return record
+        finally:
+            record.host_build_s = timer.seconds("build")
+            record.host_run_s = timer.seconds("run")
         record.result = result
         record.correct = result.debug_words == program.expected
         if not record.correct:

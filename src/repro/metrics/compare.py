@@ -1,0 +1,207 @@
+"""The regression gate between two ``BENCH_*.json`` snapshots.
+
+``compare_snapshots(old, new)`` matches runs by (benchmark, system,
+plan) and checks every gated guest metric against a per-metric relative
+threshold: a metric regresses when ``new > old * (1 + threshold)``.
+The boundary is *inclusive* -- a metric landing exactly on the limit
+passes -- so pick a threshold strictly below the cliff you want to
+catch (0.9, not 1.0, for exact doublings). Guest quantities are
+deterministic, so even the default thresholds are about intent, not
+noise -- they are deliberately generous (catch the 2x cliff, wave
+through the 5% wobble a refactor may trade away). Host
+wall-clock metrics are recorded in every snapshot but **not gated** by
+default: they compare a CI runner against a laptop. Pass
+``host_threshold`` to gate them too.
+
+Improvements never fail the gate, and a lost run does: a benchmark that
+was measured in the old snapshot but is missing (or newly DNF) in the
+new one is itself a regression -- silent coverage loss is how perf
+cliffs hide.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import format_table
+
+#: Relative increase tolerated per guest metric (0.5 = +50%).
+DEFAULT_THRESHOLDS = {
+    "total_cycles": 0.5,
+    "unstalled_cycles": 0.5,
+    "stall_cycles": 0.75,
+    "instructions": 0.5,
+    "fram_accesses": 0.5,
+    "sram_accesses": 0.75,
+    "energy_nj": 0.5,
+    "runtime_us": 0.5,
+}
+
+#: Host metrics gated only when a host_threshold is given.
+HOST_METRICS = ("run_s", "build_s")
+
+
+@dataclass
+class MetricDelta:
+    """One metric of one run, old vs new."""
+
+    benchmark: str
+    system: str
+    plan: str
+    metric: str
+    old: float
+    new: float
+    threshold: float
+    regressed: bool
+
+    @property
+    def ratio(self):
+        return self.new / self.old if self.old else float("inf")
+
+    @property
+    def label(self):
+        return f"{self.benchmark}/{self.system}"
+
+
+@dataclass
+class CompareReport:
+    """Everything the gate decided, renderable as a text table."""
+
+    deltas: list = field(default_factory=list)
+    missing: list = field(default_factory=list)  # (key, reason)
+    added: list = field(default_factory=list)
+
+    @property
+    def regressions(self):
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self):
+        return not self.regressions and not self.missing
+
+    def render(self, all_rows=False):
+        """Text table of regressions (or every delta with *all_rows*)."""
+        lines = []
+        rows = [
+            [
+                delta.label,
+                delta.metric,
+                _fmt(delta.old),
+                _fmt(delta.new),
+                f"{delta.ratio:.3f}x",
+                f"<= {1 + delta.threshold:.2f}x",
+                "REGRESSED" if delta.regressed else "ok",
+            ]
+            for delta in self.deltas
+            if all_rows or delta.regressed
+        ]
+        if rows:
+            lines.append(
+                format_table(
+                    ("run", "metric", "old", "new", "ratio", "gate", "status"),
+                    rows,
+                    title="Snapshot comparison",
+                )
+            )
+        for key, reason in self.missing:
+            lines.append(f"MISSING {'/'.join(key)}: {reason}")
+        for key in self.added:
+            lines.append(f"new run {'/'.join(key)} (no old baseline; not gated)")
+        verdict = (
+            "OK: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} metric regression(s), "
+            f"{len(self.missing)} missing run(s)"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value)) if isinstance(value, float) else str(value)
+
+
+def _index(snapshot):
+    return {
+        (run["benchmark"], run["system"], run["plan"]): run
+        for run in snapshot["runs"]
+    }
+
+
+def compare_snapshots(
+    old,
+    new,
+    thresholds=None,
+    default_threshold=None,
+    host_threshold=None,
+):
+    """Gate *new* against *old*; returns a :class:`CompareReport`.
+
+    *thresholds* overrides :data:`DEFAULT_THRESHOLDS` per metric name;
+    *default_threshold*, when given, applies to every gated guest
+    metric not explicitly overridden. *host_threshold* additionally
+    gates the host wall-clock metrics (off by default).
+    """
+    gate = dict(DEFAULT_THRESHOLDS)
+    if default_threshold is not None:
+        gate = {name: default_threshold for name in gate}
+    if thresholds:
+        gate.update(thresholds)
+
+    old_runs = _index(old)
+    new_runs = _index(new)
+    report = CompareReport()
+    report.added = sorted(set(new_runs) - set(old_runs))
+
+    for key in sorted(old_runs):
+        old_run = old_runs[key]
+        new_run = new_runs.get(key)
+        if new_run is None:
+            report.missing.append((key, "run absent from new snapshot"))
+            continue
+        if old_run.get("dnf"):
+            continue  # nothing measured to gate against
+        if new_run.get("dnf"):
+            report.missing.append((key, "newly DNF (did not fit)"))
+            continue
+        benchmark, system, plan = key
+        for metric, threshold in sorted(gate.items()):
+            old_value = old_run["guest"].get(metric)
+            new_value = new_run["guest"].get(metric)
+            if old_value is None or new_value is None:
+                continue
+            if not old_value:
+                # Nothing to take a ratio against; a metric springing
+                # from exactly zero is surfaced but never gated.
+                continue
+            report.deltas.append(
+                MetricDelta(
+                    benchmark,
+                    system,
+                    plan,
+                    metric,
+                    old_value,
+                    new_value,
+                    threshold,
+                    regressed=new_value > old_value * (1 + threshold),
+                )
+            )
+        if host_threshold is not None:
+            for metric in HOST_METRICS:
+                old_value = old_run.get("host", {}).get(metric)
+                new_value = new_run.get("host", {}).get(metric)
+                if not old_value or new_value is None:
+                    continue
+                report.deltas.append(
+                    MetricDelta(
+                        benchmark,
+                        system,
+                        plan,
+                        f"host.{metric}",
+                        old_value,
+                        new_value,
+                        host_threshold,
+                        regressed=new_value > old_value * (1 + host_threshold),
+                    )
+                )
+    return report

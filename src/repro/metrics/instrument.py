@@ -1,0 +1,132 @@
+"""Attaching metrics to built systems, and deriving rates from stats.
+
+:class:`MetricsSession` is the metrics twin of
+:class:`~repro.obs.session.TraceSession`: it hands a
+:class:`~repro.metrics.registry.MetricsRegistry` to the runtime's
+opt-in ``metrics`` hook (``SwapRamRuntime`` / ``BlockCacheRuntime``)
+and times the attached span through a :class:`PhaseTimer`. Attach and
+detach are idempotent and restore exactly what was there before, so a
+session can wrap any target -- including one that already carries a
+registry -- without clobbering it.
+
+The derivation helpers turn the exact counters the runtimes already
+keep (:class:`~repro.core.runtime.SwapRamStats`,
+:class:`~repro.blockcache.runtime.BlockCacheStats`) and a finished
+:class:`~repro.machine.board.RunResult` into the rate metrics the
+snapshot gate tracks: miss/evict/abort rates, copied bytes, host
+instructions per second.
+"""
+
+from repro.metrics.registry import MetricsRegistry, PhaseTimer
+
+RUN_PHASE = "run"
+
+
+class MetricsSession:
+    """A live metrics attachment to one board/system."""
+
+    def __init__(self, target, registry, timer, previous):
+        self.target = target
+        self.registry = registry
+        self.timer = timer
+        self._previous = previous
+        self._attached = True
+
+    @classmethod
+    def attach(cls, target, registry=None, timer=None):
+        """Attach *registry* to the target's runtime hook (if any).
+
+        Works on a bare :class:`~repro.machine.board.Board` too -- the
+        registry then only receives derived metrics, never hot-path
+        updates, because baseline boards have no runtime.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        timer = timer if timer is not None else PhaseTimer()
+        runtime = getattr(target, "runtime", None)
+        previous = getattr(runtime, "metrics", None)
+        if runtime is not None:
+            runtime.metrics = registry
+        timer.start(RUN_PHASE)
+        return cls(target, registry, timer, previous)
+
+    def detach(self):
+        """Restore the runtime's previous hook value; idempotent."""
+        if not self._attached:
+            return self
+        self._attached = False
+        if self.timer.running(RUN_PHASE):
+            self.timer.stop(RUN_PHASE)
+        runtime = getattr(self.target, "runtime", None)
+        if runtime is not None:
+            runtime.metrics = self._previous
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.detach()
+        return False
+
+    @property
+    def host_seconds(self):
+        return self.timer.seconds(RUN_PHASE)
+
+    def finish(self, result=None):
+        """Detach and fold the run's derived metrics into the registry."""
+        self.detach()
+        stats = getattr(self.target, "stats", None)
+        if result is not None:
+            derive_run_metrics(self.registry, result, self.host_seconds)
+        if stats is not None:
+            derive_stats_metrics(self.registry, stats)
+        return self
+
+
+def derive_run_metrics(registry, result, host_seconds=None):
+    """Guest totals (and host throughput) as gauges on *registry*."""
+    record = result.as_dict() if hasattr(result, "as_dict") else dict(result)
+    for key in (
+        "instructions",
+        "unstalled_cycles",
+        "stall_cycles",
+        "total_cycles",
+        "fram_accesses",
+        "sram_accesses",
+        "runtime_us",
+        "energy_nj",
+    ):
+        registry.gauge(f"guest.{key}").set(record[key])
+    if host_seconds:
+        registry.gauge("host.seconds").set(host_seconds)
+        registry.gauge("host.instructions_per_s").set(
+            record["instructions"] / host_seconds
+        )
+    return registry
+
+
+def derive_stats_metrics(registry, stats):
+    """Rate metrics over a runtime's stats counters.
+
+    Dispatches on shape: SwapRAM stats carry ``misses``/``caches``/
+    ``evictions``/``aborts``, block-cache stats carry ``entries``/
+    ``hits``. Rates are per miss-handler entry so they stay comparable
+    across cache-size and policy changes.
+    """
+    if hasattr(stats, "entries"):  # BlockCacheStats
+        entries = max(stats.entries, 1)
+        registry.gauge("blockcache.hit_rate").set(stats.hits / entries)
+        registry.gauge("blockcache.miss_rate").set(stats.misses / entries)
+        registry.gauge("blockcache.flush_rate").set(stats.flushes / entries)
+        registry.gauge("blockcache.copy_bytes").set(2 * stats.words_copied)
+    elif hasattr(stats, "misses"):  # SwapRamStats
+        misses = max(stats.misses, 1)
+        registry.gauge("swapram.cache_rate").set(stats.caches / misses)
+        registry.gauge("swapram.evict_rate").set(stats.evictions / misses)
+        registry.gauge("swapram.abort_rate").set(stats.aborts / misses)
+        registry.gauge("swapram.nvm_fallback_rate").set(
+            stats.nvm_fallbacks / misses
+        )
+        registry.gauge("swapram.copy_bytes").set(2 * stats.words_copied)
+        registry.gauge("swapram.thrash_ratio").set(stats.thrash_ratio)
+    return registry

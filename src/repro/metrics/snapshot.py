@@ -1,0 +1,235 @@
+"""Benchmark snapshots: the ``BENCH_<n>.json`` perf trajectory.
+
+A snapshot is one schema-versioned JSON document capturing how fast the
+repo runs *right now*: for every (benchmark, system) point of the quick
+matrix it records the guest-side quantities the paper's claims are made
+of (cycles, stalls, FRAM/SRAM traffic, energy) and the host-side
+quantities the ROADMAP's "fast as the hardware allows" goal is judged
+by (per-phase wall-clock, simulated instructions per host second).
+Snapshots at the repo root -- ``BENCH_1.json``, ``BENCH_2.json``, ... --
+form the performance trajectory every perf PR is measured against;
+:mod:`repro.metrics.compare` is the gate between any two of them.
+"""
+
+import json
+import platform
+import re
+import time
+from pathlib import Path
+
+from repro.bench import QUICK_NAMES, get_benchmark
+from repro.blockcache import build_blockcache
+from repro.core import build_swapram
+from repro.metrics.instrument import MetricsSession
+from repro.metrics.registry import PhaseTimer
+from repro.toolchain import FitError, PLANS, build_baseline, compile_program
+
+SCHEMA = "repro-bench-snapshot/1"
+
+#: Systems measured by default. ``block`` is opt-in: the prior-work
+#: comparison point matters for the paper artifacts, not for tracking
+#: this repo's own hot paths.
+DEFAULT_SYSTEMS = ("baseline", "swapram")
+
+_GUEST_KEYS = (
+    "instructions",
+    "unstalled_cycles",
+    "stall_cycles",
+    "total_cycles",
+    "fram_accesses",
+    "sram_accesses",
+    "code_accesses",
+    "data_accesses",
+    "runtime_us",
+    "energy_nj",
+)
+
+_BUILDERS = {
+    "baseline": build_baseline,
+    "swapram": build_swapram,
+    "block": build_blockcache,
+}
+
+
+def snapshot_run(
+    benchmark,
+    system,
+    plan_name="unified",
+    frequency_mhz=24,
+    scale=1,
+    max_instructions=80_000_000,
+):
+    """Measure one (benchmark, system) point; returns its snapshot row.
+
+    Phases are timed separately so compile-time and run-time host
+    regressions are distinguishable: ``compile`` is mini-C -> assembly,
+    ``build`` is instrument + assemble + link + load (the assembler runs
+    inside the linker), ``run`` is the simulation itself.
+    """
+    program = get_benchmark(benchmark, scale=scale)
+    timer = PhaseTimer()
+    row = {
+        "benchmark": benchmark,
+        "system": system,
+        "plan": plan_name,
+        "dnf": False,
+    }
+    try:
+        with timer.phase("compile"):
+            compiled = compile_program(program.source)
+        with timer.phase("build"):
+            built = _BUILDERS[system](
+                compiled, PLANS[plan_name], frequency_mhz=frequency_mhz
+            )
+    except FitError as error:
+        row["dnf"] = True
+        row["dnf_reason"] = str(error)
+        row["host"] = {"phases": timer.as_dict()}
+        return row
+
+    # Attaching opens the "run" phase on the shared timer, so the span
+    # covers the simulation only -- build time never pollutes
+    # instructions/sec.
+    session = MetricsSession.attach(built, timer=timer)
+    result = built.run(max_instructions=max_instructions)
+    session.finish(result)
+
+    if result.debug_words != program.expected:
+        raise AssertionError(
+            f"{benchmark}/{system}: wrong output "
+            f"{result.debug_words[:8]} != {program.expected[:8]}"
+        )
+
+    run_s = timer.seconds("run")
+    row["guest"] = {key: result.as_dict()[key] for key in _GUEST_KEYS}
+    row["host"] = {
+        "run_s": run_s,
+        "build_s": timer.seconds("compile") + timer.seconds("build"),
+        "instructions_per_s": result.instructions / run_s if run_s else 0.0,
+        "phases": timer.as_dict(),
+    }
+    stats = getattr(built, "stats", None)
+    if stats is not None:
+        row["stats"] = stats.as_dict()
+    row["metrics"] = session.registry.as_dict()
+    return row
+
+
+def take_snapshot(
+    benchmarks=QUICK_NAMES,
+    systems=DEFAULT_SYSTEMS,
+    plan_name="unified",
+    frequency_mhz=24,
+    scale=1,
+    max_instructions=80_000_000,
+    progress=None,
+):
+    """Run the benchmark × system matrix; returns the snapshot document."""
+    runs = []
+    for benchmark in benchmarks:
+        for system in systems:
+            if progress is not None:
+                progress(f"{benchmark}/{system}")
+            runs.append(
+                snapshot_run(
+                    benchmark,
+                    system,
+                    plan_name=plan_name,
+                    frequency_mhz=frequency_mhz,
+                    scale=scale,
+                    max_instructions=max_instructions,
+                )
+            )
+    return {
+        "schema": SCHEMA,
+        "suite": {
+            "benchmarks": list(benchmarks),
+            "systems": list(systems),
+            "plan": plan_name,
+            "frequency_mhz": frequency_mhz,
+            "scale": scale,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "created_unix_s": time.time(),
+        },
+        "runs": runs,
+    }
+
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_snapshot_path(root="."):
+    """First unused ``BENCH_<n>.json`` under *root* (1-based)."""
+    root = Path(root)
+    taken = {
+        int(match.group(1))
+        for path in root.glob("BENCH_*.json")
+        if (match := _BENCH_NAME.match(path.name))
+    }
+    number = 1
+    while number in taken:
+        number += 1
+    return root / f"BENCH_{number}.json"
+
+
+def write_snapshot(snapshot, path=None, root="."):
+    """Write *snapshot* to *path* (default: the next BENCH_<n>.json)."""
+    path = Path(path) if path is not None else next_snapshot_path(root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path):
+    """Read and schema-check a snapshot file."""
+    document = json.loads(Path(path).read_text())
+    problems = validate_snapshot(document)
+    if problems:
+        raise ValueError(f"{path}: invalid snapshot: {problems}")
+    return document
+
+
+def validate_snapshot(document):
+    """Structural check; returns a list of problems (empty = valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["snapshot is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    suite = document.get("suite")
+    if not isinstance(suite, dict):
+        problems.append("missing suite section")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("missing or empty runs list")
+        return problems
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        for key in ("benchmark", "system", "plan"):
+            if key not in run:
+                problems.append(f"{where}: missing {key!r}")
+        if run.get("dnf"):
+            continue
+        guest = run.get("guest")
+        if not isinstance(guest, dict):
+            problems.append(f"{where}: missing guest section")
+            continue
+        for key in _GUEST_KEYS:
+            if key not in guest:
+                problems.append(f"{where}: guest missing {key!r}")
+        host = run.get("host")
+        if not isinstance(host, dict) or "run_s" not in host:
+            problems.append(f"{where}: missing host timing")
+        if isinstance(guest, dict) and "total_cycles" in guest:
+            unstalled = guest.get("unstalled_cycles", 0)
+            stalls = guest.get("stall_cycles", 0)
+            if guest["total_cycles"] != unstalled + stalls:
+                problems.append(
+                    f"{where}: total_cycles != unstalled + stalls"
+                )
+    return problems

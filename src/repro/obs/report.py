@@ -142,6 +142,13 @@ def trace_report(session, label=""):
         "event_counts": session.timeline.by_kind(),
         "events_dropped": session.timeline.dropped,
     }
+    host_seconds = getattr(session, "host_seconds", 0.0)
+    if host_seconds:
+        report["host"] = {"seconds": host_seconds}
+        if session.result is not None:
+            report["host"]["instructions_per_s"] = (
+                session.result.instructions / host_seconds
+            )
     if session.result is not None:
         report["result"] = session.result.as_dict()
     stats = session.stats

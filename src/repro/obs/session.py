@@ -20,19 +20,23 @@ Typical use::
     write_trace(path, perfetto_trace(session))
 """
 
+from repro.metrics.registry import PhaseTimer
 from repro.obs.collector import Collector
 from repro.obs.funcmap import build_function_map
 from repro.obs.timeline import Timeline, occupancy_intervals
+
+_TRACED_PHASE = "traced-run"
 
 
 class TraceSession:
     """A live tracing attachment to one board/system."""
 
-    def __init__(self, target, board, timeline, collector):
+    def __init__(self, target, board, timeline, collector, timer=None):
         self.target = target
         self.board = board
         self.timeline = timeline
         self.collector = collector
+        self.timer = timer if timer is not None else PhaseTimer()
         self.result = None
 
     @classmethod
@@ -45,10 +49,16 @@ class TraceSession:
         runtime = getattr(target, "runtime", None)
         if runtime is not None:
             runtime.timeline = timeline
-        return cls(target, board, timeline, collector)
+        # Host wall-clock flows through the shared PhaseTimer API (see
+        # repro.metrics.registry): the attach->finish span brackets the
+        # traced run.
+        timer = PhaseTimer().start(_TRACED_PHASE)
+        return cls(target, board, timeline, collector, timer=timer)
 
     def finish(self, result=None):
         """Detach, close open call frames, and freeze the session."""
+        if self.timer.running(_TRACED_PHASE):
+            self.timer.stop(_TRACED_PHASE)
         self.collector.detach()
         self.collector.finish()
         runtime = getattr(self.target, "runtime", None)
@@ -84,6 +94,11 @@ class TraceSession:
     @property
     def stats(self):
         return getattr(self.target, "stats", None)
+
+    @property
+    def host_seconds(self):
+        """Host wall-clock between attach and finish (the traced span)."""
+        return self.timer.seconds(_TRACED_PHASE)
 
     def occupancy(self):
         """Cache residency intervals over the whole run."""

@@ -4,9 +4,10 @@ import math
 
 import pytest
 
-from repro.experiments.report import format_table, percent, ratio
+from repro.experiments.report import format_table, percent, ratio, run_summary_table
 from repro.experiments.runner import (
     BASELINE,
+    ExperimentRunner,
     RunRecord,
     SYSTEMS,
     geo_mean_ratio,
@@ -74,7 +75,36 @@ def test_run_record_nvm_bytes_excludes_sram_data():
 
 
 def test_runner_rejects_unknown_system():
-    from repro.experiments.runner import ExperimentRunner
-
     with pytest.raises(ValueError):
         ExperimentRunner().run("crc", "hardware-magic")
+
+
+def test_runner_records_host_timing():
+    record = ExperimentRunner().run("crc", BASELINE)
+    assert record.host_build_s > 0
+    assert record.host_run_s > 0
+    assert record.host_instructions_per_s == pytest.approx(
+        record.result.instructions / record.host_run_s
+    )
+
+
+def test_run_summary_table_includes_host_columns():
+    record = ExperimentRunner().run("crc", BASELINE)
+    table = run_summary_table([("crc/baseline", record)])
+    assert "host(s)" in table
+    assert "Kinstr/s" in table
+    assert f"{record.host_run_s:.2f}" in table
+
+
+def test_run_summary_table_accepts_plain_results_and_dnf():
+    record = ExperimentRunner().run("crc", BASELINE)
+    table = run_summary_table(
+        [
+            ("plain-result", record.result),  # no host timing available
+            ("dnf", RunRecord("x", "block", 24, "unified", dnf=True)),
+        ]
+    )
+    lines = table.splitlines()
+    plain = next(line for line in lines if line.startswith("plain-result"))
+    assert plain.rstrip().endswith("-")  # host columns empty
+    assert any("DNF" in line for line in lines)

@@ -1,0 +1,141 @@
+"""Metric primitives: counters, gauges, histograms, phase timers."""
+
+import pytest
+
+from repro.metrics import Counter, Gauge, Histogram, MetricsRegistry, PhaseTimer
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- primitives --------------------------------------------------------------------
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.as_dict() == {"type": "counter", "value": 5}
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("g")
+    assert gauge.value is None
+    gauge.set(3)
+    gauge.set(7)
+    assert gauge.value == 7
+
+
+def test_histogram_summary():
+    hist = Histogram("h")
+    for value in (4, 1, 9):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.total == 14
+    assert hist.min == 1
+    assert hist.max == 9
+    assert hist.mean == pytest.approx(14 / 3)
+    record = hist.as_dict()
+    assert record["sum"] == 14
+    assert record["count"] == 3
+
+
+def test_empty_histogram_mean_is_zero():
+    assert Histogram("h").mean == 0.0
+
+
+# -- the phase timer ----------------------------------------------------------------
+
+
+def test_phase_timer_context_manager_accumulates():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+    with timer.phase("compile"):
+        clock.advance(1.5)
+    with timer.phase("compile"):
+        clock.advance(0.5)
+    assert timer.seconds("compile") == pytest.approx(2.0)
+    assert timer.count("compile") == 2
+    assert timer.total_seconds == pytest.approx(2.0)
+
+
+def test_phase_timer_start_stop_span():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+    timer.start("run")
+    assert timer.running("run")
+    clock.advance(3.0)
+    span = timer.stop("run")
+    assert span == pytest.approx(3.0)
+    assert not timer.running("run")
+    assert timer.as_dict() == {"run": {"seconds": pytest.approx(3.0), "count": 1}}
+
+
+def test_phase_timer_rejects_double_start_and_orphan_stop():
+    timer = PhaseTimer(clock=FakeClock())
+    timer.start("x")
+    with pytest.raises(RuntimeError):
+        timer.start("x")
+    timer.stop("x")
+    with pytest.raises(RuntimeError):
+        timer.stop("x")
+
+
+def test_phase_timer_stops_phase_on_exception():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+    with pytest.raises(ValueError):
+        with timer.phase("boom"):
+            clock.advance(1.0)
+            raise ValueError("inside the phase")
+    assert not timer.running("boom")
+    assert timer.seconds("boom") == pytest.approx(1.0)
+
+
+def test_unknown_phase_reads_as_zero():
+    timer = PhaseTimer(clock=FakeClock())
+    assert timer.seconds("never") == 0.0
+    assert timer.count("never") == 0
+
+
+# -- the registry --------------------------------------------------------------------
+
+
+def test_registry_creates_on_first_use_and_memoizes():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.hits")
+    counter.inc()
+    assert registry.counter("a.hits") is counter
+    assert registry.counter("a.hits").value == 1
+    assert "a.hits" in registry
+    assert len(registry) == 1
+
+
+def test_registry_rejects_type_confusion():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_as_dict_is_sorted_plain_data():
+    registry = MetricsRegistry()
+    registry.gauge("b").set(2)
+    registry.counter("a").inc(3)
+    registry.histogram("c").observe(5)
+    record = registry.as_dict()
+    assert list(record) == ["a", "b", "c"]
+    assert record["a"] == {"type": "counter", "value": 3}
+    assert record["b"] == {"type": "gauge", "value": 2}
+    assert record["c"]["sum"] == 5
