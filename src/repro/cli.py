@@ -12,6 +12,7 @@
     python -m repro trace crc --system swapram        # full observability
     python -m repro bench snapshot                    # perf telemetry snapshot
     python -m repro bench compare BENCH_1.json BENCH_2.json
+    python -m repro faults sweep --seed 1             # intermittent power
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,
@@ -21,7 +22,13 @@ subcommand runs the differential conformance fuzzer (see
 :mod:`repro.difftest.cli`); the ``trace`` subcommand records and
 profiles one benchmark run (see :mod:`repro.obs.cli`); the ``bench``
 subcommand writes/compares ``BENCH_<n>.json`` performance snapshots
-(see :mod:`repro.metrics.cli`).
+(see :mod:`repro.metrics.cli`); the ``faults`` subcommand runs
+intermittent-power fault campaigns (see :mod:`repro.faults.cli`).
+
+``--max-cycles`` arms a cycle watchdog: a run that exceeds the budget
+is reported as a first-class DNF (exit status 2) instead of spinning to
+the instruction guard, mirroring how the experiments runner treats
+runs that never finish.
 """
 
 import argparse
@@ -29,6 +36,7 @@ import sys
 
 from repro.blockcache import build_blockcache
 from repro.core import ThrashGuard, build_swapram
+from repro.machine import PowerFailure, RunawayError
 from repro.toolchain import FitError, PLANS, build_baseline
 
 
@@ -82,6 +90,12 @@ def _parser():
         type=int,
         default=50_000_000,
         help="runaway guard (default: 5e7)",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        help="cycle watchdog: exceeding it is a DNF (exit 2)",
     )
     return parser
 
@@ -144,6 +158,10 @@ def main(argv=None, out=sys.stdout):
         from repro.metrics.cli import main as bench_main
 
         return bench_main(argv[1:], out=out)
+    if argv and argv[0] == "faults":
+        from repro.faults.cli import main as faults_main
+
+        return faults_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()
@@ -157,6 +175,11 @@ def main(argv=None, out=sys.stdout):
         print(f"DNF: {error}", file=out)
         return 2
 
+    if args.max_cycles is not None:
+        from repro.machine.power import install_fused_counters
+
+        install_fused_counters(board).cycle_fuse = args.max_cycles
+
     session = None
     if args.trace:
         from repro.obs import TraceSession
@@ -164,6 +187,9 @@ def main(argv=None, out=sys.stdout):
         session = TraceSession.attach(system)
     try:
         result = system.run(max_instructions=args.max_instructions)
+    except (PowerFailure, RunawayError) as error:
+        print(f"DNF: {error}", file=out)
+        return 2
     finally:
         if session is not None:
             session.finish()

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.bench import get_benchmark
 from repro.blockcache import build_blockcache
 from repro.core import build_swapram
+from repro.machine import PowerFailure, RunawayError, install_fused_counters
 from repro.metrics.registry import PhaseTimer
 from repro.toolchain import FitError, PLANS, build_baseline
 
@@ -32,6 +33,7 @@ class RunRecord:
     frequency_mhz: float
     plan_name: str
     dnf: bool = False
+    dnf_reason: str = ""
     correct: Optional[bool] = None
     result: object = field(default=None, repr=False)
     section_sizes: dict = field(default_factory=dict)
@@ -85,11 +87,18 @@ def geo_mean_ratio(ratios):
 
 
 class ExperimentRunner:
-    """Builds, runs and caches benchmark/system/config combinations."""
+    """Builds, runs and caches benchmark/system/config combinations.
 
-    def __init__(self, scale=1, max_instructions=80_000_000):
+    *max_cycles* optionally arms a cycle watchdog on every run: a point
+    that exceeds the budget becomes a first-class DNF row (with
+    ``dnf_reason='watchdog: ...'``) instead of stalling the whole sweep
+    until the instruction guard trips.
+    """
+
+    def __init__(self, scale=1, max_instructions=80_000_000, max_cycles=None):
         self.scale = scale
         self.max_instructions = max_instructions
+        self.max_cycles = max_cycles
         self._cache = {}
         self._sources = {}
 
@@ -97,6 +106,10 @@ class ExperimentRunner:
         if benchmark not in self._sources:
             self._sources[benchmark] = get_benchmark(benchmark, scale=self.scale)
         return self._sources[benchmark]
+
+    def _arm_watchdog(self, board):
+        if self.max_cycles is not None:
+            install_fused_counters(board).cycle_fuse = self.max_cycles
 
     def run(
         self,
@@ -132,12 +145,14 @@ class ExperimentRunner:
             if system == BASELINE:
                 with timer.phase("build"):
                     board = build_baseline(program.source, plan, frequency_mhz)
+                self._arm_watchdog(board)
                 with timer.phase("run"):
                     result = board.run(max_instructions=self.max_instructions)
                 record.section_sizes = dict(board.linked.section_sizes)
             elif system == SWAPRAM:
                 with timer.phase("build"):
                     built = build_swapram(program.source, plan, frequency_mhz)
+                self._arm_watchdog(built.board)
                 with timer.phase("run"):
                     result = built.run(max_instructions=self.max_instructions)
                 record.section_sizes = dict(built.linked.section_sizes)
@@ -146,6 +161,7 @@ class ExperimentRunner:
             elif system == BLOCK:
                 with timer.phase("build"):
                     built = build_blockcache(program.source, plan, frequency_mhz)
+                self._arm_watchdog(built.board)
                 with timer.phase("run"):
                     result = built.run(max_instructions=self.max_instructions)
                 record.section_sizes = dict(built.linked.section_sizes)
@@ -153,8 +169,13 @@ class ExperimentRunner:
                 record.runtime_stats = built.stats
             else:
                 raise ValueError(f"unknown system {system!r}")
-        except FitError:
+        except FitError as error:
             record.dnf = True
+            record.dnf_reason = f"fit: {error}"
+            return record
+        except (PowerFailure, RunawayError) as error:
+            record.dnf = True
+            record.dnf_reason = f"watchdog: {error}"
             return record
         finally:
             record.host_build_s = timer.seconds("build")

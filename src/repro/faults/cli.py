@@ -1,0 +1,260 @@
+"""The ``repro faults`` subcommand: intermittent-power campaigns.
+
+::
+
+    python -m repro faults sweep --seed 1
+    python -m repro faults sweep --seed 1 --benchmarks crc rsa \\
+        --systems baseline swapram blockcache --schedules fixed:0.5 \\
+        periodic:0.35 adversarial:memcpy
+    python -m repro faults sweep --seed 1 --difftest-seeds 3 7
+    python -m repro faults replay --benchmark crc --system swapram \\
+        --schedule adversarial:memcpy --seed 1
+
+``sweep`` runs the full targets x schedules matrix and writes one JSON
+report to ``results/faults/sweep-seed<N>.json``. Every stochastic
+choice descends from ``--seed`` and the report contains no timestamps,
+so two invocations with the same arguments produce byte-identical
+files -- CI diffs them to enforce it. Classifications other than
+``correct`` are *findings*, not failures -- a non-idempotent program is
+wrong-result after a reboot even on the baseline system -- so a
+completed sweep always exits 0 and CI asserts on the JSON report.
+
+``replay`` re-runs a single case with an observability timeline
+attached and prints the boot-by-boot story: where each fuse blew, what
+the post-reboot audit found, and the final classification.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.faults.harness import (
+    MAX_INSTRUCTIONS_PER_BOOT,
+    MAX_REBOOTS,
+    SYSTEMS,
+    FaultSweep,
+    benchmark_target,
+    difftest_target,
+    run_case,
+    summarize,
+)
+from repro.faults.schedule import ScheduleError, parse_schedule
+from repro.metrics.registry import MetricsRegistry
+
+DEFAULT_BENCHMARKS = ("crc", "rsa")
+DEFAULT_SYSTEMS = ("baseline", "swapram")
+DEFAULT_SCHEDULES = ("fixed:0.5", "periodic:0.35", "adversarial:memcpy")
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Intermittent-power fault injection and "
+        "crash-consistency checking.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run a targets x schedules campaign")
+    replay = sub.add_parser("replay", help="re-run one case with a timeline")
+    for cmd in (sweep, replay):
+        cmd.add_argument(
+            "--seed", type=int, default=1, help="campaign seed (default: 1)"
+        )
+        cmd.add_argument(
+            "--max-reboots",
+            type=int,
+            default=MAX_REBOOTS,
+            help=f"reboot watchdog per case (default: {MAX_REBOOTS})",
+        )
+        cmd.add_argument(
+            "--max-instructions",
+            type=int,
+            default=MAX_INSTRUCTIONS_PER_BOOT,
+            help="per-boot instruction budget",
+        )
+        cmd.add_argument(
+            "--recovery",
+            choices=("none", "meta"),
+            default="none",
+            help="reboot recovery model (default: none, the paper's system)",
+        )
+        cmd.add_argument(
+            "--scale", type=int, default=1, help="benchmark scale (default: 1)"
+        )
+
+    sweep.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=list(DEFAULT_BENCHMARKS),
+        help=f"benchmark targets (default: {' '.join(DEFAULT_BENCHMARKS)})",
+    )
+    sweep.add_argument(
+        "--difftest-seeds",
+        nargs="*",
+        type=int,
+        default=[],
+        help="difftest-generated programs to add as targets",
+    )
+    sweep.add_argument(
+        "--systems",
+        nargs="*",
+        choices=SYSTEMS,
+        default=list(DEFAULT_SYSTEMS),
+        help=f"systems under test (default: {' '.join(DEFAULT_SYSTEMS)})",
+    )
+    sweep.add_argument(
+        "--schedules",
+        nargs="*",
+        default=list(DEFAULT_SCHEDULES),
+        help=f"fault schedules (default: {' '.join(DEFAULT_SCHEDULES)})",
+    )
+    sweep.add_argument(
+        "--out",
+        default="results/faults",
+        help="report directory (default: results/faults)",
+    )
+
+    replay.add_argument("--benchmark", help="benchmark name to replay")
+    replay.add_argument(
+        "--difftest-seed", type=int, help="difftest program seed to replay"
+    )
+    replay.add_argument(
+        "--system", choices=SYSTEMS, default="swapram", help="system under test"
+    )
+    replay.add_argument(
+        "--schedule", default="adversarial:memcpy", help="fault schedule spec"
+    )
+    replay.add_argument("--json", help="also write the case report to this path")
+    return parser
+
+
+def _check_schedules(specs):
+    for spec in specs:
+        parse_schedule(spec)  # raises ScheduleError on malformed specs
+
+
+def _sweep_targets(args):
+    targets = []
+    for benchmark in args.benchmarks:
+        for system in args.systems:
+            targets.append(benchmark_target(benchmark, system, scale=args.scale))
+    for seed in args.difftest_seeds:
+        for system in args.systems:
+            targets.append(difftest_target(seed, system))
+    return targets
+
+
+def run_sweep(args, out):
+    _check_schedules(args.schedules)
+    metrics = MetricsRegistry()
+    sweep = FaultSweep(
+        seed=args.seed,
+        max_reboots=args.max_reboots,
+        max_instructions=args.max_instructions,
+        recovery=args.recovery,
+        metrics=metrics,
+    )
+    reports = sweep.run(_sweep_targets(args), args.schedules)
+    summary = summarize(reports)
+
+    document = {
+        "seed": args.seed,
+        "recovery": args.recovery,
+        "schedules": list(args.schedules),
+        "summary": summary,
+        "metrics": metrics.as_dict(),
+        "cases": [report.as_dict() for report in reports],
+    }
+    directory = Path(args.out)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"sweep-seed{args.seed}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(r.target.name) for r in reports) if reports else 10
+    for report in reports:
+        window = f" [{report.resolved_window}]" if report.resolved_window else ""
+        print(
+            f"{report.target.name:<{width}}  {report.schedule:<20} "
+            f"{report.classification:<12} reboots={report.power_cycles}"
+            f"{window}",
+            file=out,
+        )
+    print(
+        "summary: "
+        + "  ".join(f"{kind}={count}" for kind, count in sorted(summary.items())),
+        file=out,
+    )
+    print(f"report : {path}", file=out)
+    return 0
+
+
+def run_replay(args, out):
+    if (args.benchmark is None) == (args.difftest_seed is None):
+        print("replay needs exactly one of --benchmark/--difftest-seed", file=out)
+        return 2
+    _check_schedules([args.schedule])
+    if args.benchmark is not None:
+        target = benchmark_target(args.benchmark, args.system, scale=args.scale)
+    else:
+        target = difftest_target(args.difftest_seed, args.system)
+
+    report = run_case(
+        target,
+        args.schedule,
+        args.seed,
+        max_reboots=args.max_reboots,
+        max_instructions=args.max_instructions,
+        recovery=args.recovery,
+        timeline=True,
+    )
+
+    print(f"case   : {target.name}  {args.schedule}  seed={args.seed}", file=out)
+    print(
+        f"golden : {report.golden.total_cycles} cycles, "
+        f"{report.golden.energy_nj / 1000:.2f} uJ",
+        file=out,
+    )
+    if report.resolved_window:
+        print(f"window : {report.resolved_window}", file=out)
+    for boot in report.boots:
+        line = (
+            f"boot {boot.index:>2} : cycles {boot.start_cycle}..{boot.end_cycle}"
+            f"  {boot.outcome}"
+        )
+        if boot.fuse:
+            line += f"  fuse={boot.fuse}"
+        if boot.interrupted_in:
+            line += f"  in={boot.interrupted_in}"
+        print(line, file=out)
+        for finding in boot.post_reboot_findings:
+            print(f"         audit: {finding}", file=out)
+    print(f"result : {report.classification}", file=out)
+    if report.detail:
+        print(f"detail : {report.detail}", file=out)
+    for finding in report.consistency:
+        print(f"final audit: {finding}", file=out)
+
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report : {path}", file=out)
+    return 0 if report.classification else 1
+
+
+def main(argv=None, out=sys.stdout):
+    args = _parser().parse_args(argv)
+    try:
+        if args.command == "sweep":
+            return run_sweep(args, out)
+        return run_replay(args, out)
+    except ScheduleError as error:
+        print(f"error: {error}", file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Crash-consistency audit of FRAM-resident caching metadata.
+
+After a power failure the SRAM function cache is gone, but SwapRAM's
+control metadata -- redirection entries, relocation entries, active
+counters -- lives in FRAM and *survives*. Nothing in the paper's design
+re-initialises it on boot, so the audit asks: does the durable state
+still describe a machine the next boot can trust?
+
+Findings (each is one human-readable string, stable across runs):
+
+* ``dangling-redirect`` -- a redirection entry points into the SRAM
+  cache window but the bytes there no longer match the function's NVM
+  code (the copy died with the power). The next call to that function
+  jumps into scrambled garbage: the paper-faithful reason SwapRAM is
+  not crash-safe without metadata recovery.
+* ``wild-redirect`` -- a redirection entry points neither at the miss
+  handler nor into the cache window (torn metadata write).
+* ``stale-reloc`` -- a relocation entry disagrees with where its
+  function actually is (NVM base when redirected to the handler, SRAM
+  base when cached): an absolute branch through it lands off-target.
+* ``stuck-active`` -- an active counter is nonzero while no call is in
+  flight. Power loss between the call-site's ``ADD #1`` and ``SUB #1``
+  leaks the counter forever, permanently pinning the function against
+  eviction -- a durable-state leak the paper's call-stack-integrity
+  scheme does not anticipate.
+
+The block cache keeps its lookup hash table in FRAM too; its audit
+flags entries whose slot bytes no longer match the block's NVM source.
+Chaining legitimately patches branch immediates inside healthy cached
+slots, so that comparison is only meaningful immediately after a
+reboot -- when any surviving hash entry necessarily points at scrambled
+SRAM -- and :func:`audit_system` runs it only then.
+"""
+
+
+def audit_swapram(system):
+    """Audit a SwapRAM system's FRAM metadata; returns finding strings.
+
+    Valid at any quiescent instant (after a reboot, before the next
+    boot runs; or after a completed run). Reads host-side through
+    memory, never through the bus, so auditing charges nothing.
+    """
+    runtime = system.runtime
+    memory = system.board.memory
+    policy = runtime.policy
+    cache_lo, cache_hi = policy.base, policy.end
+    findings = []
+    for meta in system.meta.functions:
+        fid = meta.func_id
+        name = meta.name
+        redir = memory.read_word(runtime.redir_base + 2 * fid)
+        nvm_base = runtime.nvm_addr[fid]
+        size = memory.read_word(runtime.functab_base + 4 * fid + 2)
+        if redir == runtime.handler_addr:
+            reloc_base = nvm_base
+        elif cache_lo <= redir < cache_hi:
+            reloc_base = redir
+            if memory.read_bytes(redir, size) != memory.read_bytes(nvm_base, size):
+                findings.append(
+                    f"dangling-redirect: {name} -> {redir:#06x} "
+                    "(SRAM copy does not match NVM code)"
+                )
+        else:
+            reloc_base = None
+            findings.append(f"wild-redirect: {name} -> {redir:#06x}")
+        if reloc_base is not None:
+            for reloc in meta.relocs:
+                entry = memory.read_word(runtime.reloc_base + 2 * reloc.index)
+                expected = (reloc_base + reloc.target_offset) & 0xFFFF
+                if entry != expected:
+                    findings.append(
+                        f"stale-reloc: {name}[{reloc.index}] = {entry:#06x}, "
+                        f"expected {expected:#06x}"
+                    )
+        active = memory.read_word(runtime.active_base + 2 * fid)
+        if active:
+            findings.append(f"stuck-active: {name} count {active}")
+    return findings
+
+
+def audit_blockcache(system):
+    """Audit a block-cache system's FRAM hash table against its slots."""
+    runtime = system.runtime
+    memory = system.board.memory
+    findings = []
+    for index in range(runtime.meta.hash_entries):
+        entry = runtime.hash_base + 4 * index
+        stored = memory.read_word(entry)
+        if stored == 0:
+            continue
+        block_id = stored - 1
+        slot_addr = memory.read_word(entry + 2)
+        block_base = memory.read_word(runtime.blocktab + 4 * block_id)
+        block_size = memory.read_word(runtime.blocktab + 4 * block_id + 2)
+        if memory.read_bytes(slot_addr, block_size) != memory.read_bytes(
+            block_base, block_size
+        ):
+            findings.append(
+                f"dangling-slot: block {block_id} -> {slot_addr:#06x} "
+                "(slot bytes do not match the NVM block)"
+            )
+    return findings
+
+
+def audit_system(system, post_reboot=False):
+    """Dispatch on system shape; baselines have no durable metadata.
+
+    *post_reboot* gates the block-cache slot-byte comparison, which is
+    only sound right after a power cycle (see module docstring).
+    """
+    runtime = getattr(system, "runtime", None)
+    if runtime is None:
+        return []
+    if hasattr(runtime, "redir_base"):
+        return audit_swapram(system)
+    if hasattr(runtime, "hash_base") and post_reboot:
+        return audit_blockcache(system)
+    return []

@@ -1,0 +1,217 @@
+"""Deterministic power-failure schedules.
+
+A schedule decides, per boot, where the next power failure lands --
+expressed as an absolute :class:`Fuse` threshold for the board's
+:class:`~repro.machine.power.FusedAccessCounters`. Three families:
+
+* ``fixed:X`` -- one failure at cycle X of the first boot (X may be a
+  fraction of the golden run's total cycles), then stable power. The
+  basic "did one outage corrupt anything durable" probe.
+* ``periodic:X`` / ``energy:X`` -- every boot gets a budget of X cycles
+  (or X nJ): the harvested-power model. Budgets are jittered +-50 %
+  around the mean by the campaign seed, so some boots survive long
+  enough to finish and some die early -- without jitter a budget below
+  the program's runtime can never complete (SwapRAM has no
+  checkpointing; every reboot restarts ``main``) and the watchdog
+  classifies the run as a livelock, which is itself an honest finding.
+* ``adversarial:memcpy|evict|reloc`` -- one failure aimed at a
+  SwapRAM-critical window, located by reading the golden run's obs
+  timeline: mid-``memcpy`` during a cache fill, mid-eviction metadata
+  reset, or mid-relocation patching just before the redirection entry
+  flips. Runs are deterministic, so a cycle chosen from the golden
+  timeline lands at the same machine state in the fault run.
+
+Every stochastic choice (jitter) flows from one ``random.Random``
+handed in by the harness, which derives it from the single campaign
+``--seed`` -- reports are bit-reproducible.
+"""
+
+from dataclasses import dataclass
+
+#: Fraction of the miss->cache window at which an adversarial memcpy
+#: fault is injected. The copy loop dominates that window for any
+#: function bigger than a few words, so 0.6 lands inside the memcpy
+#: (verified by the harness recording the blown fuse's attribution).
+MEMCPY_WINDOW_FRACTION = 0.6
+
+#: Cycles after an ``evict`` event / before a ``cache`` event targeted
+#: by the evict/reloc windows (the metadata writes immediately follow /
+#: precede those timeline records).
+EVICT_WINDOW_OFFSET = 12
+RELOC_WINDOW_OFFSET = 8
+
+
+class ScheduleError(ValueError):
+    """Malformed schedule specification."""
+
+
+@dataclass(frozen=True)
+class Fuse:
+    """An absolute budget threshold to arm before a boot."""
+
+    kind: str  # 'cycles' | 'energy'
+    value: float
+
+    def arm(self, counters):
+        if self.kind == "cycles":
+            counters.cycle_fuse = self.value
+        else:
+            counters.energy_fuse = self.value
+
+
+class FaultSchedule:
+    """Base: a named, deterministic source of per-boot fuses."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def prepare(self, golden):
+        """Resolve golden-relative targets; called once per case."""
+
+    def next_fuse(self, boot, counters, rng):
+        """Fuse for boot *boot* (0-based), or None for stable power."""
+        raise NotImplementedError
+
+
+def _parse_amount(text, what):
+    """'0.5' -> (fraction, 0.5); '12000' -> (absolute, 12000.0)."""
+    try:
+        value = float(text)
+    except ValueError as error:
+        raise ScheduleError(f"bad {what} amount {text!r}") from error
+    if value <= 0:
+        raise ScheduleError(f"{what} amount must be positive, got {text!r}")
+    if value < 1 or "." in text:
+        return "fraction", value
+    return "absolute", value
+
+
+class FixedCycleSchedule(FaultSchedule):
+    """One power failure at a fixed cycle of the first boot."""
+
+    def __init__(self, spec, amount):
+        super().__init__(spec)
+        self.mode, self.amount = _parse_amount(amount, "fixed-cycle")
+        self._target = None
+
+    def prepare(self, golden):
+        if self.mode == "fraction":
+            self._target = max(int(self.amount * golden.total_cycles), 1)
+        else:
+            self._target = int(self.amount)
+
+    def next_fuse(self, boot, counters, rng):
+        if boot == 0:
+            return Fuse("cycles", self._target)
+        return None
+
+
+class PeriodicBudgetSchedule(FaultSchedule):
+    """Every boot gets a (jittered) cycle or energy budget."""
+
+    def __init__(self, spec, amount, unit="cycles", jitter=0.5):
+        super().__init__(spec)
+        self.mode, self.amount = _parse_amount(amount, unit)
+        self.unit = unit
+        self.jitter = jitter
+        self._budget = None
+
+    def prepare(self, golden):
+        if self.mode == "fraction":
+            total = (
+                golden.total_cycles if self.unit == "cycles" else golden.energy_nj
+            )
+            self._budget = self.amount * total
+        else:
+            self._budget = self.amount
+
+    def next_fuse(self, boot, counters, rng):
+        budget = self._budget * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+        if self.unit == "cycles":
+            return Fuse("cycles", counters.total_cycles + max(int(budget), 1))
+        return Fuse("energy", counters.energy_nj + max(budget, 1e-9))
+
+
+class AdversarialSchedule(FaultSchedule):
+    """One failure aimed at a SwapRAM-critical window of the golden run.
+
+    Falls back to mid-run when the golden timeline has no matching
+    window (a baseline board, or a run that never cached/evicted) --
+    recorded in the report as ``window='fallback'``.
+    """
+
+    WINDOWS = ("memcpy", "evict", "reloc")
+
+    def __init__(self, spec, window):
+        super().__init__(spec)
+        if window not in self.WINDOWS:
+            raise ScheduleError(
+                f"unknown adversarial window {window!r} (one of {self.WINDOWS})"
+            )
+        self.window = window
+        self.resolved_window = None
+        self._target = None
+
+    def prepare(self, golden):
+        events = golden.timeline_events
+        target = None
+        if self.window == "memcpy":
+            target = self._mid_copy_target(events)
+        elif self.window == "evict":
+            evicts = [e for e in events if e.kind == "evict"]
+            if evicts:
+                target = evicts[0].cycle + EVICT_WINDOW_OFFSET
+        elif self.window == "reloc":
+            caches = [e for e in events if e.kind == "cache"]
+            if caches:
+                target = max(caches[0].cycle - RELOC_WINDOW_OFFSET, 1)
+        if target is None:
+            self.resolved_window = "fallback"
+            target = max(golden.total_cycles // 2, 1)
+        else:
+            self.resolved_window = self.window
+        self._target = target
+
+    @staticmethod
+    def _mid_copy_target(events):
+        """Aim inside the widest miss->cache gap (the largest copy)."""
+        best = None
+        last_miss = {}
+        for event in events:
+            if event.kind == "miss":
+                last_miss[event.func_id] = event.cycle
+            elif event.kind == "cache" and event.func_id in last_miss:
+                gap = event.cycle - last_miss[event.func_id]
+                if best is None or gap > best[1]:
+                    best = (last_miss[event.func_id], gap)
+                del last_miss[event.func_id]
+        if best is None:
+            return None
+        start, gap = best
+        return start + max(int(gap * MEMCPY_WINDOW_FRACTION), 1)
+
+    def next_fuse(self, boot, counters, rng):
+        if boot == 0:
+            return Fuse("cycles", self._target)
+        return None
+
+
+def parse_schedule(spec):
+    """Build a schedule from its CLI spec string."""
+    head, sep, rest = spec.partition(":")
+    if not sep or not rest:
+        raise ScheduleError(
+            f"schedule {spec!r} needs a parameter (e.g. 'fixed:0.5')"
+        )
+    if head == "fixed":
+        return FixedCycleSchedule(spec, rest)
+    if head == "periodic":
+        return PeriodicBudgetSchedule(spec, rest, unit="cycles")
+    if head == "energy":
+        return PeriodicBudgetSchedule(spec, rest, unit="energy")
+    if head == "adversarial":
+        return AdversarialSchedule(spec, rest)
+    raise ScheduleError(
+        f"unknown schedule kind {head!r} "
+        "(one of fixed, periodic, energy, adversarial)"
+    )

@@ -23,8 +23,14 @@ from repro.machine.fram_cache import FramReadCache
 from repro.machine.trace import AccessCounters, Attribution
 from repro.machine.bus import Bus, BusError
 from repro.machine.energy import EnergyModel
-from repro.machine.cpu import Cpu, SimulationError
-from repro.machine.board import Board, RunResult, fr2355_board
+from repro.machine.cpu import Cpu, RunawayError, SimulationError
+from repro.machine.power import (
+    FusedAccessCounters,
+    PowerFailure,
+    install_fused_counters,
+    scrambled_bytes,
+)
+from repro.machine.board import Board, BoardSnapshot, RunResult, fr2355_board
 
 __all__ = [
     "DEBUG_OUT_PORT",
@@ -42,8 +48,14 @@ __all__ = [
     "BusError",
     "EnergyModel",
     "Cpu",
+    "RunawayError",
     "SimulationError",
+    "FusedAccessCounters",
+    "PowerFailure",
+    "install_fused_counters",
+    "scrambled_bytes",
     "Board",
+    "BoardSnapshot",
     "RunResult",
     "fr2355_board",
 ]

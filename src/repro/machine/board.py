@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from repro.machine.bus import Bus
 from repro.machine.cpu import Cpu
 from repro.machine.energy import EnergyModel
-from repro.machine.memory import Memory, fr2355_memory_map
+from repro.machine.memory import Memory, RegionKind, fr2355_memory_map
+from repro.machine.power import scrambled_bytes
 from repro.machine.trace import AccessCounters
 from repro.isa.registers import PC, SP
 
@@ -69,6 +70,22 @@ class RunResult:
         }
 
 
+@dataclass
+class BoardSnapshot:
+    """A full machine checkpoint (memory + CPU + bus + accounting).
+
+    Cheap: one 64 KiB bytes object plus a few small copies. Restoring
+    mutates the live objects in place, so anything holding references
+    into the board (timelines, metrics sessions, runtimes) stays
+    attached and consistent.
+    """
+
+    memory: bytes
+    cpu: dict
+    bus: dict
+    counters: AccessCounters
+
+
 class Board:
     """A complete simulated system (CPU + memory + accounting)."""
 
@@ -78,12 +95,13 @@ class Board:
         frequency_mhz=24,
         energy_model=None,
         wait_states=None,
+        counters=None,
     ):
         self.memory_map = memory_map or fr2355_memory_map()
         self.frequency_mhz = frequency_mhz
         self.energy_model = energy_model or EnergyModel()
         self.memory = Memory()
-        self.counters = AccessCounters()
+        self.counters = counters if counters is not None else AccessCounters()
         self.bus = Bus(
             self.memory,
             self.memory_map,
@@ -138,6 +156,54 @@ class Board:
             output_text=self.bus.output_text,
             counters=counters,
         )
+
+    # -- checkpointing and power cycling (fault injection) -----------------------
+
+    def snapshot(self):
+        """Capture the complete machine state as a :class:`BoardSnapshot`."""
+        return BoardSnapshot(
+            memory=self.memory.snapshot(),
+            cpu=self.cpu.snapshot(),
+            bus=self.bus.snapshot(),
+            counters=self.counters.snapshot(),
+        )
+
+    def restore(self, snap):
+        """Restore a :class:`BoardSnapshot` in place.
+
+        Every component object (memory buffer, register list, counters,
+        debug logs) is mutated rather than replaced, so attached
+        observers -- an obs timeline stamped from these counters, a
+        metrics registry on the runtime -- survive the restore and see
+        exactly the snapshotted totals.
+        """
+        self.memory.restore(snap.memory)
+        self.cpu.restore(snap.cpu)
+        self.bus.restore(snap.bus)
+        self.counters.restore(snap.counters)
+        return self
+
+    def power_cycle(self, seed=0):
+        """Model a power failure followed by a reboot.
+
+        FRAM regions persist verbatim (that is the point of NVRAM); SRAM
+        regions wake to deterministic seeded garbage -- not zeros, which
+        would be a kinder machine than the real one; the CPU resets to
+        the image's entry vector. Accounting (cycles, accesses, energy,
+        debug output) continues across the cycle: it models the host-side
+        measurement rig, which never lost power.
+        """
+        if self.image is None:
+            raise RuntimeError("power_cycle() requires a loaded image")
+        for region in self.memory_map.regions:
+            if region.kind is RegionKind.SRAM:
+                self.memory.write_bytes(
+                    region.start,
+                    scrambled_bytes(f"{seed}:{region.name}", region.size),
+                )
+        self.cpu.reset(self.image.entry)
+        self.bus.power_reset()
+        return self
 
     # -- inspection helpers ----------------------------------------------------------
 

@@ -174,6 +174,44 @@ class Bus:
         elif address == PUTC_PORT:
             self.output_chars.append(chr(value & 0xFF))
 
+    # -- checkpointing and power cycling (fault injection) ------------------------
+
+    def snapshot(self):
+        """Bus-held machine/observation state (counters are the Board's)."""
+        return {
+            "halted": self.halted,
+            "debug_words": list(self.debug_words),
+            "output_chars": list(self.output_chars),
+            "attribution": self.attribution,
+            "fram_touches": self._fram_touches,
+            "fram_cache": self.fram_cache.snapshot(),
+        }
+
+    def restore(self, snapshot):
+        """In-place restore; list objects are kept so holders stay live."""
+        self.halted = snapshot["halted"]
+        self.debug_words[:] = snapshot["debug_words"]
+        self.output_chars[:] = snapshot["output_chars"]
+        self.attribution = snapshot["attribution"]
+        self._fram_touches = snapshot["fram_touches"]
+        self.fram_cache.restore(snapshot["fram_cache"])
+        return self
+
+    def power_reset(self):
+        """Volatile bus state after a power failure.
+
+        The hardware FRAM read cache loses its lines (SRAM cells) but
+        keeps its host-side hit/miss tallies -- those are accounting, not
+        machine state. The debug/output logs also survive: they model
+        what an attached host observed over the whole multi-boot
+        experiment, and callers slice them per boot.
+        """
+        self.halted = False
+        self.attribution = Attribution.APP
+        self._fram_touches = 0
+        self.fram_cache.invalidate()
+        return self
+
     # -- unaccounted host access (loader / inspection) ----------------------------
 
     def peek_word(self, address):

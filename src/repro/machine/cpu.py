@@ -29,6 +29,16 @@ class SimulationError(Exception):
     """Execution fault (illegal opcode, runaway program, bus error)."""
 
 
+class RunawayError(SimulationError):
+    """The program exceeded its instruction budget without halting.
+
+    A distinct subclass so watchdogs (the experiments runner, the fault
+    harness) can turn runaways into first-class DNF/livelock outcomes
+    while still treating every other :class:`SimulationError` as a
+    crash.
+    """
+
+
 class Cpu:
     """A single MSP430 core attached to a :class:`~repro.machine.bus.Bus`."""
 
@@ -158,9 +168,41 @@ class Cpu:
         while step():
             remaining -= 1
             if remaining <= 0:
-                raise SimulationError(
+                raise RunawayError(
                     f"program did not halt within {max_instructions} instructions"
                 )
+        return self
+
+    # -- checkpointing and power cycling (fault injection) --------------------
+
+    def snapshot(self):
+        """Architectural state only; the decode cache is a memoisation
+        validated against memory bytes, so it never needs capturing."""
+        return {
+            "regs": list(self.regs),
+            "pc_history": list(self.pc_history),
+            "instructions_retired": self.instructions_retired,
+        }
+
+    def restore(self, snapshot):
+        self.regs[:] = snapshot["regs"]
+        self.pc_history[:] = snapshot["pc_history"]
+        self.instructions_retired = snapshot["instructions_retired"]
+        return self
+
+    def reset(self, entry):
+        """Power-on reset: registers cleared, PC at the entry vector.
+
+        ``instructions_retired`` deliberately survives (it is host-side
+        accounting, like the access counters); the decode cache is
+        dropped so a rebooted machine decodes cold, exactly as accounted
+        (the cached and uncached fetch paths charge identically).
+        """
+        for index in range(16):
+            self.regs[index] = 0
+        self.regs[PC] = entry & 0xFFFF
+        self.pc_history[:] = [0, 0, 0]
+        self._decode_cache.clear()
         return self
 
     # -- instruction semantics ----------------------------------------------------

@@ -64,6 +64,17 @@ class FramReadCache:
         self.hits = 0
         self.misses = 0
 
+    def snapshot(self):
+        """Capture line contents and hit/miss tallies."""
+        return (self.hits, self.misses, [list(ways) for ways in self._lines])
+
+    def restore(self, snapshot):
+        hits, misses, lines = snapshot
+        self.hits = hits
+        self.misses = misses
+        self._lines = [list(ways) for ways in lines]
+        return self
+
     @property
     def hit_rate(self):
         total = self.hits + self.misses

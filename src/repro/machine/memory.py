@@ -142,3 +142,15 @@ class Memory:
     def read_bytes(self, address, length):
         address &= 0xFFFF
         return bytes(self.data[address : address + length])
+
+    # -- whole-store checkpointing (fault injection) ---------------------------
+
+    def snapshot(self):
+        """Immutable copy of the whole 64 KiB store."""
+        return bytes(self.data)
+
+    def restore(self, blob):
+        """Overwrite the store in place (keeps every outstanding reference)."""
+        if len(blob) != len(self.data):
+            raise ValueError(f"snapshot is {len(blob)} bytes, expected {len(self.data)}")
+        self.data[:] = blob

@@ -136,3 +136,17 @@ class AccessCounters:
         copy.cycles = Counter(self.cycles)
         copy.stall_cycles = self.stall_cycles
         return copy
+
+    def restore(self, snapshot):
+        """Overwrite this object's tallies in place from *snapshot*.
+
+        Mutating in place (rather than swapping the object) keeps every
+        holder of this counters instance -- the bus, an attached
+        :class:`~repro.obs.timeline.Timeline`, metrics sessions --
+        consistent across a restore.
+        """
+        self.accesses = Counter(snapshot.accesses)
+        self.instructions = Counter(snapshot.instructions)
+        self.cycles = Counter(snapshot.cycles)
+        self.stall_cycles = snapshot.stall_cycles
+        return self

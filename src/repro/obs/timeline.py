@@ -35,6 +35,10 @@ BLOCKCACHE_KINDS = ("hit", "miss", "cache", "flush", "chain")
 #: Event kinds emitted by the collector's call-stack tracking.
 CALL_KINDS = ("call", "return")
 
+#: Event kinds emitted by the fault-injection harness around a
+#: power cycle (see :mod:`repro.faults.harness`).
+POWER_KINDS = ("power-down", "power-up")
+
 
 @dataclass
 class TimelineEvent:

@@ -95,3 +95,21 @@ def test_stdin_source(monkeypatch):
     code, output = run_cli("-")
     assert code == 0
     assert "0x002a" in output
+
+
+def test_max_cycles_watchdog_is_a_dnf(source_file):
+    code, output = run_cli(source_file, "--max-cycles", "50")
+    assert code == 2
+    assert "DNF: cycle fuse blew" in output
+
+
+def test_max_cycles_watchdog_passes_finishing_runs(source_file):
+    code, output = run_cli(source_file, "--max-cycles", "10000000")
+    assert code == 0
+    assert "0x002a" in output
+
+
+def test_faults_subcommand_dispatches():
+    code, output = run_cli("faults", "replay", "--schedule", "fixed:0.5")
+    assert code == 2  # reaches the faults CLI (usage error, not argparse)
+    assert "exactly one" in output

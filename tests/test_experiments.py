@@ -136,3 +136,14 @@ def test_size_only_is_fast(runner):
     assert not record.dnf
     assert record.size_report["runtime"] > 0
     assert record.size_report["metadata"] > 0
+
+
+def test_watchdog_turns_slow_runs_into_dnf_rows():
+    guarded = ExperimentRunner(max_cycles=100)
+    record = guarded.run("crc", BASELINE)
+    assert record.dnf
+    assert record.dnf_reason.startswith("watchdog:")
+    assert record.result is None
+    # A fit failure is still distinguished from a watchdog DNF.
+    fit = guarded.run("dijkstra", BLOCK)
+    assert fit.dnf and fit.dnf_reason.startswith("fit:")

@@ -1,0 +1,130 @@
+"""Fault schedules: parsing, fuse placement, adversarial targeting."""
+
+import random
+
+import pytest
+
+from repro.faults.schedule import (
+    AdversarialSchedule,
+    FixedCycleSchedule,
+    PeriodicBudgetSchedule,
+    ScheduleError,
+    parse_schedule,
+)
+from repro.obs.timeline import TimelineEvent
+
+
+class FakeGolden:
+    def __init__(self, total_cycles=10_000, energy_nj=5_000.0, events=()):
+        self.total_cycles = total_cycles
+        self.energy_nj = energy_nj
+        self.timeline_events = list(events)
+
+
+class FakeCounters:
+    def __init__(self, total_cycles=0, energy_nj=0.0):
+        self.total_cycles = total_cycles
+        self.energy_nj = energy_nj
+
+
+def test_parse_schedule_kinds():
+    assert isinstance(parse_schedule("fixed:0.5"), FixedCycleSchedule)
+    assert isinstance(parse_schedule("periodic:1000"), PeriodicBudgetSchedule)
+    assert parse_schedule("energy:0.3").unit == "energy"
+    assert isinstance(parse_schedule("adversarial:memcpy"), AdversarialSchedule)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["fixed", "fixed:", "fixed:zero", "fixed:-1", "adversarial:nonsense", "bogus:1"],
+)
+def test_parse_schedule_rejects(spec):
+    with pytest.raises(ScheduleError):
+        parse_schedule(spec)
+
+
+def test_fixed_fraction_resolves_against_golden():
+    schedule = parse_schedule("fixed:0.5")
+    schedule.prepare(FakeGolden(total_cycles=10_000))
+    rng = random.Random(0)
+    fuse = schedule.next_fuse(0, FakeCounters(), rng)
+    assert (fuse.kind, fuse.value) == ("cycles", 5_000)
+    assert schedule.next_fuse(1, FakeCounters(), rng) is None  # stable after
+
+
+def test_fixed_absolute_cycle():
+    schedule = parse_schedule("fixed:1234")
+    schedule.prepare(FakeGolden())
+    assert schedule.next_fuse(0, FakeCounters(), random.Random(0)).value == 1234
+
+
+def test_periodic_budget_is_relative_to_now():
+    schedule = parse_schedule("periodic:1000")
+    schedule.prepare(FakeGolden())
+    rng = random.Random(7)
+    first = schedule.next_fuse(0, FakeCounters(total_cycles=0), rng)
+    later = schedule.next_fuse(1, FakeCounters(total_cycles=5_000), rng)
+    assert first.kind == "cycles"
+    assert later.value > 5_000  # armed against the run-so-far total
+    # Jitter stays within +-50% of the mean budget.
+    assert 500 <= first.value <= 1500
+
+
+def test_periodic_jitter_reproducible_from_rng():
+    schedule = parse_schedule("periodic:1000")
+    schedule.prepare(FakeGolden())
+    values_a = [
+        schedule.next_fuse(i, FakeCounters(), random.Random(f"s:{i}")).value
+        for i in range(5)
+    ]
+    values_b = [
+        schedule.next_fuse(i, FakeCounters(), random.Random(f"s:{i}")).value
+        for i in range(5)
+    ]
+    assert values_a == values_b
+
+
+def test_energy_budget_arms_energy_fuse():
+    schedule = parse_schedule("energy:0.4")
+    schedule.prepare(FakeGolden(energy_nj=5_000.0))
+    fuse = schedule.next_fuse(0, FakeCounters(energy_nj=100.0), random.Random(0))
+    assert fuse.kind == "energy"
+    assert fuse.value > 100.0
+
+
+def test_adversarial_memcpy_targets_widest_copy_gap():
+    events = [
+        TimelineEvent(cycle=100, kind="miss", func_id=1),
+        TimelineEvent(cycle=140, kind="cache", func_id=1),  # gap 40
+        TimelineEvent(cycle=500, kind="miss", func_id=2),
+        TimelineEvent(cycle=700, kind="cache", func_id=2),  # gap 200 (widest)
+    ]
+    schedule = parse_schedule("adversarial:memcpy")
+    schedule.prepare(FakeGolden(events=events))
+    assert schedule.resolved_window == "memcpy"
+    fuse = schedule.next_fuse(0, FakeCounters(), random.Random(0))
+    assert 500 < fuse.value < 700  # inside the widest fill
+    assert schedule.next_fuse(1, FakeCounters(), random.Random(0)) is None
+
+
+def test_adversarial_evict_and_reloc_windows():
+    events = [
+        TimelineEvent(cycle=300, kind="cache", func_id=1),
+        TimelineEvent(cycle=900, kind="evict", func_id=1),
+    ]
+    evict = parse_schedule("adversarial:evict")
+    evict.prepare(FakeGolden(events=events))
+    assert evict.resolved_window == "evict"
+    assert evict.next_fuse(0, FakeCounters(), random.Random(0)).value > 900
+
+    reloc = parse_schedule("adversarial:reloc")
+    reloc.prepare(FakeGolden(events=events))
+    assert reloc.resolved_window == "reloc"
+    assert reloc.next_fuse(0, FakeCounters(), random.Random(0)).value < 300
+
+
+def test_adversarial_falls_back_without_matching_events():
+    schedule = parse_schedule("adversarial:memcpy")
+    schedule.prepare(FakeGolden(total_cycles=10_000, events=[]))
+    assert schedule.resolved_window == "fallback"
+    assert schedule.next_fuse(0, FakeCounters(), random.Random(0)).value == 5_000

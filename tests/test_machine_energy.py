@@ -1,5 +1,7 @@
 """Energy model: linearity and the paper's qualitative properties."""
 
+import pytest
+
 from repro.machine import EnergyModel
 from repro.toolchain import PLANS, build_baseline
 
@@ -70,3 +72,51 @@ def test_fram_wait_states_erode_frequency_gains():
     slow = run("unified", 8)
     fast = run("unified", 24)
     assert 1.0 < slow.runtime_us / fast.runtime_us < 3.0
+
+
+def test_integral_accounting_matches_post_hoc_model():
+    """The fused counters' incremental energy mirror is exact.
+
+    The fault harness charges energy access-by-access (to blow energy
+    fuses mid-run); the reporting path computes it after the fact from
+    the aggregate counters. The two integrals must agree to rounding.
+    """
+    from repro.machine import FusedAccessCounters
+
+    counters = FusedAccessCounters()
+    board = build_baseline(
+        KERNEL, PLANS["unified"], frequency_mhz=24, counters=counters
+    )
+    result = board.run()
+    model = counters.energy_model
+    assert counters.access_nj == pytest.approx(
+        model.access_energy_nj(counters), rel=1e-9
+    )
+    assert counters.energy_nj == pytest.approx(result.energy_nj, rel=1e-9)
+
+
+def test_breakdown_components_are_nonnegative_and_complete():
+    model = EnergyModel()
+    result = run("unified", 24)
+    breakdown = model.breakdown_nj(result.counters)
+    assert set(breakdown) == {"core", "memory"}
+    assert all(value >= 0 for value in breakdown.values())
+
+
+def test_write_heavy_code_pays_fram_write_premium():
+    model = EnergyModel()
+    writes = build_baseline(
+        """
+        int sink[64];
+        int main(void) {
+            for (int pass = 0; pass < 8; pass++)
+                for (int i = 0; i < 64; i++) sink[i] = i;
+            __debug_out(1);
+            return 0;
+        }
+        """,
+        PLANS["unified"],
+    ).run()
+    # Same store loop against a free-write model: the premium is real.
+    free_writes = EnergyModel(fram_write_nj=0.0)
+    assert model.energy_nj(writes.counters) > free_writes.energy_nj(writes.counters)

@@ -80,3 +80,64 @@ def test_repeated_access_always_hits(base):
     cache.access(base)
     for _ in range(10):
         assert cache.access(base)
+
+
+def test_set_mapping_alternates_lines():
+    cache = FramReadCache()
+    # Consecutive 8-byte lines land in alternating sets, so four
+    # sequential lines fill the whole cache without any eviction.
+    for base in (0x8000, 0x8008, 0x8010, 0x8018):
+        assert not cache.access(base)
+    for base in (0x8000, 0x8008, 0x8010, 0x8018):
+        assert cache.access(base)
+
+
+def test_eviction_is_per_set():
+    cache = FramReadCache()
+    cache.access(0x8000)  # set 0
+    cache.access(0x8010)  # set 0 (second way)
+    cache.access(0x8020)  # set 0: evicts 0x8000
+    cache.access(0x8008)  # set 1: untouched by set-0 pressure
+    assert not cache.access(0x8000)
+    assert cache.access(0x8008)
+
+
+def test_invalidate_miss_is_harmless_and_uncounted():
+    cache = FramReadCache()
+    cache.access(0x8000)
+    cache.invalidate(0x9000)  # not resident: no-op
+    assert cache.access(0x8000)
+    # invalidate() never touches the hit/miss accounting.
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_hit_rate_edge_cases():
+    cache = FramReadCache()
+    assert cache.hit_rate == 0.0  # no accesses yet: not a ZeroDivisionError
+    cache.access(0x8000)
+    assert cache.hit_rate == 0.0  # one cold miss
+    cache.access(0x8000)
+    assert cache.hit_rate == 0.5
+
+
+def test_single_way_geometry_thrashes():
+    cache = FramReadCache(sets=1, ways=1)
+    cache.access(0x8000)
+    cache.access(0x8008)  # evicts the only line
+    assert not cache.access(0x8000)
+    assert cache.misses == 3 and cache.hits == 0
+
+
+def test_snapshot_restore_round_trip():
+    cache = FramReadCache()
+    cache.access(0x8000)
+    cache.access(0x8000)
+    snap = cache.snapshot()
+    cache.access(0x9000)  # perturb residency and tallies
+    cache.invalidate()
+    cache.restore(snap)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.access(0x8000)  # residency came back too
+    # The snapshot is a copy, not a view: restoring again still works.
+    cache.restore(snap)
+    assert (cache.hits, cache.misses) == (1, 1)
