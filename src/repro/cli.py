@@ -13,6 +13,8 @@
     python -m repro bench snapshot                    # perf telemetry snapshot
     python -m repro bench compare BENCH_1.json BENCH_2.json
     python -m repro faults sweep --seed 1             # intermittent power
+    python -m repro replay capture crc                # trace-capture a run
+    python -m repro replay sweep crc                  # replay an ablation grid
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,
@@ -23,7 +25,10 @@ subcommand runs the differential conformance fuzzer (see
 profiles one benchmark run (see :mod:`repro.obs.cli`); the ``bench``
 subcommand writes/compares ``BENCH_<n>.json`` performance snapshots
 (see :mod:`repro.metrics.cli`); the ``faults`` subcommand runs
-intermittent-power fault campaigns (see :mod:`repro.faults.cli`).
+intermittent-power fault campaigns (see :mod:`repro.faults.cli`); the
+``replay`` subcommand captures canonical event traces and replays
+ablation grids through the cache/cost/energy models at a fraction of
+the wall clock (see :mod:`repro.replay.cli`).
 
 ``--max-cycles`` arms a cycle watchdog: a run that exceeds the budget
 is reported as a first-class DNF (exit status 2) instead of spinning to
@@ -162,6 +167,10 @@ def main(argv=None, out=sys.stdout):
         from repro.faults.cli import main as faults_main
 
         return faults_main(argv[1:], out=out)
+    if argv and argv[0] == "replay":
+        from repro.replay.cli import main as replay_main
+
+        return replay_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()

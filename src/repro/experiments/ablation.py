@@ -17,30 +17,58 @@ from repro.toolchain.build import compile_program
 from repro.toolchain.linker import link
 
 
-def cache_size_sweep(benchmark_name, cache_sizes, frequency_mhz=24):
-    """Run SwapRAM with each cache size; returns rows vs the baseline."""
+def _sweep_row(cache_size, baseline, result, stats):
+    return {
+        "cache_bytes": cache_size,
+        "speed": baseline.runtime_us / result.runtime_us,
+        "energy": result.energy_nj / baseline.energy_nj,
+        "fram_ratio": result.fram_accesses / baseline.fram_accesses,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "aborts": stats.aborts,
+    }
+
+
+def cache_size_sweep(benchmark_name, cache_sizes, frequency_mhz=24,
+                     engine="execute"):
+    """Run SwapRAM with each cache size; returns rows vs the baseline.
+
+    ``engine="replay"`` captures the benchmark once through the real
+    CPU and replays the event stream per cache size -- bit-identical
+    rows (the cache limit is a free replay dimension for SwapRAM, see
+    :mod:`repro.replay.validity`) at a fraction of the wall clock.
+    """
     bench = get_benchmark(benchmark_name)
     plan = PLANS["unified"]
     baseline = build_baseline(bench.source, plan, frequency_mhz).run()
     rows = []
+    if engine == "replay":
+        from repro.replay import ReplayEngine, capture_source
+
+        document, _, _ = capture_source(
+            bench.source,
+            system="swapram",
+            plan_name="unified",
+            frequency_mhz=frequency_mhz,
+            benchmark=benchmark_name,
+        )
+        replayer = ReplayEngine(document)
+        for cache_size in cache_sizes:
+            outcome = replayer.replay(
+                cache_limit=cache_size, frequency_mhz=frequency_mhz
+            )
+            assert outcome.result.debug_words == bench.expected
+            rows.append(
+                _sweep_row(cache_size, baseline, outcome.result, outcome.stats)
+            )
+        return rows
     for cache_size in cache_sizes:
         system = build_swapram(
             bench.source, plan, frequency_mhz, cache_limit=cache_size
         )
         result = system.run()
         assert result.debug_words == bench.expected
-        stats = system.stats
-        rows.append(
-            {
-                "cache_bytes": cache_size,
-                "speed": baseline.runtime_us / result.runtime_us,
-                "energy": result.energy_nj / baseline.energy_nj,
-                "fram_ratio": result.fram_accesses / baseline.fram_accesses,
-                "misses": stats.misses,
-                "evictions": stats.evictions,
-                "aborts": stats.aborts,
-            }
-        )
+        rows.append(_sweep_row(cache_size, baseline, result, system.stats))
     return rows
 
 

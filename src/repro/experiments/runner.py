@@ -5,8 +5,20 @@ Figure 8 and Figure 9 all reuse one run per (benchmark, system,
 frequency) -- so the runner caches results for the lifetime of the
 process. A ``DNF`` outcome (the binary does not fit the platform) is a
 first-class result, mirroring Figure 7 / Table 2.
+
+``ExperimentRunner(engine="replay")`` serves points from the trace
+replay fast path instead: each (benchmark, system, plan) is captured
+once through the real CPU, then every further configuration (clock
+frequency today; policies and cache limits via
+:mod:`repro.experiments.ablation`) replays the stored event stream
+through the same cache/cost/energy models -- bit-identical results,
+validated by ``tests/test_replay_equivalence.py``. Configurations the
+validity checker refuses (see :mod:`repro.replay.validity`) fall back
+to full execution, with the reason kept in ``replay_fallbacks`` and
+logged.
 """
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Optional
@@ -22,6 +34,9 @@ BASELINE = "baseline"
 SWAPRAM = "swapram"
 BLOCK = "block"
 SYSTEMS = (BASELINE, BLOCK, SWAPRAM)
+ENGINES = ("execute", "replay")
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -95,12 +110,25 @@ class ExperimentRunner:
     until the instruction guard trips.
     """
 
-    def __init__(self, scale=1, max_instructions=80_000_000, max_cycles=None):
+    def __init__(
+        self,
+        scale=1,
+        max_instructions=80_000_000,
+        max_cycles=None,
+        engine="execute",
+        trace_store=None,
+    ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
         self.scale = scale
         self.max_instructions = max_instructions
         self.max_cycles = max_cycles
+        self.engine = engine
+        self.trace_store = trace_store  # a replay.store.TraceStore, or None
+        self.replay_fallbacks = []  # (key, reason) pairs, for tests/telemetry
         self._cache = {}
         self._sources = {}
+        self._engines = {}  # (benchmark, system, plan, reserve) -> ReplayEngine
 
     def source(self, benchmark):
         if benchmark not in self._sources:
@@ -123,10 +151,127 @@ class ExperimentRunner:
         key = (benchmark, system, frequency_mhz, plan_name, cache_reserve)
         if key in self._cache:
             return self._cache[key]
-        record = self._execute(
-            benchmark, system, frequency_mhz, plan_name, cache_reserve
-        )
+        if self.engine == "replay":
+            record = self._replay(
+                benchmark, system, frequency_mhz, plan_name, cache_reserve
+            )
+        else:
+            record = self._execute(
+                benchmark, system, frequency_mhz, plan_name, cache_reserve
+            )
         self._cache[key] = record
+        return record
+
+    def _fall_back(self, key, reason, *point):
+        """Log why replay could not serve *point* and execute it instead."""
+        self.replay_fallbacks.append((key, reason))
+        logger.info("replay fallback for %s: %s", key, reason)
+        return self._execute(*point)
+
+    def _plan_for(self, plan_name, cache_reserve):
+        plan = PLANS[plan_name]
+        if cache_reserve:
+            plan = plan.with_cache_reserve(cache_reserve)
+        return plan
+
+    def _capture_engine(self, benchmark, system, plan_name, cache_reserve):
+        """Capture (or load) the trace for a point; memoized per plan.
+
+        Raises ``FitError`` / ``CaptureError`` / ``ReplayRefused`` like
+        the underlying build and capture; callers map those onto DNF
+        rows or execution fallback.
+        """
+        from repro.replay.capture import capture_run
+        from repro.replay.engine import ReplayEngine
+
+        key = (benchmark, system, plan_name, cache_reserve)
+        if key in self._engines:
+            return self._engines[key], 0.0
+        program = self.source(benchmark)
+        plan = self._plan_for(plan_name, cache_reserve)
+        timer = PhaseTimer()
+        document = None
+        if self.trace_store is not None:
+            from dataclasses import asdict as plan_asdict
+
+            document = self.trace_store.load(
+                system, plan_asdict(plan), self.scale, program.source
+            )
+        if document is None:
+            with timer.phase("capture"):
+                if system == BASELINE:
+                    target = build_baseline(program.source, plan)
+                elif system == SWAPRAM:
+                    target = build_swapram(program.source, plan)
+                elif system == BLOCK:
+                    target = build_blockcache(program.source, plan)
+                else:
+                    raise ValueError(f"unknown system {system!r}")
+                document, _ = capture_run(
+                    target,
+                    program.source,
+                    benchmark=benchmark,
+                    scale=self.scale,
+                    max_instructions=self.max_instructions,
+                )
+            if self.trace_store is not None:
+                self.trace_store.save(document)
+        engine = ReplayEngine(document)
+        self._engines[key] = engine
+        return engine, timer.seconds("capture")
+
+    def _replay(self, benchmark, system, frequency_mhz, plan_name, cache_reserve):
+        """Serve one point from the replay fast path, or fall back."""
+        from repro.replay.capture import CaptureError
+        from repro.replay.engine import ReplayError
+        from repro.replay.schema import TraceError
+        from repro.replay.validity import ReplayRefused
+
+        point = (benchmark, system, frequency_mhz, plan_name, cache_reserve)
+        key = (benchmark, system, plan_name, cache_reserve)
+        if self.max_cycles is not None:
+            return self._fall_back(
+                key, "max_cycles watchdog needs real execution", *point
+            )
+        record = RunRecord(
+            benchmark=benchmark,
+            system=system,
+            frequency_mhz=frequency_mhz,
+            plan_name=plan_name,
+        )
+        try:
+            engine, capture_s = self._capture_engine(
+                benchmark, system, plan_name, cache_reserve
+            )
+        except FitError as error:
+            record.dnf = True
+            record.dnf_reason = f"fit: {error}"
+            return record
+        except CaptureError as error:
+            # capture_run wraps RunawayError; re-executing would only
+            # spin through the same guard again.
+            record.dnf = True
+            record.dnf_reason = f"watchdog: {error}"
+            return record
+        try:
+            outcome = engine.replay(frequency_mhz=frequency_mhz)
+        except (ReplayRefused, ReplayError, TraceError) as error:
+            return self._fall_back(key, str(error), *point)
+        record.host_build_s = capture_s + engine.build_seconds
+        engine.build_seconds = 0.0  # charge the one-time rebuild once
+        record.host_run_s = outcome.seconds
+        record.section_sizes = dict(engine.linked.section_sizes)
+        record.runtime_stats = outcome.stats
+        record.result = outcome.result
+        record.correct = (
+            outcome.result.debug_words == self.source(benchmark).expected
+        )
+        if not record.correct:
+            raise AssertionError(
+                f"{benchmark}/{system}: wrong replayed output "
+                f"{outcome.result.debug_words} != "
+                f"{self.source(benchmark).expected}"
+            )
         return record
 
     def _execute(self, benchmark, system, frequency_mhz, plan_name, cache_reserve):

@@ -31,9 +31,19 @@ class EnergyModel:
     sram_access_nj: float = 0.05
 
     def access_energy_nj(self, counters):
-        """Energy of all memory traffic recorded in *counters*."""
+        """Energy of all memory traffic recorded in *counters*.
+
+        Summed in a sorted key order so the floating-point total is a
+        pure function of the tallies, not of the order accesses happened
+        to be recorded in -- trace replay accumulates the same counters
+        via a different insertion order and must land on the identical
+        total.
+        """
         total = 0.0
-        for (attribution, kind, access_type), count in counters.accesses.items():
+        for (attribution, kind, access_type), count in sorted(
+            counters.accesses.items(),
+            key=lambda item: (item[0][0].value, item[0][1].value, item[0][2]),
+        ):
             if kind is RegionKind.SRAM:
                 total += count * self.sram_access_nj
             elif kind is RegionKind.FRAM:

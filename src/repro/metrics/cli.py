@@ -55,8 +55,10 @@ def _parser():
         "--systems",
         nargs="+",
         default=list(DEFAULT_SYSTEMS),
-        choices=("baseline", "swapram", "block"),
-        help=f"systems to measure (default: {' '.join(DEFAULT_SYSTEMS)})",
+        choices=("baseline", "swapram", "block", "swapram-replay"),
+        help=f"systems to measure (default: {' '.join(DEFAULT_SYSTEMS)}; "
+        "swapram-replay measures the trace-replay engine and asserts it "
+        "bit-identical to execution)",
     )
     snapshot.add_argument(
         "--plan",

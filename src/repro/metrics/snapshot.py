@@ -21,15 +21,26 @@ from repro.bench import QUICK_NAMES, get_benchmark
 from repro.blockcache import build_blockcache
 from repro.core import build_swapram
 from repro.metrics.instrument import MetricsSession
-from repro.metrics.registry import PhaseTimer
+from repro.metrics.registry import MetricsRegistry, PhaseTimer
 from repro.toolchain import FitError, PLANS, build_baseline, compile_program
 
 SCHEMA = "repro-bench-snapshot/1"
 
+#: The trace-replay engine measured as a system of its own: the row's
+#: guest metrics are asserted bit-identical to the executed swapram
+#: run before it is recorded, so the snapshot job doubles as an
+#: equivalence check; its host metrics track replay speed.
+REPLAY_SYSTEM = "swapram-replay"
+
 #: Systems measured by default. ``block`` is opt-in: the prior-work
 #: comparison point matters for the paper artifacts, not for tracking
 #: this repo's own hot paths.
-DEFAULT_SYSTEMS = ("baseline", "swapram")
+DEFAULT_SYSTEMS = ("baseline", "swapram", REPLAY_SYSTEM)
+
+#: The ablation grid timed by ``measure_replay_grid``: every eviction
+#: policy crossed with an uncapped, a mid, and a thrashing cache limit.
+REPLAY_GRID_POLICIES = ("queue", "stack", "cost_aware")
+REPLAY_GRID_LIMITS = (None, 0x180, 0xC0)
 
 _GUEST_KEYS = (
     "instructions",
@@ -66,6 +77,15 @@ def snapshot_run(
     ``build`` is instrument + assemble + link + load (the assembler runs
     inside the linker), ``run`` is the simulation itself.
     """
+    if system == REPLAY_SYSTEM:
+        row, _ = _snapshot_replay_run(
+            benchmark,
+            plan_name=plan_name,
+            frequency_mhz=frequency_mhz,
+            scale=scale,
+            max_instructions=max_instructions,
+        )
+        return row
     program = get_benchmark(benchmark, scale=scale)
     timer = PhaseTimer()
     row = {
@@ -115,6 +135,158 @@ def snapshot_run(
     return row
 
 
+def _snapshot_replay_run(
+    benchmark,
+    plan_name="unified",
+    frequency_mhz=24,
+    scale=1,
+    max_instructions=80_000_000,
+):
+    """Measure the replay engine on one benchmark; returns (row, engine).
+
+    Captures the swapram run through the real CPU (``capture`` phase),
+    replays the captured configuration, and refuses to record the row
+    unless replay is bit-identical to the execution it shadowed --
+    result, statistics and raw counters alike.
+    """
+    from repro.replay import ReplayEngine, capture_source
+    from repro.replay.reference import diff_outcome
+
+    program = get_benchmark(benchmark, scale=scale)
+    timer = PhaseTimer()
+    row = {
+        "benchmark": benchmark,
+        "system": REPLAY_SYSTEM,
+        "plan": plan_name,
+        "dnf": False,
+    }
+    try:
+        with timer.phase("capture"):
+            document, target, result = capture_source(
+                program.source,
+                system="swapram",
+                plan_name=plan_name,
+                frequency_mhz=frequency_mhz,
+                scale=scale,
+                benchmark=benchmark,
+                max_instructions=max_instructions,
+            )
+    except FitError as error:
+        row["dnf"] = True
+        row["dnf_reason"] = str(error)
+        row["host"] = {"phases": timer.as_dict()}
+        return row, None
+
+    registry = MetricsRegistry()
+    engine = ReplayEngine(document, metrics=registry)
+    with timer.phase("run"):
+        outcome = engine.replay()
+    problems = diff_outcome(target, result, outcome)
+    if problems:
+        raise AssertionError(
+            f"{benchmark}/{REPLAY_SYSTEM}: replay diverged from "
+            f"execution: {problems[:5]}"
+        )
+
+    row["guest"] = {key: outcome.result.as_dict()[key] for key in _GUEST_KEYS}
+    row["host"] = {
+        "run_s": outcome.seconds,
+        "build_s": engine.build_seconds + engine.compile_seconds,
+        "capture_s": timer.seconds("capture"),
+        "events_per_s": outcome.events_per_s,
+        "instructions_per_s": (
+            outcome.result.instructions / outcome.seconds
+            if outcome.seconds
+            else 0.0
+        ),
+        "phases": timer.as_dict(),
+    }
+    row["stats"] = outcome.stats.as_dict()
+    row["metrics"] = registry.as_dict()
+    return row, engine
+
+
+def measure_replay_grid(
+    benchmark,
+    engine=None,
+    plan_name="unified",
+    frequency_mhz=24,
+    scale=1,
+    max_instructions=80_000_000,
+    policies=REPLAY_GRID_POLICIES,
+    cache_limits=REPLAY_GRID_LIMITS,
+):
+    """Time one ablation grid via replay vs full execution.
+
+    Every cell is asserted bit-identical before the timing is trusted.
+    Returns the snapshot's ``replay_grid`` section: replay wall clock
+    (trace already captured -- the store amortises capture across
+    sweeps), the one-time capture cost, the execution wall clock, and
+    their ratio. This is the number the ISSUE's >= 5x target is judged
+    by.
+    """
+    from repro.replay import ReplayEngine, capture_source
+    from repro.replay.reference import diff_outcome, execute_reference
+
+    program = get_benchmark(benchmark, scale=scale)
+    capture_s = 0.0
+    if engine is None:
+        started = time.perf_counter()
+        document, _, _ = capture_source(
+            program.source,
+            system="swapram",
+            plan_name=plan_name,
+            frequency_mhz=frequency_mhz,
+            scale=scale,
+            benchmark=benchmark,
+            max_instructions=max_instructions,
+        )
+        capture_s = time.perf_counter() - started
+        engine = ReplayEngine(document)
+
+    cells = [(policy, limit) for policy in policies for limit in cache_limits]
+    started = time.perf_counter()
+    outcomes = [
+        engine.replay(
+            policy=policy, cache_limit=limit, frequency_mhz=frequency_mhz
+        )
+        for policy, limit in cells
+    ]
+    replay_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for (policy, limit), outcome in zip(cells, outcomes):
+        target, result = execute_reference(
+            program.source,
+            system="swapram",
+            plan_name=plan_name,
+            frequency_mhz=frequency_mhz,
+            policy=policy,
+            cache_limit=limit,
+            max_instructions=max_instructions,
+        )
+        problems = diff_outcome(target, result, outcome)
+        if problems:
+            raise AssertionError(
+                f"{benchmark} {policy}/{limit}: replay diverged from "
+                f"execution: {problems[:5]}"
+            )
+    execute_s = time.perf_counter() - started
+
+    return {
+        "benchmark": benchmark,
+        "plan": plan_name,
+        "policies": list(policies),
+        "cache_limits": list(cache_limits),
+        "cells": len(cells),
+        "replay_s": replay_s,
+        "capture_s": capture_s,
+        "execute_s": execute_s,
+        "speedup": execute_s / replay_s if replay_s else 0.0,
+        "bit_identical": True,
+    }
+
+
 def take_snapshot(
     benchmarks=QUICK_NAMES,
     systems=DEFAULT_SYSTEMS,
@@ -124,12 +296,41 @@ def take_snapshot(
     max_instructions=80_000_000,
     progress=None,
 ):
-    """Run the benchmark × system matrix; returns the snapshot document."""
+    """Run the benchmark × system matrix; returns the snapshot document.
+
+    When the matrix includes ``swapram-replay`` the document also gets
+    a ``replay_grid`` section: the first benchmark's full policy ×
+    cache-limit ablation grid timed via replay (reusing that
+    benchmark's captured trace) and via execution, each cell asserted
+    bit-identical.
+    """
     runs = []
+    grid = None
     for benchmark in benchmarks:
         for system in systems:
             if progress is not None:
                 progress(f"{benchmark}/{system}")
+            if system == REPLAY_SYSTEM:
+                row, engine = _snapshot_replay_run(
+                    benchmark,
+                    plan_name=plan_name,
+                    frequency_mhz=frequency_mhz,
+                    scale=scale,
+                    max_instructions=max_instructions,
+                )
+                runs.append(row)
+                if grid is None and engine is not None:
+                    if progress is not None:
+                        progress(f"{benchmark}/replay-grid")
+                    grid = measure_replay_grid(
+                        benchmark,
+                        engine=engine,
+                        plan_name=plan_name,
+                        frequency_mhz=frequency_mhz,
+                        scale=scale,
+                        max_instructions=max_instructions,
+                    )
+                continue
             runs.append(
                 snapshot_run(
                     benchmark,
@@ -140,7 +341,7 @@ def take_snapshot(
                     max_instructions=max_instructions,
                 )
             )
-    return {
+    document = {
         "schema": SCHEMA,
         "suite": {
             "benchmarks": list(benchmarks),
@@ -156,6 +357,9 @@ def take_snapshot(
         },
         "runs": runs,
     }
+    if grid is not None:
+        document["replay_grid"] = grid
+    return document
 
 
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")

@@ -1,0 +1,418 @@
+"""The ``repro replay`` subcommand: capture, run, sweep, list.
+
+::
+
+    python -m repro replay capture crc --system swapram
+    python -m repro replay capture prog.c --system block --cache-limit 384
+    python -m repro replay run results/traces/crc-swapram-unified-*.trace \\
+        --policy stack --cache-limit 384 --compare-execute
+    python -m repro replay sweep crc --policies queue stack cost_aware \\
+        --cache-limits none 384 192
+    python -m repro replay list
+
+``capture`` runs a benchmark (or a mini-C file) once through the real
+CPU and stores its canonical event stream under ``results/traces/``;
+``run`` replays one stored trace against a requested configuration and
+prints the usual run report; ``sweep`` replays a whole policy x
+cache-limit grid from one trace -- capturing it first if the store has
+no valid trace -- and compares the grid's wall clock against full
+execution when asked; ``list`` shows what the store holds. See
+``docs/replay.md`` for the validity rules behind ``ReplayRefused``
+errors.
+"""
+
+import argparse
+import sys
+import time
+from dataclasses import asdict
+
+from repro.bench import BENCHMARK_NAMES, get_benchmark
+from repro.core.policy import POLICIES
+from repro.toolchain import PLANS
+
+from repro.replay.capture import CaptureError, capture_source
+from repro.replay.engine import AS_CAPTURED, ReplayEngine, ReplayError
+from repro.replay.reference import diff_outcome, execute_reference
+from repro.replay.schema import TraceError
+from repro.replay.store import DEFAULT_ROOT, TraceStore
+from repro.replay.validity import ReplayRefused
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Capture canonical event traces and replay them "
+        "through the cache/cost/energy models.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def _common(sub):
+        sub.add_argument(
+            "--store",
+            default=str(DEFAULT_ROOT),
+            metavar="DIR",
+            help=f"trace store directory (default: {DEFAULT_ROOT})",
+        )
+
+    capture = commands.add_parser(
+        "capture", help="execute once, store the event trace"
+    )
+    capture.add_argument(
+        "program",
+        help="benchmark name (crc, rc4, ...) or a mini-C source file",
+    )
+    capture.add_argument(
+        "--system",
+        choices=("baseline", "swapram", "block"),
+        default="swapram",
+        help="system to capture (default: swapram)",
+    )
+    capture.add_argument(
+        "--plan",
+        choices=sorted(PLANS),
+        default="unified",
+        help="memory placement plan (default: unified)",
+    )
+    capture.add_argument(
+        "--mhz", type=float, default=24, help="CPU clock in MHz (default: 24)"
+    )
+    capture.add_argument(
+        "--scale", type=int, default=1, help="benchmark input scale (default: 1)"
+    )
+    capture.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default="queue",
+        help="swapram eviction policy during capture (default: queue)",
+    )
+    capture.add_argument(
+        "--cache-limit",
+        type=int,
+        default=None,
+        help="cap the SRAM cache during capture (bytes)",
+    )
+    capture.add_argument(
+        "--slot-bytes",
+        type=int,
+        default=48,
+        help="block-cache slot size (default: 48)",
+    )
+    _common(capture)
+
+    run = commands.add_parser("run", help="replay one trace file")
+    run.add_argument("trace", help="trace file written by capture")
+    run.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default=None,
+        help="swapram eviction policy (default: as captured)",
+    )
+    run.add_argument(
+        "--cache-limit",
+        type=int,
+        default=None,
+        help="cap the SRAM cache (bytes; default: as captured)",
+    )
+    run.add_argument(
+        "--mhz",
+        type=float,
+        default=None,
+        help="CPU clock in MHz (default: as captured)",
+    )
+    run.add_argument(
+        "--stats", action="store_true", help="print cache-runtime statistics"
+    )
+    run.add_argument(
+        "--compare-execute",
+        action="store_true",
+        help="also fully execute the same configuration and require "
+        "bit-identical totals",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", help="replay a policy x cache-limit grid from one trace"
+    )
+    sweep.add_argument(
+        "program",
+        help="benchmark name (crc, rc4, ...) or a mini-C source file",
+    )
+    sweep.add_argument(
+        "--plan",
+        choices=sorted(PLANS),
+        default="unified",
+        help="memory placement plan (default: unified)",
+    )
+    sweep.add_argument(
+        "--mhz", type=float, default=24, help="CPU clock in MHz (default: 24)"
+    )
+    sweep.add_argument(
+        "--scale", type=int, default=1, help="benchmark input scale (default: 1)"
+    )
+    sweep.add_argument(
+        "--policies",
+        nargs="+",
+        default=sorted(POLICIES),
+        choices=sorted(POLICIES),
+        metavar="POLICY",
+        help=f"policies to sweep (default: {' '.join(sorted(POLICIES))})",
+    )
+    sweep.add_argument(
+        "--cache-limits",
+        nargs="+",
+        default=["none", "384", "192"],
+        metavar="BYTES",
+        help="cache limits to sweep; 'none' = uncapped "
+        "(default: none 384 192)",
+    )
+    sweep.add_argument(
+        "--compare-execute",
+        action="store_true",
+        help="fully execute every cell too: require bit-identical totals "
+        "and report the measured speedup",
+    )
+    _common(sweep)
+
+    listing = commands.add_parser("list", help="show the trace store index")
+    _common(listing)
+    return parser
+
+
+def _load_program(name_or_path, scale):
+    """(label, source) for a benchmark name or a mini-C file path."""
+    if name_or_path in BENCHMARK_NAMES:
+        bench = get_benchmark(name_or_path, scale)
+        return name_or_path, bench.source
+    with open(name_or_path) as handle:
+        return name_or_path, handle.read()
+
+
+def _parse_limit(text, parser):
+    if text.lower() in ("none", "-"):
+        return None
+    try:
+        return int(text, 0)
+    except ValueError:
+        parser.error(f"--cache-limits expects integers or 'none', got {text!r}")
+
+
+def _capture_into_store(store, args, label, source, benchmark, out):
+    started = time.perf_counter()
+    document, _, _ = capture_source(
+        source,
+        system=args.system,
+        plan_name=args.plan,
+        frequency_mhz=args.mhz,
+        scale=args.scale,
+        benchmark=benchmark,
+        policy=args.policy,
+        cache_limit=args.cache_limit,
+        slot_bytes=args.slot_bytes,
+    )
+    seconds = time.perf_counter() - started
+    path = store.save(document)
+    print(
+        f"captured {label}: {document.events} events, "
+        f"{document.instructions} instructions in {seconds:.2f}s",
+        file=out,
+    )
+    print(f"trace        : {path}", file=out)
+    return 0
+
+
+def _print_outcome(outcome, out, stats=False):
+    from repro.cli import _print_report
+
+    _print_report(outcome.result, out)
+    if stats and outcome.stats is not None:
+        print(f"cache stats  : {outcome.stats}", file=out)
+    print(
+        f"replay       : {outcome.events} events in {outcome.seconds:.3f}s "
+        f"({outcome.events_per_s:,.0f} events/s)",
+        file=out,
+    )
+
+
+def _cell_label(policy, limit):
+    limit_text = "uncapped" if limit is None else str(limit)
+    return f"{policy or '-'}/{limit_text}"
+
+
+def main(argv=None, out=sys.stdout):
+    parser = _parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        store = TraceStore(args.store)
+        entries = store.entries()
+        if not entries:
+            print(f"no traces under {store.root}", file=out)
+            return 0
+        for name, meta in entries:
+            print(
+                f"{name}: {meta['system']}/{meta['plan']} scale "
+                f"{meta['scale']}, {meta['events']} events",
+                file=out,
+            )
+        return 0
+
+    if args.command == "capture":
+        benchmark = args.program if args.program in BENCHMARK_NAMES else None
+        try:
+            label, source = _load_program(args.program, args.scale)
+        except OSError as error:
+            print(f"error: {error}", file=out)
+            return 2
+        try:
+            return _capture_into_store(
+                TraceStore(args.store), args, label, source, benchmark, out
+            )
+        except CaptureError as error:
+            print(f"capture failed: {error}", file=out)
+            return 2
+
+    if args.command == "run":
+        try:
+            engine = ReplayEngine.from_file(args.trace)
+        except (OSError, TraceError) as error:
+            print(f"error: {error}", file=out)
+            return 2
+        policy = args.policy if args.policy is not None else AS_CAPTURED
+        limit = args.cache_limit if args.cache_limit is not None else AS_CAPTURED
+        try:
+            outcome = engine.replay(
+                policy=policy, cache_limit=limit, frequency_mhz=args.mhz
+            )
+        except ReplayRefused as error:
+            print(f"replay refused: {error}", file=out)
+            return 2
+        except ReplayError as error:
+            print(f"replay failed: {error}", file=out)
+            return 2
+        _print_outcome(outcome, out, stats=args.stats)
+        if args.compare_execute:
+            header = engine.header
+            target, result = execute_reference(
+                header["source"],
+                system=header["system"],
+                plan_name=header["plan"],
+                frequency_mhz=outcome.config["frequency_mhz"],
+                policy=outcome.config.get("policy") or "queue",
+                cache_limit=outcome.config.get("cache_limit"),
+                slot_bytes=(header.get("capture_config") or {}).get(
+                    "slot_bytes", 48
+                ),
+            )
+            problems = diff_outcome(target, result, outcome)
+            if problems:
+                for problem in problems:
+                    print(f"MISMATCH {problem}", file=out)
+                return 1
+            print("compare      : bit-identical with full execution", file=out)
+        return 0
+
+    # sweep
+    benchmark = args.program if args.program in BENCHMARK_NAMES else None
+    try:
+        label, source = _load_program(args.program, args.scale)
+    except OSError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    limits = [_parse_limit(text, parser) for text in args.cache_limits]
+    store = TraceStore(args.store)
+    plan_config = asdict(PLANS[args.plan])
+    document = store.load("swapram", plan_config, args.scale, source)
+    capture_s = None
+    if document is None:
+        started = time.perf_counter()
+        try:
+            document, _, _ = capture_source(
+                source,
+                system="swapram",
+                plan_name=args.plan,
+                frequency_mhz=args.mhz,
+                scale=args.scale,
+                benchmark=benchmark,
+            )
+        except CaptureError as error:
+            print(f"capture failed: {error}", file=out)
+            return 2
+        capture_s = time.perf_counter() - started
+        path = store.save(document)
+        print(
+            f"captured {label}: {document.events} events in {capture_s:.2f}s "
+            f"-> {path}",
+            file=out,
+        )
+    else:
+        print(f"reusing trace: {store.path_for(document.header)}", file=out)
+
+    engine = ReplayEngine(document)
+    rows = []
+    replay_s = 0.0
+    execute_s = 0.0
+    mismatches = 0
+    replay_started = time.perf_counter()
+    for policy in args.policies:
+        for limit in limits:
+            try:
+                outcome = engine.replay(
+                    policy=policy, cache_limit=limit, frequency_mhz=args.mhz
+                )
+            except (ReplayRefused, ReplayError) as error:
+                print(f"{_cell_label(policy, limit)}: {error}", file=out)
+                return 2
+            rows.append((policy, limit, outcome))
+    replay_s = time.perf_counter() - replay_started
+
+    if args.compare_execute:
+        execute_started = time.perf_counter()
+        for policy, limit, outcome in rows:
+            target, result = execute_reference(
+                source,
+                system="swapram",
+                plan_name=args.plan,
+                frequency_mhz=args.mhz,
+                policy=policy,
+                cache_limit=limit,
+            )
+            problems = diff_outcome(target, result, outcome)
+            for problem in problems:
+                print(f"MISMATCH {_cell_label(policy, limit)} {problem}", file=out)
+            mismatches += len(problems)
+        execute_s = time.perf_counter() - execute_started
+
+    print(
+        f"{'config':<18}{'cycles':>12}{'stalls':>10}{'misses':>8}"
+        f"{'evicts':>8}{'energy uJ':>11}",
+        file=out,
+    )
+    for policy, limit, outcome in rows:
+        stats = outcome.stats
+        print(
+            f"{_cell_label(policy, limit):<18}"
+            f"{outcome.result.total_cycles:>12}"
+            f"{outcome.result.stall_cycles:>10}"
+            f"{stats.misses:>8}{stats.evictions:>8}"
+            f"{outcome.result.energy_nj / 1000:>11.2f}",
+            file=out,
+        )
+    summary = f"replayed {len(rows)} configs in {replay_s:.2f}s"
+    if capture_s is not None:
+        summary += f" (+ {capture_s:.2f}s one-time capture)"
+    if args.compare_execute:
+        grid = replay_s + (capture_s or 0.0)
+        summary += (
+            f"; full execution took {execute_s:.2f}s "
+            f"({execute_s / grid:.1f}x slower than the replay grid)"
+        )
+        if mismatches:
+            print(summary, file=out)
+            print(f"FAILED: {mismatches} mismatched totals", file=out)
+            return 1
+        summary += "; all cells bit-identical"
+    print(summary, file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

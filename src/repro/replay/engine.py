@@ -1,0 +1,617 @@
+"""The replay engine: drive cache/cost/energy models from a trace.
+
+A :class:`ReplayEngine` wraps one :class:`~repro.replay.schema.TraceDocument`
+and replays it against any valid configuration without re-executing the
+CPU. The division of labour:
+
+* **Rebuild once.** The mini-C source embedded in the trace header is
+  compiled, instrumented and linked exactly as ``build_swapram`` /
+  ``build_blockcache`` / ``build_baseline`` would, and the resulting
+  image hash must match the capture's -- otherwise the trace is stale
+  and replay is refused. For SwapRAM the image is *identical* across
+  every policy x cache-limit cell, so one build serves the whole
+  ablation grid.
+* **Compile the stream once.** Every recorded data access is classified
+  (region kind, MMIO port, redirection/active-table membership) into a
+  small opcode while decoding; addresses are execution-invariant, so
+  this work is config-independent.
+* **Walk per configuration.** The event walk charges the real
+  :class:`~repro.machine.trace.AccessCounters`, simulates the real
+  :class:`~repro.machine.fram_cache.FramReadCache` (operating on its
+  live line lists, so the runtime's own bus traffic interleaves
+  coherently), applies write values to memory, emulates the debug
+  ports, and -- for SwapRAM -- re-derives every dispatch from its own
+  redirection table: a redirect still pointing at the miss handler
+  means the *real* :class:`~repro.core.runtime.SwapRamRuntime` hook is
+  invoked against the board, reproducing the identical policy walk,
+  metadata traffic, memcpy charges and statistics full execution would
+  produce under this configuration. Block-cache hooks fire at their
+  recorded markers. Everything outside the hooks avoids the bus
+  entirely, which is where the speedup comes from.
+
+Totals (counters, stalls, energy, stats) are bit-identical to full
+execution because every accounting quantity is a sum over the same
+multiset of contributions, and the only order-sensitive machine state
+-- FRAM-cache line contents and memory words -- is maintained in
+execution order throughout.
+"""
+
+import time
+from dataclasses import dataclass
+
+from repro.blockcache.runtime import BlockCacheRuntime
+from repro.blockcache.transform import BlockCostModel, instrument_for_blockcache
+from repro.core.costs import RuntimeCostModel
+from repro.core.policy import POLICIES
+from repro.core.runtime import SwapRamRuntime
+from repro.core.transform import ACTIVE_TABLE, REDIR_TABLE
+from repro.core.transform import instrument_for_swapram
+from repro.isa.registers import PC
+from repro.machine.board import Board
+from repro.machine.memory import (
+    DEBUG_OUT_PORT,
+    HALT_PORT,
+    PUTC_PORT,
+    RegionKind,
+)
+from repro.machine.trace import FETCH, READ, WRITE, Attribution
+from repro.replay.capture import BASELINE, BLOCK, SWAPRAM
+from repro.replay.schema import (
+    ACC_BYTE,
+    ACC_WRITE,
+    TraceDocument,
+    image_sha256,
+)
+from repro.replay.validity import ReplayRefused, SYSTEMS, check_image, check_request
+from repro.toolchain.build import compile_program
+from repro.toolchain.linker import MemoryPlan, link
+
+#: Replay the dimension exactly as it was captured.
+AS_CAPTURED = object()
+
+# Access opcodes, produced once by `_compile_records`.
+_RD_SRAM = 0
+_RD_FRAM = 1  # extra = redirection-table funcId, or -1
+_WR_SRAM_W = 2
+_WR_FRAM_W = 3  # extra = active-table funcId, or -1
+_RD_MMIO = 4
+_WR_SRAM_B = 5
+_WR_FRAM_B = 6
+_WR_DEBUG = 7
+_WR_HALT = 8
+_WR_PUTC = 9
+_WR_MMIO = 10
+
+
+class ReplayError(RuntimeError):
+    """The trace and the rebuilt system disagree mid-replay (corrupt or
+    mis-keyed trace; distinct from an up-front :class:`ReplayRefused`)."""
+
+
+class _CpuProxy:
+    """The minimal CPU surface the runtime hooks touch."""
+
+    __slots__ = ("regs", "pc_history")
+
+    def __init__(self):
+        self.regs = [0] * 16
+        self.pc_history = (0, 0, 0)
+
+
+@dataclass
+class ReplayOutcome:
+    """One replayed configuration: the same artefacts a full run yields."""
+
+    result: object  # RunResult
+    stats: object  # SwapRamStats / BlockCacheStats / None
+    board: Board
+    runtime: object
+    config: dict
+    seconds: float  # event-walk wall clock
+    events: int
+    hook_invocations: int
+
+    @property
+    def events_per_s(self):
+        return self.events / self.seconds if self.seconds else 0.0
+
+
+class ReplayEngine:
+    """Replays one trace against many configurations."""
+
+    def __init__(self, document, metrics=None):
+        self.document = document
+        self.header = document.header
+        self.metrics = metrics
+        system = self.header.get("system")
+        if system not in SYSTEMS:
+            raise ReplayRefused([f"unknown system {system!r} in trace header"])
+        self.system = system
+        self.build_seconds = 0.0
+        self.compile_seconds = 0.0
+        self._artifacts = None
+        self._compiled = None
+
+    @classmethod
+    def from_file(cls, path, metrics=None):
+        return cls(TraceDocument.load(path), metrics=metrics)
+
+    @property
+    def linked(self):
+        """The rebuilt, hash-verified link artefacts for this trace."""
+        return self._ensure_artifacts()[0]
+
+    # -- one-time work --------------------------------------------------------------
+
+    def _ensure_artifacts(self):
+        """Rebuild the captured system's image; verify it byte-matches."""
+        if self._artifacts is not None:
+            return self._artifacts
+        header = self.header
+        source = header.get("source")
+        if not source:
+            raise ReplayRefused(
+                ["trace has no embedded source; cannot rebuild the image"]
+            )
+        started = time.perf_counter()
+        plan = MemoryPlan(**header["plan_config"])
+        config = header.get("capture_config") or {}
+        if self.system == SWAPRAM:
+            cost_model = RuntimeCostModel()
+            instrumented, meta = instrument_for_swapram(
+                compile_program(source),
+                blacklist={"main"},
+                cost_model=cost_model,
+            )
+            linked = link(instrumented, plan)
+        elif self.system == BLOCK:
+            cost_model = BlockCostModel()
+            program = compile_program(source)
+            from repro.blockcache.system import _expected_cache_bytes
+
+            expected = _expected_cache_bytes(program, plan)
+            if config.get("cache_limit") is not None:
+                expected = min(expected, config["cache_limit"])
+            instrumented, meta = instrument_for_blockcache(
+                program,
+                blacklist=(),
+                slot_bytes=config.get("slot_bytes", 48),
+                expected_cache_bytes=expected,
+                cost_model=cost_model,
+            )
+            linked = link(instrumented, plan)
+        else:
+            cost_model = None
+            meta = None
+            linked = link(compile_program(source), plan)
+        self.build_seconds += time.perf_counter() - started
+
+        reasons = check_image(header, image_sha256(linked.image))
+        if reasons:
+            self._refused()
+            raise ReplayRefused(reasons)
+        self._artifacts = (linked, meta, cost_model)
+        return self._artifacts
+
+    def _ensure_compiled(self):
+        """Classify every recorded access into opcodes, once."""
+        if self._compiled is not None:
+            return self._compiled
+        linked, meta, _ = self._ensure_artifacts()
+        started = time.perf_counter()
+        kinds = linked.memory_map._kinds
+        fram = RegionKind.FRAM
+        sram = RegionKind.SRAM
+        mmio = RegionKind.MMIO
+        swapram = self.system == SWAPRAM
+        redir_lo = redir_hi = active_lo = active_hi = -1
+        nfuncs = 0
+        if swapram:
+            symbols = linked.image.symbols
+            nfuncs = len(meta.functions)
+            redir_lo = symbols[REDIR_TABLE]
+            redir_hi = redir_lo + 2 * nfuncs
+            active_lo = symbols[ACTIVE_TABLE]
+            active_hi = active_lo + 2 * nfuncs
+        mmio_write_ops = {
+            DEBUG_OUT_PORT: _WR_DEBUG,
+            HALT_PORT: _WR_HALT,
+            PUTC_PORT: _WR_PUTC,
+        }
+
+        compiled = []
+        for record in self.document.records:
+            if record is None:
+                if self.system != BLOCK:
+                    raise ReplayError(
+                        f"hook marker in a {self.system} trace"
+                    )
+                compiled.append(None)
+                continue
+            func, pc, words, cycles, accesses = record
+            ops = None
+            if accesses:
+                ops = []
+                for flags, addr, value in accesses:
+                    kind = kinds[addr]
+                    extra = -1
+                    if flags & ACC_WRITE:
+                        if kind is mmio:
+                            op = mmio_write_ops.get(addr, _WR_MMIO)
+                        elif kind is fram:
+                            if flags & ACC_BYTE:
+                                op = _WR_FRAM_B
+                            else:
+                                op = _WR_FRAM_W
+                                if active_lo <= addr < active_hi:
+                                    extra = (addr - active_lo) >> 1
+                        elif kind is sram:
+                            op = _WR_SRAM_B if flags & ACC_BYTE else _WR_SRAM_W
+                        else:
+                            raise ReplayError(
+                                f"trace writes unmapped address {addr:#06x}"
+                            )
+                    else:
+                        if kind is fram:
+                            op = _RD_FRAM
+                            if redir_lo <= addr < redir_hi:
+                                extra = (addr - redir_lo) >> 1
+                        elif kind is sram:
+                            op = _RD_SRAM
+                        elif kind is mmio:
+                            op = _RD_MMIO
+                        else:
+                            raise ReplayError(
+                                f"trace reads unmapped address {addr:#06x}"
+                            )
+                    ops.append((op, addr, value, extra))
+                ops = tuple(ops)
+            if func >= 0:
+                if not swapram:
+                    raise ReplayError(
+                        f"function-relative record in a {self.system} trace"
+                    )
+                if func >= nfuncs:
+                    raise ReplayError(f"funcId {func} out of range")
+                compiled.append((func, pc, words, cycles, False, ops))
+            else:
+                kind = kinds[pc]
+                if kind is not fram and kind is not sram:
+                    raise ReplayError(
+                        f"trace executes from {kind.value} at {pc:#06x}"
+                    )
+                compiled.append((-1, pc, words, cycles, kind is fram, ops))
+        self._compiled = compiled
+        self.compile_seconds += time.perf_counter() - started
+        return compiled
+
+    # -- per-configuration construction ---------------------------------------------
+
+    def _build_target(
+        self, policy, cache_limit, frequency_mhz, thrash_guard, prefetcher
+    ):
+        linked, meta, cost_model = self._artifacts
+        board = Board(memory_map=linked.memory_map, frequency_mhz=frequency_mhz)
+        board.load(linked.image)
+        board.linked = linked
+        if self.system == SWAPRAM:
+            cache_size = linked.cache_size & ~1
+            cache_base = (linked.cache_base + 1) & ~1
+            if cache_limit is not None:
+                cache_size = min(cache_size, cache_limit & ~1)
+            policy_class = POLICIES.get(policy)
+            if policy_class is None:
+                raise ReplayRefused([f"unknown policy {policy!r}"])
+            runtime = SwapRamRuntime(
+                board,
+                linked.image,
+                meta,
+                policy_class(cache_base, cache_size),
+                cost_model,
+                thrash_guard=thrash_guard,
+                prefetcher=prefetcher,
+            )
+        elif self.system == BLOCK:
+            cache_size = linked.cache_size
+            if cache_limit is not None:
+                cache_size = min(cache_size, cache_limit)
+            runtime = BlockCacheRuntime(
+                board, linked.image, meta, linked.cache_base, cache_size
+            )
+        else:
+            runtime = None
+        return board, runtime
+
+    # -- the replay ----------------------------------------------------------------
+
+    def replay(
+        self,
+        policy=AS_CAPTURED,
+        cache_limit=AS_CAPTURED,
+        frequency_mhz=None,
+        thrash_guard=None,
+        prefetcher=None,
+    ):
+        """Replay one configuration; returns a :class:`ReplayOutcome`.
+
+        Defaults replay the captured configuration. For SwapRAM traces
+        *policy* (name from ``core.policy.POLICIES``), *cache_limit*
+        and *frequency_mhz* are free dimensions; for block-cache traces
+        only the frequency is. Invalid requests raise
+        :class:`ReplayRefused` without touching the models.
+        """
+        config = self.header.get("capture_config") or {}
+        if policy is AS_CAPTURED:
+            policy = config.get("policy")
+        if cache_limit is AS_CAPTURED:
+            if self.system == BLOCK:
+                cache_limit = config.get("cache_limit")
+            else:
+                # For SwapRAM the recorded effective cache_size is an
+                # exact stand-in for a missing cache_limit.
+                cache_limit = config.get("cache_limit", config.get("cache_size"))
+        if frequency_mhz is None:
+            frequency_mhz = self.header["frequency_mhz"]
+
+        reasons = check_request(
+            self.header,
+            policy=policy,
+            cache_limit=cache_limit,
+            frequency_mhz=frequency_mhz,
+            thrash_guard=thrash_guard,
+            prefetcher=prefetcher,
+        )
+        if reasons:
+            self._refused()
+            raise ReplayRefused(reasons)
+
+        self._ensure_artifacts()
+        compiled = self._ensure_compiled()
+        board, runtime = self._build_target(
+            policy, cache_limit, frequency_mhz, thrash_guard, prefetcher
+        )
+        if self.system == BLOCK:
+            # Chained branches in the stream encode capture-time slot
+            # addresses; any geometry drift invalidates them.
+            geometry = []
+            for attribute in ("cache_base", "slot_bytes", "num_slots"):
+                captured = config.get(attribute)
+                rebuilt = getattr(runtime, attribute)
+                if captured is not None and captured != rebuilt:
+                    geometry.append(
+                        f"{attribute} {rebuilt} != captured {captured}"
+                    )
+            if geometry:
+                self._refused()
+                raise ReplayRefused(
+                    ["block-cache geometry mismatch: " + ", ".join(geometry)]
+                )
+
+        started = time.perf_counter()
+        hook_invocations = self._walk(board, runtime, compiled)
+        seconds = time.perf_counter() - started
+
+        if not board.bus.halted:
+            raise ReplayError("trace replay did not reach the halt port")
+        outcome = ReplayOutcome(
+            result=board.result(),
+            stats=runtime.stats if runtime is not None else None,
+            board=board,
+            runtime=runtime,
+            config={
+                "system": self.system,
+                "plan": self.header["plan"],
+                "policy": policy,
+                "cache_limit": cache_limit,
+                "frequency_mhz": frequency_mhz,
+            },
+            seconds=seconds,
+            events=len(compiled),
+            hook_invocations=hook_invocations,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("replay.runs").inc()
+            self.metrics.counter("replay.events").inc(outcome.events)
+            self.metrics.counter("replay.hook_invocations").inc(hook_invocations)
+            self.metrics.gauge("replay.events_per_s").set(outcome.events_per_s)
+        return outcome
+
+    def _refused(self):
+        if self.metrics is not None:
+            self.metrics.counter("replay.refused").inc()
+
+    def _walk(self, board, runtime, compiled):
+        """The hot loop: one pass over the compiled event stream."""
+        bus = board.bus
+        data = board.memory.data
+        fc = bus.fram_cache
+        lines = fc._lines
+        nsets = fc.sets
+        nways = fc.ways
+        shift = fc.line_bytes.bit_length() - 1
+        wait = bus.wait_states
+        penalty = bus.contention_penalty
+        fram_start = board.memory_map.fram.start
+        debug_words = bus.debug_words
+        output_chars = bus.output_chars
+
+        swapram = self.system == SWAPRAM
+        track_history = self.system == BLOCK
+        proxy = _CpuProxy()
+        regs = proxy.regs
+        hook = runtime  # SwapRamRuntime/BlockCacheRuntime are callables
+        if swapram:
+            redir_base = runtime.redir_base
+            handler = runtime.handler_addr
+            stacks = [[] for _ in runtime.meta.functions]
+        hist0 = hist1 = hist2 = 0
+
+        hits = misses = stall = 0
+        cycles_total = 0
+        fetch_fram = fetch_sram = 0
+        instr_fram = instr_sram = 0
+        rd_sram = rd_fram = rd_mmio = 0
+        wr_sram = wr_fram = wr_mmio = 0
+        hook_invocations = 0
+
+        for record in compiled:
+            if record is None:
+                proxy.pc_history = (hist0, hist1, hist2)
+                regs[PC] = 0
+                hook(proxy)
+                hook_invocations += 1
+                continue
+            func, pc, words, cycles, fram_fetch, ops = record
+            if func >= 0:
+                stack = stacks[func]
+                if not stack:
+                    raise ReplayError(
+                        f"record for funcId {func} outside any activation"
+                    )
+                pc += stack[-1]
+                fram_fetch = pc >= fram_start
+            cycles_total += cycles
+            touches = 0
+            if fram_fetch:
+                instr_fram += 1
+                fetch_fram += words
+                touches = words
+                address = pc
+                for _ in range(words):
+                    tag = address >> shift
+                    ways = lines[tag % nsets]
+                    if ways and ways[-1] == tag:
+                        hits += 1
+                    elif tag in ways:
+                        ways.remove(tag)
+                        ways.append(tag)
+                        hits += 1
+                    else:
+                        misses += 1
+                        ways.append(tag)
+                        if len(ways) > nways:
+                            ways.pop(0)
+                        stall += wait
+                    address += 2
+            else:
+                instr_sram += 1
+                fetch_sram += words
+            pending = -1
+            if ops is not None:
+                for op, addr, value, extra in ops:
+                    if op == _RD_FRAM:
+                        rd_fram += 1
+                        touches += 1
+                        tag = addr >> shift
+                        ways = lines[tag % nsets]
+                        if ways and ways[-1] == tag:
+                            hits += 1
+                        elif tag in ways:
+                            ways.remove(tag)
+                            ways.append(tag)
+                            hits += 1
+                        else:
+                            misses += 1
+                            ways.append(tag)
+                            if len(ways) > nways:
+                                ways.pop(0)
+                            stall += wait
+                        if extra >= 0:
+                            pending = extra
+                    elif op == _RD_SRAM:
+                        rd_sram += 1
+                    elif op == _WR_FRAM_W:
+                        wr_fram += 1
+                        touches += 1
+                        stall += wait
+                        tag = addr >> shift
+                        ways = lines[tag % nsets]
+                        if tag in ways:
+                            ways.remove(tag)
+                        if extra >= 0 and value < (
+                            data[addr] | (data[addr + 1] << 8)
+                        ):
+                            stack = stacks[extra]
+                            if stack:
+                                stack.pop()
+                        data[addr] = value & 0xFF
+                        data[addr + 1] = value >> 8
+                    elif op == _WR_SRAM_W:
+                        wr_sram += 1
+                        data[addr] = value & 0xFF
+                        data[addr + 1] = value >> 8
+                    elif op == _WR_SRAM_B:
+                        wr_sram += 1
+                        data[addr] = value
+                    elif op == _WR_FRAM_B:
+                        wr_fram += 1
+                        touches += 1
+                        stall += wait
+                        tag = addr >> shift
+                        ways = lines[tag % nsets]
+                        if tag in ways:
+                            ways.remove(tag)
+                        data[addr] = value
+                    elif op == _RD_MMIO:
+                        rd_mmio += 1
+                    elif op == _WR_DEBUG:
+                        wr_mmio += 1
+                        debug_words.append(value)
+                    elif op == _WR_PUTC:
+                        wr_mmio += 1
+                        output_chars.append(chr(value & 0xFF))
+                    elif op == _WR_HALT:
+                        wr_mmio += 1
+                        bus.halted = True
+                    else:  # _WR_MMIO: unknown port, silently absorbed
+                        wr_mmio += 1
+            if touches > 1:
+                stall += (touches - 1) * penalty
+            if pending >= 0:
+                address = redir_base + (pending << 1)
+                target = data[address] | (data[address + 1] << 8)
+                if target == handler:
+                    regs[PC] = 0
+                    hook(proxy)
+                    hook_invocations += 1
+                    target = regs[PC]
+                stacks[pending].append(target)
+            if track_history:
+                hist2 = hist1
+                hist1 = hist0
+                hist0 = pc
+
+        # Flush the local tallies into the real accounting objects. Every
+        # quantity is additive, so hook-time contributions (made directly
+        # through the bus) and these deltas commute.
+        app = Attribution.APP
+        fram = RegionKind.FRAM
+        sram = RegionKind.SRAM
+        mmio = RegionKind.MMIO
+        counters = board.counters
+        accesses = counters.accesses
+        if fetch_fram:
+            accesses[(app, fram, FETCH)] += fetch_fram
+        if fetch_sram:
+            accesses[(app, sram, FETCH)] += fetch_sram
+        if rd_fram:
+            accesses[(app, fram, READ)] += rd_fram
+        if rd_sram:
+            accesses[(app, sram, READ)] += rd_sram
+        if rd_mmio:
+            accesses[(app, mmio, READ)] += rd_mmio
+        if wr_fram:
+            accesses[(app, fram, WRITE)] += wr_fram
+        if wr_sram:
+            accesses[(app, sram, WRITE)] += wr_sram
+        if wr_mmio:
+            accesses[(app, mmio, WRITE)] += wr_mmio
+        if instr_fram:
+            counters.instructions[(app, fram)] += instr_fram
+        if instr_sram:
+            counters.instructions[(app, sram)] += instr_sram
+        counters.cycles[app] += cycles_total
+        counters.stall_cycles += stall
+        fc.hits += hits
+        fc.misses += misses
+        return hook_invocations

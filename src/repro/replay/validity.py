@@ -1,0 +1,117 @@
+"""When is a trace valid for a requested replay configuration?
+
+Replay is only exact when the *application* event stream the trace holds
+is invariant under the requested configuration. The rules, derived from
+how each system's caching decisions do (or do not) feed back into the
+executed instruction stream:
+
+* **baseline** -- no runtime at all. The stream is invariant under any
+  clock frequency (wait states change stalls, which replay recomputes,
+  never the instruction sequence). Nothing else may vary: the plan is
+  baked into the image.
+* **swapram** -- the instrumentation is total: calls go through the
+  redirection table and intra-function branches through the relocation
+  table, and the transform refuses programs that materialise any other
+  code address. Function-relative instruction records therefore replay
+  exactly under any *policy*, *cache limit*, *frequency*, thrash guard
+  or prefetcher -- the replay engine re-runs the real miss handler and
+  re-derives every dispatch from its own redirection table. The one
+  thing that would break invariance is the application writing into the
+  SRAM cache window (self-modifying data aliasing cached code); capture
+  flags it and validity refuses it.
+* **block** -- chaining rewrites application branch immediates in
+  place, so cache state feeds back into the executed stream. A block
+  trace replays only against the captured cache geometry (same
+  ``cache_limit`` and ``slot_bytes``); frequency may still vary.
+
+Anything outside these rules raises :class:`ReplayRefused` with the
+full list of reasons; callers that own a fallback (the experiment
+runner) log the reasons and execute normally instead.
+"""
+
+SYSTEMS = ("baseline", "swapram", "block")
+
+
+class ReplayRefused(RuntimeError):
+    """The requested configuration cannot be replayed from this trace."""
+
+    def __init__(self, reasons):
+        if isinstance(reasons, str):
+            reasons = [reasons]
+        self.reasons = list(reasons)
+        super().__init__("; ".join(self.reasons))
+
+
+def check_request(
+    header,
+    policy=None,
+    cache_limit=None,
+    frequency_mhz=None,
+    thrash_guard=None,
+    prefetcher=None,
+    slot_bytes=None,
+):
+    """Reasons the request cannot be served from *header*'s trace.
+
+    Returns a list of human-readable reasons; empty means valid. The
+    image-hash check happens later, after the engine rebuilds the
+    system (:func:`check_image`).
+    """
+    del frequency_mhz  # always free: wait states are recomputed
+    reasons = []
+    system = header.get("system")
+    if system not in SYSTEMS:
+        return [f"unknown system {system!r} in trace header"]
+    config = header.get("capture_config") or {}
+
+    if system == "baseline":
+        for name, value in (
+            ("policy", policy),
+            ("cache_limit", cache_limit),
+            ("thrash_guard", thrash_guard),
+            ("prefetcher", prefetcher),
+            ("slot_bytes", slot_bytes),
+        ):
+            if value is not None:
+                reasons.append(f"baseline replay takes no {name}")
+
+    elif system == "swapram":
+        if header.get("app_writes_cache_window"):
+            reasons.append(
+                "application writes into the SRAM cache window during "
+                "capture: cached code could alias data, so the event "
+                "stream is not execution-invariant"
+            )
+        if slot_bytes is not None:
+            reasons.append("slot_bytes is a block-cache knob")
+
+    elif system == "block":
+        if policy is not None:
+            reasons.append("block-cache replay takes no policy")
+        if thrash_guard is not None or prefetcher is not None:
+            reasons.append("thrash_guard/prefetcher are SwapRAM knobs")
+        if cache_limit is not None and cache_limit != config.get("cache_limit"):
+            reasons.append(
+                f"block-cache chaining patches application branches in "
+                f"place, so the stream is only valid for the captured "
+                f"geometry (cache_limit={config.get('cache_limit')!r}, "
+                f"requested {cache_limit!r})"
+            )
+        if slot_bytes is not None and slot_bytes != config.get("slot_bytes"):
+            reasons.append(
+                f"block-cache slot_bytes is fixed at capture "
+                f"({config.get('slot_bytes')!r}, requested {slot_bytes!r})"
+            )
+    return reasons
+
+
+def check_image(header, rebuilt_sha256):
+    """Reasons the rebuilt image does not match the captured one."""
+    expected = header.get("image_sha256")
+    if rebuilt_sha256 != expected:
+        return [
+            f"rebuilt image hash {rebuilt_sha256[:12]} does not match the "
+            f"trace's {str(expected)[:12]} (toolchain or source drift -- "
+            f"recapture the trace)"
+        ]
+    return []

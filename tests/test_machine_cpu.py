@@ -402,6 +402,126 @@ def test_runaway_program_raises():
         )
 
 
+# -- decode-cache invalidation ---------------------------------------------------
+#
+# The decode cache memoises (snapshot, instruction, length, cycles) per
+# PC and revalidates the snapshot against live memory bytes on every
+# hit. These regressions pin the two ways SwapRAM rewrites live SRAM
+# under the cache -- whole-function memcpy into a cache slot, and
+# relocation patching of an already-copied instruction -- plus the
+# cold-cache guarantee across a power cycle.
+
+
+def _write_instruction(memory, address, text):
+    """Assemble one instruction at *address*; returns its byte length."""
+    from repro.isa.encoding import encode_instruction
+
+    words = encode_instruction(parse_instruction(text), address, {})
+    for index, word in enumerate(words):
+        memory.write_word(address + 2 * index, word)
+    return 2 * len(words)
+
+
+def test_decode_cache_invalidated_by_memcpy_over_sram():
+    """SwapRAM evicts function A and memcpys function B into the same
+    SRAM slot: re-executing the slot address must decode B, never the
+    cached decode of A."""
+    board = fr2355_board()
+    cpu, memory = board.cpu, board.memory
+    slot = 0x2100
+    length = _write_instruction(memory, slot, "MOV #0x1111, R12")
+    cpu.regs[PC] = slot
+    cpu.step()
+    assert cpu.regs[12] == 0x1111
+    assert slot in cpu._decode_cache  # it was cached...
+
+    staging = 0x2200
+    _write_instruction(memory, staging, "MOV #0x2222, R12")
+    memory.write_bytes(slot, bytes(memory.read_bytes(staging, length)))
+    cpu.regs[PC] = slot
+    cpu.step()
+    assert cpu.regs[12] == 0x2222  # ...but the copy invalidated it
+
+
+def test_decode_cache_invalidated_by_reloc_patch():
+    """Relocation patching rewrites one operand word of an instruction
+    already executed (and therefore cached) at its SRAM home."""
+    board = fr2355_board()
+    cpu, memory = board.cpu, board.memory
+    slot = 0x2100
+    _write_instruction(memory, slot, "MOV #0x1111, R12")
+    cpu.regs[PC] = slot
+    cpu.step()
+    assert cpu.regs[12] == 0x1111
+
+    memory.write_word(slot + 2, 0x2222)  # patch the immediate in place
+    cpu.regs[PC] = slot
+    cpu.step()
+    assert cpu.regs[12] == 0x2222
+
+
+def test_decode_cache_dropped_across_power_cycle():
+    """A rebooted machine decodes cold: power_cycle() clears the decode
+    cache along with the architectural reset, and the program still
+    re-runs correctly from persistent FRAM."""
+    board = run_asm(
+        """
+        .func __start
+            MOV #7, R12
+            MOV R12, &0x0200
+            MOV #1, &0x0202
+        .endfunc
+        """,
+        entry="__start",
+    )
+    assert board.bus.debug_words == [7]
+    assert board.cpu._decode_cache  # warm after the first run
+    board.power_cycle()
+    assert board.cpu._decode_cache == {}
+    board.run()
+    assert board.bus.debug_words == [7, 7]
+
+
+def test_swapram_recache_over_same_slot_decodes_fresh():
+    """End to end: two functions thrash one SwapRAM cache slot, so the
+    same SRAM addresses hold different code bytes over the run. Stale
+    decodes would compute garbage; the snapshot check keeps it exact."""
+    from repro.core import build_swapram
+    from repro.toolchain import PLANS
+
+    source = """
+    int inc(int x) {
+        int i;
+        for (i = 0; i < 3; i++) {
+            x = x + 1;
+        }
+        return x;
+    }
+
+    int dbl(int x) {
+        int i;
+        for (i = 0; i < 2; i++) {
+            x = x + x;
+        }
+        return x;
+    }
+
+    int main(void) {
+        int total = 0;
+        int round;
+        for (round = 0; round < 4; round++) {
+            total = total + inc(round) + dbl(round);
+        }
+        __debug_out((unsigned)total);
+        return 0;
+    }
+    """
+    system = build_swapram(source, PLANS["unified"], cache_limit=0x60)
+    result = system.run()
+    assert result.debug_words == [42]  # sum of (r+3) + 4r for r in 0..3
+    assert system.stats.evictions > 0  # the slot really was recycled
+
+
 def test_pc_history_tracks_last_three():
     board = run_asm(
         """

@@ -1,0 +1,263 @@
+"""Trace-file format properties: round trips, loud truncation, schema checks.
+
+Mirrors ``test_asm_roundtrip_hypothesis.py``: Hypothesis generates
+random-but-valid event streams and the properties assert that
+serialize -> deserialize is the identity, and that *every* damaged file
+-- truncated at any byte, bit-flipped payload, foreign magic, future
+version, mixed schema -- raises a typed, descriptive error instead of
+silently replaying garbage. The interrupted-capture test models the
+repro.faults failure mode: power dies mid-write, leaving a prefix of a
+valid trace on disk.
+"""
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replay.schema import (
+    ACC_BYTE,
+    ACC_VALUE,
+    ACC_WRITE,
+    MAGIC,
+    SCHEMA,
+    VERSION,
+    TraceDocument,
+    TraceSchemaError,
+    TraceTruncatedError,
+    build_document,
+    decode_events,
+    dump_trace,
+    encode_events,
+    load_trace,
+)
+
+# -- strategies -------------------------------------------------------------------
+
+_ADDRESSES = st.integers(0, 0xFFFE)
+
+
+def _accesses():
+    read = st.tuples(
+        st.sampled_from([0, ACC_BYTE]), _ADDRESSES, st.just(0)
+    )
+    write = st.tuples(
+        st.sampled_from(
+            [ACC_WRITE | ACC_VALUE, ACC_WRITE | ACC_VALUE | ACC_BYTE]
+        ),
+        _ADDRESSES,
+        st.integers(0, 0xFFFF),
+    )
+    return st.lists(st.one_of(read, write), max_size=5).map(tuple)
+
+
+def _instruction_records():
+    return st.tuples(
+        st.integers(-1, 0xFF),  # funcId, -1 = absolute pc
+        st.integers(0, 0xFFFF),  # pc or function-relative offset
+        st.integers(1, 4),  # fetched words
+        st.integers(1, 12),  # unstalled cycles
+        _accesses(),
+    )
+
+
+def _records():
+    return st.lists(
+        st.one_of(_instruction_records(), st.none()), max_size=60
+    )
+
+
+def make_header():
+    """The minimal header the validator accepts."""
+    return {
+        "system": "swapram",
+        "plan": "unified",
+        "plan_config": {"name": "unified"},
+        "scale": 1,
+        "source": "int main(void) { return 0; }",
+        "frequency_mhz": 24,
+        "image_sha256": "0" * 64,
+        "capture_config": {},
+        "capture_result": {},
+    }
+
+
+# -- event-stream round trip -------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=_records())
+def test_event_stream_round_trip(records):
+    payload = encode_events(records)
+    decoded = decode_events(payload, expected_events=len(records))
+    assert decoded == records
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_records())
+def test_whole_file_round_trip(records):
+    document = build_document(make_header(), records)
+    loaded = load_trace(document.to_bytes())
+    assert loaded.records == records
+    assert loaded.header["events"] == len(records)
+    assert loaded.system == "swapram"
+    # The identity facts survive the trip verbatim.
+    for key, value in make_header().items():
+        assert loaded.header[key] == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_records(), data=st.data())
+def test_any_truncation_is_loud(records, data):
+    """A strict prefix of a trace file never parses quietly."""
+    blob = build_document(make_header(), records).to_bytes()
+    cut = data.draw(st.integers(0, len(blob) - 1))
+    with pytest.raises(TraceTruncatedError):
+        load_trace(blob[:cut])
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_records(), data=st.data())
+def test_payload_corruption_is_loud(records, data):
+    """Flipping any payload byte fails decompression or the SHA check."""
+    document = build_document(make_header(), records)
+    blob = bytearray(document.to_bytes())
+    header_len = int.from_bytes(blob[5:9], "little")
+    payload_start = 9 + header_len
+    index = data.draw(st.integers(payload_start, len(blob) - 1))
+    blob[index] ^= 0xFF
+    with pytest.raises((TraceTruncatedError, TraceSchemaError)):
+        load_trace(bytes(blob))
+
+
+# -- schema errors ------------------------------------------------------------------
+
+
+def _valid_blob(records=((-1, 0x8000, 1, 1, ()),)):
+    return build_document(make_header(), list(records)).to_bytes()
+
+
+def test_foreign_magic_rejected():
+    blob = bytearray(_valid_blob())
+    blob[:4] = b"ELF\x7f"
+    with pytest.raises(TraceSchemaError, match="magic"):
+        load_trace(bytes(blob))
+
+
+def test_future_version_rejected():
+    blob = bytearray(_valid_blob())
+    blob[4] = VERSION + 1
+    with pytest.raises(TraceSchemaError, match="version"):
+        load_trace(bytes(blob))
+
+
+def test_mixed_schema_header_rejected():
+    """A file whose header declares another schema string is foreign even
+    if the container parses -- mixed-schema traces are never replayed."""
+    document = build_document(make_header(), [])
+    document.header["schema"] = "repro-replay-trace/999"
+    with pytest.raises(TraceSchemaError, match="schema"):
+        load_trace(dump_trace(document))
+
+
+def test_missing_header_keys_rejected():
+    document = build_document(make_header(), [])
+    del document.header["image_sha256"]
+    with pytest.raises(TraceSchemaError, match="image_sha256"):
+        load_trace(dump_trace(document))
+
+
+def test_unknown_event_tag_rejected():
+    with pytest.raises(TraceSchemaError, match="unknown event tag"):
+        decode_events(bytes([0x7F, 0x00]))
+
+
+def test_trailing_bytes_rejected():
+    payload = encode_events([]) + b"\x00garbage"
+    with pytest.raises(TraceSchemaError, match="trailing"):
+        decode_events(payload)
+
+
+def test_event_count_mismatch_rejected():
+    payload = encode_events([None, None])
+    with pytest.raises(TraceTruncatedError, match="promises"):
+        decode_events(payload, expected_events=5)
+
+
+def test_payload_length_lie_rejected():
+    document = build_document(make_header(), [None])
+    blob = bytearray(dump_trace(document))
+    header_len = int.from_bytes(blob[5:9], "little")
+    header = json.loads(blob[9 : 9 + header_len])
+    header["payload"]["raw_len"] += 2
+    # Re-assemble the container around the lying header.
+    new_header = json.dumps(header, sort_keys=True).encode()
+    raw = encode_events([None])
+    forged = (
+        MAGIC
+        + bytes([VERSION])
+        + len(new_header).to_bytes(4, "little")
+        + new_header
+        + zlib.compress(raw, 6)
+    )
+    with pytest.raises(TraceTruncatedError, match="decompresses"):
+        load_trace(forged)
+
+
+# -- the interrupted capture (repro.faults-style) -----------------------------------
+
+
+def _captured_trace(tmp_path):
+    from repro.replay import capture_source
+    from repro.replay.store import TraceStore
+
+    source = """
+    int spin(int n) {
+        int total = 0;
+        int i;
+        for (i = 0; i < n; i++) {
+            total += i;
+        }
+        return total;
+    }
+
+    int main(void) {
+        __debug_out((unsigned)spin(10));
+        return 0;
+    }
+    """
+    document, _, _ = capture_source(source, system="swapram")
+    store = TraceStore(tmp_path)
+    return store.save(document)
+
+
+def test_interrupted_capture_write_is_detected(tmp_path):
+    """Power dies while the capture file is being written: the file on
+    disk is a prefix of a valid trace. Loading it must raise a clear
+    truncation error -- never replay a partial stream."""
+    path = _captured_trace(tmp_path)
+    blob = path.read_bytes()
+    for fraction in (0.25, 0.5, 0.9, 0.999):
+        cut = int(len(blob) * fraction)
+        path.write_bytes(blob[:cut])
+        with pytest.raises(TraceTruncatedError) as info:
+            TraceDocument.load(path)
+        # The error names the file and says what is wrong with it.
+        assert str(path) in str(info.value)
+
+
+def test_interrupted_capture_keeps_replaying_after_repair(tmp_path):
+    """Rewriting the full bytes restores a loadable, replayable trace --
+    the detection is about file integrity, not a one-way poison flag."""
+    from repro.replay import ReplayEngine
+
+    path = _captured_trace(tmp_path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(TraceTruncatedError):
+        TraceDocument.load(path)
+    path.write_bytes(blob)
+    outcome = ReplayEngine.from_file(path).replay()
+    assert outcome.result.debug_words == [45]
