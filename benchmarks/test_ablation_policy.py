@@ -6,7 +6,6 @@ sketches priority-based structures as future work. This bench races the
 three implemented policies across a benchmark subset.
 """
 
-import pytest
 from conftest import once
 
 from repro.bench import get_benchmark

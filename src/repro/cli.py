@@ -15,6 +15,7 @@
     python -m repro faults sweep --seed 1             # intermittent power
     python -m repro replay capture crc                # trace-capture a run
     python -m repro replay sweep crc                  # replay an ablation grid
+    python -m repro sweep run --preset difftest --jobs 4   # sharded campaigns
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,
@@ -28,7 +29,9 @@ subcommand writes/compares ``BENCH_<n>.json`` performance snapshots
 intermittent-power fault campaigns (see :mod:`repro.faults.cli`); the
 ``replay`` subcommand captures canonical event traces and replays
 ablation grids through the cache/cost/energy models at a fraction of
-the wall clock (see :mod:`repro.replay.cli`).
+the wall clock (see :mod:`repro.replay.cli`); the ``sweep`` subcommand
+runs sharded, resumable configuration-matrix campaigns on a worker
+pool (see :mod:`repro.sweep.cli`).
 
 ``--max-cycles`` arms a cycle watchdog: a run that exceeds the budget
 is reported as a first-class DNF (exit status 2) instead of spinning to
@@ -171,6 +174,10 @@ def main(argv=None, out=sys.stdout):
         from repro.replay.cli import main as replay_main
 
         return replay_main(argv[1:], out=out)
+    if argv and argv[0] == "sweep":
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()

@@ -34,7 +34,7 @@ out of the section sizes.
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.asm.ast import DataItem, Function, Label, Program
+from repro.asm.ast import DataItem, Label
 from repro.core.costs import RuntimeCostModel
 from repro.isa.encoding import instruction_length
 from repro.isa.instructions import Instruction

@@ -61,6 +61,20 @@ def _parser():
         default=200,
         help="max differential runs the shrinker may spend per divergence",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the seeds across N worker processes via the sweep "
+        "engine (divergent seeds are then re-run inline for shrinking)",
+    )
+    parser.add_argument(
+        "--build-cache",
+        default=None,
+        metavar="DIR",
+        help="persist compiled programs under DIR across runs "
+        "(same as REPRO_BUILD_CACHE)",
+    )
     return parser
 
 
@@ -147,33 +161,83 @@ def shrink_divergence(report, program, budget=200, fault=None, configs=None):
     return shrink(program, still_fails, max_predicate_calls=budget)
 
 
+def _investigate(args, seed, program, report, out):
+    """The divergence pipeline: shrink, write a reproducer, trace it."""
+    note = ""
+    if not args.no_shrink and report.divergences[0].kind != "generator":
+        shrunk = shrink_divergence(report, program, budget=args.shrink_budget)
+        note = shrink_report(program, shrunk)
+        print(f"  {note}", file=out)
+        program = shrunk
+    path = write_reproducer(args.results_dir, report, program, note)
+    print(f"  reproducer: {path}", file=out)
+    trace_path = dump_divergence_trace(args.results_dir, report, program)
+    if trace_path is not None:
+        print(f"  trace: {trace_path}", file=out)
+
+
+def _pooled_seeds(args, out):
+    """The ``--jobs N`` path: one sweep-engine unit per seed.
+
+    Divergent seeds come back as flags only; each one is then re-run
+    inline so the shrink/reproducer/trace pipeline sees a live report.
+    """
+    from repro.sweep import CampaignStore, difftest_campaign, run_campaign
+    from repro.sweep.config import unit_key
+
+    config = difftest_campaign(
+        seed=args.seed, count=args.count, size=args.size, quick=args.quick
+    )
+    outcome = run_campaign(config, jobs=args.jobs)
+    if not outcome.complete:
+        raise RuntimeError(
+            f"difftest campaign incomplete ({outcome.pending} units "
+            f"pending); resume with: python -m repro sweep resume "
+            f"{outcome.directory}"
+        )
+    store = CampaignStore(outcome.directory)
+    for seed in range(args.seed, args.seed + args.count):
+        spec = dict(config.params)
+        spec.update({"kind": "difftest", "seed": seed})
+        record = store.read_unit(unit_key(spec))
+        if record["status"] != "ok":
+            raise RuntimeError(
+                f"seed {seed} unit failed: {record['result'].get('error')}"
+            )
+        yield seed, record["result"]
+
+
 def main(argv=None, out=sys.stdout):
     args = _parser().parse_args(argv)
+    if args.build_cache is not None:
+        from repro.toolchain import BUILD_CACHE
+
+        BUILD_CACHE.attach_disk(args.build_cache)
     configs = quick_matrix() if args.quick else full_matrix()
 
     failures = 0
-    for seed in range(args.seed, args.seed + args.count):
-        program = generate_program(seed, size=args.size)
-        report = run_differential(program, configs)
-        print(report.summary(), file=out)
-        for anomaly in report.anomalies:
-            print(f"  note: {anomaly}", file=out)
-        if report.ok:
-            continue
-        failures += 1
-        note = ""
-        if not args.no_shrink and report.divergences[0].kind != "generator":
-            shrunk = shrink_divergence(
-                report, program, budget=args.shrink_budget
-            )
-            note = shrink_report(program, shrunk)
-            print(f"  {note}", file=out)
-            program = shrunk
-        path = write_reproducer(args.results_dir, report, program, note)
-        print(f"  reproducer: {path}", file=out)
-        trace_path = dump_divergence_trace(args.results_dir, report, program)
-        if trace_path is not None:
-            print(f"  trace: {trace_path}", file=out)
+    if args.jobs > 1:
+        for seed, payload in _pooled_seeds(args, out):
+            print(payload["summary"], file=out)
+            for anomaly in payload["anomalies"]:
+                print(f"  note: {anomaly}", file=out)
+            if payload["ok"]:
+                continue
+            failures += 1
+            program = generate_program(seed, size=args.size)
+            report = run_differential(program, configs)
+            _investigate(args, seed, program, report, out)
+    else:
+        for seed in range(args.seed, args.seed + args.count):
+            program = generate_program(seed, size=args.size)
+            report = run_differential(program, configs)
+            print(report.summary(), file=out)
+            for anomaly in report.anomalies:
+                print(f"  note: {anomaly}", file=out)
+            if report.ok:
+                continue
+            failures += 1
+            _investigate(args, seed, program, report, out)
 
     print(
         f"difftest: {args.count} seeds, {failures} with divergences",

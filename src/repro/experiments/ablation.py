@@ -30,14 +30,21 @@ def _sweep_row(cache_size, baseline, result, stats):
 
 
 def cache_size_sweep(benchmark_name, cache_sizes, frequency_mhz=24,
-                     engine="execute"):
+                     engine="execute", jobs=1):
     """Run SwapRAM with each cache size; returns rows vs the baseline.
 
     ``engine="replay"`` captures the benchmark once through the real
     CPU and replays the event stream per cache size -- bit-identical
     rows (the cache limit is a free replay dimension for SwapRAM, see
     :mod:`repro.replay.validity`) at a fraction of the wall clock.
+    ``jobs > 1`` shards the sizes across a sweep-engine worker pool;
+    the rows come back in ``cache_sizes`` order and match ``jobs=1``
+    exactly.
     """
+    if jobs > 1:
+        return _cache_size_sweep_pooled(
+            benchmark_name, cache_sizes, frequency_mhz, engine, jobs
+        )
     bench = get_benchmark(benchmark_name)
     plan = PLANS["unified"]
     baseline = build_baseline(bench.source, plan, frequency_mhz).run()
@@ -70,6 +77,42 @@ def cache_size_sweep(benchmark_name, cache_sizes, frequency_mhz=24,
         assert result.debug_words == bench.expected
         rows.append(_sweep_row(cache_size, baseline, result, system.stats))
     return rows
+
+
+def _cache_size_sweep_pooled(benchmark_name, cache_sizes, frequency_mhz,
+                             engine, jobs):
+    """The ``jobs > 1`` path: one sweep-engine unit per cache size."""
+    import shutil
+    import tempfile
+
+    from repro.sweep import CampaignStore, cache_size_campaign, run_campaign
+    from repro.sweep.config import unit_key
+
+    config = cache_size_campaign(
+        benchmark_name, cache_sizes, frequency_mhz=frequency_mhz, engine=engine
+    )
+    root = tempfile.mkdtemp(prefix="cache-size-sweep-")
+    try:
+        outcome = run_campaign(config, root=root, jobs=jobs)
+        if not outcome.complete:
+            raise RuntimeError(
+                f"cache-size sweep incomplete ({outcome.pending} units pending)"
+            )
+        store = CampaignStore(outcome.directory)
+        rows = []
+        for cache_size in cache_sizes:
+            spec = dict(config.params)
+            spec.update({"kind": "cache_size", "cache_bytes": cache_size})
+            record = store.read_unit(unit_key(spec))
+            if record["status"] != "ok":
+                raise RuntimeError(
+                    f"{benchmark_name}@{cache_size}: "
+                    f"{record['result'].get('error')}"
+                )
+            rows.append(record["result"])
+        return rows
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 def hw_cache_sweep(benchmark_name, line_counts, frequency_mhz=24):

@@ -37,7 +37,6 @@ from repro.faults.harness import (
     benchmark_target,
     difftest_target,
     run_case,
-    summarize,
 )
 from repro.faults.schedule import ScheduleError, parse_schedule
 from repro.metrics.registry import MetricsRegistry
@@ -114,6 +113,20 @@ def _parser():
         default="results/faults",
         help="report directory (default: results/faults)",
     )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the matrix across N worker processes via the sweep "
+        "engine (the report stays byte-identical to --jobs 1)",
+    )
+    sweep.add_argument(
+        "--build-cache",
+        default=None,
+        metavar="DIR",
+        help="persist compiled programs under DIR across runs "
+        "(same as REPRO_BUILD_CACHE)",
+    )
 
     replay.add_argument("--benchmark", help="benchmark name to replay")
     replay.add_argument(
@@ -145,8 +158,8 @@ def _sweep_targets(args):
     return targets
 
 
-def run_sweep(args, out):
-    _check_schedules(args.schedules)
+def _serial_cases(args):
+    """The case dicts and summed metrics, via the serial FaultSweep."""
     metrics = MetricsRegistry()
     sweep = FaultSweep(
         seed=args.seed,
@@ -156,28 +169,133 @@ def run_sweep(args, out):
         metrics=metrics,
     )
     reports = sweep.run(_sweep_targets(args), args.schedules)
-    summary = summarize(reports)
+    return [report.as_dict() for report in reports], metrics.as_dict()
+
+
+def _parallel_cases(args, out):
+    """The same case dicts via the sweep engine's worker pool.
+
+    Units land in the sweep store under their content-addressed keys;
+    this reassembles them in the serial iteration order (targets outer,
+    schedules inner) and sums the per-case counters, so the final
+    report is byte-identical to the ``--jobs 1`` document.
+    """
+    from repro.sweep import CampaignStore, fault_campaign, run_campaign, unit_key
+
+    config = fault_campaign(
+        benchmarks=args.benchmarks,
+        systems=args.systems,
+        schedules=args.schedules,
+        difftest_seeds=args.difftest_seeds,
+        seed=args.seed,
+        recovery=args.recovery,
+        scale=args.scale,
+        max_reboots=args.max_reboots,
+        max_instructions=args.max_instructions,
+    )
+    outcome = run_campaign(
+        config, jobs=args.jobs, progress=lambda line: print(line, file=out)
+    )
+    if not outcome.complete:
+        raise RuntimeError(
+            f"fault campaign incomplete ({outcome.pending} units pending); "
+            f"resume with: python -m repro sweep resume {outcome.directory}"
+        )
+    store = CampaignStore(outcome.directory)
+    labels = [f"bench:{name}" for name in args.benchmarks]
+    labels += [f"difftest:{seed}" for seed in args.difftest_seeds]
+    cases, totals = [], {}
+    for label in labels:
+        for system in args.systems:
+            for schedule in args.schedules:
+                spec = dict(config.params)
+                spec.update(
+                    {
+                        "kind": "fault",
+                        "target": label,
+                        "system": system,
+                        "schedule": schedule,
+                    }
+                )
+                record = store.read_unit(unit_key(spec))
+                if record["status"] != "ok":
+                    raise RuntimeError(
+                        f"unit {unit_key(spec)} ({label} {system} {schedule}) "
+                        f"failed: {record['result'].get('error')}"
+                    )
+                payload = record["result"]
+                cases.append(payload["case"])
+                for name, metric in payload["metrics"].items():
+                    totals[name] = _merge_metric(totals.get(name), metric)
+    return cases, {name: totals[name] for name in sorted(totals)}
+
+
+def _merge_metric(total, metric):
+    """Fold one case's metric into the campaign total.
+
+    Reproduces what one shared registry would have accumulated across
+    the serial sweep: counters and histogram moments sum, gauges keep
+    the last write (cases are folded in serial order), means are
+    re-derived from the merged moments.
+    """
+    if total is None:
+        return dict(metric)
+    kind = metric["type"]
+    if kind == "counter":
+        total["value"] += metric["value"]
+    elif kind == "gauge":
+        total["value"] = metric["value"]
+    elif kind == "histogram":
+        total["count"] += metric["count"]
+        total["sum"] += metric["sum"]
+        for bound, pick in (("min", min), ("max", max)):
+            if metric[bound] is not None:
+                total[bound] = (
+                    metric[bound]
+                    if total[bound] is None
+                    else pick(total[bound], metric[bound])
+                )
+        total["mean"] = total["sum"] / total["count"] if total["count"] else 0.0
+    else:
+        raise RuntimeError(f"cannot merge metric type {kind!r}")
+    return total
+
+
+def run_sweep(args, out):
+    _check_schedules(args.schedules)
+    if args.build_cache is not None:
+        from repro.toolchain import BUILD_CACHE
+
+        BUILD_CACHE.attach_disk(args.build_cache)
+    if args.jobs > 1:
+        cases, metrics = _parallel_cases(args, out)
+    else:
+        cases, metrics = _serial_cases(args)
+    summary = {"correct": 0, "wrong-result": 0, "crash": 0, "livelock": 0}
+    for case in cases:
+        summary[case["classification"]] = summary.get(case["classification"], 0) + 1
 
     document = {
         "seed": args.seed,
         "recovery": args.recovery,
         "schedules": list(args.schedules),
         "summary": summary,
-        "metrics": metrics.as_dict(),
-        "cases": [report.as_dict() for report in reports],
+        "metrics": metrics,
+        "cases": cases,
     }
     directory = Path(args.out)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"sweep-seed{args.seed}.json"
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
 
-    width = max(len(r.target.name) for r in reports) if reports else 10
-    for report in reports:
-        window = f" [{report.resolved_window}]" if report.resolved_window else ""
+    names = [f"{c['label']}/{c['system']}/{c['plan']}" for c in cases]
+    width = max(len(name) for name in names) if names else 10
+    for name, case in zip(names, cases):
+        window = case.get("resolved_window")
         print(
-            f"{report.target.name:<{width}}  {report.schedule:<20} "
-            f"{report.classification:<12} reboots={report.power_cycles}"
-            f"{window}",
+            f"{name:<{width}}  {case['schedule']:<20} "
+            f"{case['classification']:<12} reboots={case['power_cycles']}"
+            + (f" [{window}]" if window else ""),
             file=out,
         )
     print(

@@ -15,8 +15,6 @@ from repro.isa.instructions import (
 )
 from repro.isa.operands import (
     AddressingMode,
-    Operand,
-    Sym,
     absolute,
     autoinc,
     imm,

@@ -11,7 +11,6 @@ window. It can be attached and detached at any point during a run.
 from collections import deque
 from dataclasses import dataclass
 
-from repro.machine.memory import RegionKind
 from repro.machine.trace import FETCH, READ, WRITE
 
 

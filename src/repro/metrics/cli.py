@@ -79,6 +79,22 @@ def _parser():
         "in the current directory)",
     )
     snapshot.add_argument(
+        "--parallel-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also time the first benchmark's ablation grid through the "
+        "sweep engine serial vs N workers (the snapshot's "
+        "parallel_sweep section)",
+    )
+    snapshot.add_argument(
+        "--build-cache",
+        default=None,
+        metavar="DIR",
+        help="persist compiled programs under DIR so warm re-runs "
+        "perform zero compiles (same as REPRO_BUILD_CACHE)",
+    )
+    snapshot.add_argument(
         "--quiet", action="store_true", help="no per-run progress lines"
     )
 
@@ -138,6 +154,10 @@ def main(argv=None, out=sys.stdout):
     args = parser.parse_args(argv)
 
     if args.command == "snapshot":
+        if args.build_cache is not None:
+            from repro.toolchain import BUILD_CACHE
+
+            BUILD_CACHE.attach_disk(args.build_cache)
         progress = None
         if not args.quiet:
             progress = lambda label: print(f"measuring {label} ...", file=out)
@@ -147,6 +167,7 @@ def main(argv=None, out=sys.stdout):
             plan_name=args.plan,
             frequency_mhz=args.mhz,
             scale=args.scale,
+            parallel_jobs=args.parallel_jobs,
             progress=progress,
         )
         problems = validate_snapshot(snapshot)

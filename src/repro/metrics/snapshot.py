@@ -287,6 +287,95 @@ def measure_replay_grid(
     }
 
 
+def measure_parallel_sweep(
+    benchmark,
+    jobs=4,
+    plan_name="unified",
+    frequency_mhz=24,
+    scale=1,
+    policies=REPLAY_GRID_POLICIES,
+    cache_limits=REPLAY_GRID_LIMITS,
+):
+    """Time one compare-execute replay campaign serial vs sharded.
+
+    Captures the benchmark's trace once into a shared store, then runs
+    the same policy × cache-limit campaign twice through the sweep
+    engine -- ``jobs=1`` and ``jobs=N`` -- in separate roots, asserting
+    the merged documents byte-identical before the timings are trusted.
+    This is the snapshot's ``parallel_sweep`` section; ``cpu_count`` is
+    recorded because the speedup is only meaningful with free cores
+    (CI asserts >= 2x on multi-core runners and skips the assertion on
+    single-CPU hosts).
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.replay import capture_source
+    from repro.replay.store import TraceStore
+    from repro.sweep import replay_campaign, run_campaign
+
+    program = get_benchmark(benchmark, scale=scale)
+    root = tempfile.mkdtemp(prefix="parallel-sweep-")
+    try:
+        trace_dir = str(Path(root) / "traces")
+        document, _, _ = capture_source(
+            program.source,
+            system="swapram",
+            plan_name=plan_name,
+            frequency_mhz=frequency_mhz,
+            scale=scale,
+            benchmark=benchmark,
+        )
+        TraceStore(trace_dir).save(document)
+        config = replay_campaign(
+            benchmark,
+            policies=policies,
+            cache_limits=cache_limits,
+            plan=plan_name,
+            frequency_mhz=frequency_mhz,
+            scale=scale,
+            compare_execute=True,
+            trace_store=trace_dir,
+        )
+        serial = run_campaign(config, root=str(Path(root) / "serial"), jobs=1)
+        parallel = run_campaign(
+            config, root=str(Path(root) / "parallel"), jobs=jobs
+        )
+        if serial.failed or parallel.failed or not (
+            serial.complete and parallel.complete
+        ):
+            raise AssertionError(
+                f"{benchmark}: parallel sweep campaign did not complete clean"
+            )
+        identical = (
+            Path(serial.merged_path).read_bytes()
+            == Path(parallel.merged_path).read_bytes()
+        )
+        if not identical:
+            raise AssertionError(
+                f"{benchmark}: jobs={jobs} merged document differs from serial"
+            )
+        return {
+            "benchmark": benchmark,
+            "plan": plan_name,
+            "cells": serial.total,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count() or 1,
+            "serial_s": serial.pool.wall_s,
+            "parallel_s": parallel.pool.wall_s,
+            "speedup": (
+                serial.pool.wall_s / parallel.pool.wall_s
+                if parallel.pool.wall_s
+                else 0.0
+            ),
+            "utilization": parallel.pool.utilization,
+            "bit_identical": identical,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def take_snapshot(
     benchmarks=QUICK_NAMES,
     systems=DEFAULT_SYSTEMS,
@@ -294,6 +383,7 @@ def take_snapshot(
     frequency_mhz=24,
     scale=1,
     max_instructions=80_000_000,
+    parallel_jobs=None,
     progress=None,
 ):
     """Run the benchmark × system matrix; returns the snapshot document.
@@ -302,7 +392,9 @@ def take_snapshot(
     a ``replay_grid`` section: the first benchmark's full policy ×
     cache-limit ablation grid timed via replay (reusing that
     benchmark's captured trace) and via execution, each cell asserted
-    bit-identical.
+    bit-identical. With *parallel_jobs* set, a ``parallel_sweep``
+    section times the same grid through the sweep engine serial vs
+    sharded (see :func:`measure_parallel_sweep`).
     """
     runs = []
     grid = None
@@ -359,6 +451,16 @@ def take_snapshot(
     }
     if grid is not None:
         document["replay_grid"] = grid
+    if parallel_jobs is not None:
+        if progress is not None:
+            progress(f"{benchmarks[0]}/parallel-sweep x{parallel_jobs}")
+        document["parallel_sweep"] = measure_parallel_sweep(
+            benchmarks[0],
+            jobs=parallel_jobs,
+            plan_name=plan_name,
+            frequency_mhz=frequency_mhz,
+            scale=scale,
+        )
     return document
 
 

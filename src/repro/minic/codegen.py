@@ -21,10 +21,10 @@ materialisation) with correct signed/unsigned jump selection.
 from repro.asm.ast import BSS, DATA, RODATA, DataItem, Label, Program
 from repro.isa.instructions import Instruction, expand_emulated
 from repro.isa.operands import Sym, absolute, imm, indexed, indirect, reg
-from repro.isa.registers import PC, SP
+from repro.isa.registers import SP
 from repro.machine.memory import DEBUG_OUT_PORT, HALT_PORT, PUTC_PORT
 from repro.minic import cast
-from repro.minic.cast import CHAR, INT, UINT, CType
+from repro.minic.cast import CHAR, INT, UINT
 from repro.minic.cparser import parse_c
 from repro.minic.runtime_lib import HELPER_NAMES, runtime_library_functions
 

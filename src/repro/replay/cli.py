@@ -170,6 +170,13 @@ def _parser():
         help="fully execute every cell too: require bit-identical totals "
         "and report the measured speedup",
     )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the grid cells across N worker processes via the "
+        "sweep engine (benchmark programs only)",
+    )
     _common(sweep)
 
     listing = commands.add_parser("list", help="show the trace store index")
@@ -235,6 +242,86 @@ def _print_outcome(outcome, out, stats=False):
 def _cell_label(policy, limit):
     limit_text = "uncapped" if limit is None else str(limit)
     return f"{policy or '-'}/{limit_text}"
+
+
+def _pooled_sweep(args, benchmark, limits, out):
+    """The ``--jobs N`` sweep path: one sweep-engine unit per cell.
+
+    The trace is already in the store (the caller captured it), so
+    every worker loads rather than re-captures. Cells print in grid
+    order regardless of completion order.
+    """
+    from repro.sweep import CampaignStore, replay_campaign, run_campaign
+    from repro.sweep.config import unit_key
+
+    config = replay_campaign(
+        benchmark,
+        policies=args.policies,
+        cache_limits=limits,
+        plan=args.plan,
+        frequency_mhz=args.mhz,
+        scale=args.scale,
+        compare_execute=args.compare_execute,
+        trace_store=args.store,
+    )
+    outcome = run_campaign(config, jobs=args.jobs)
+    if not outcome.complete:
+        print(
+            f"sweep incomplete ({outcome.pending} units pending); resume "
+            f"with: python -m repro sweep resume {outcome.directory}",
+            file=out,
+        )
+        return 2
+    store = CampaignStore(outcome.directory)
+    rows = []
+    mismatches = 0
+    for policy in args.policies:
+        for limit in limits:
+            spec = dict(config.params)
+            spec.update({"kind": "replay", "policy": policy, "cache_limit": limit})
+            record = store.read_unit(unit_key(spec))
+            if record["status"] != "ok":
+                print(
+                    f"{_cell_label(policy, limit)}: "
+                    f"{record['result'].get('error')}",
+                    file=out,
+                )
+                return 2
+            payload = record["result"]
+            for problem in payload.get("mismatches", ()):
+                print(f"MISMATCH {_cell_label(policy, limit)} {problem}", file=out)
+            if payload.get("bit_identical") is False:
+                mismatches += len(payload.get("mismatches", ()))
+            rows.append((policy, limit, payload))
+
+    print(
+        f"{'config':<18}{'cycles':>12}{'stalls':>10}{'misses':>8}"
+        f"{'evicts':>8}{'energy uJ':>11}",
+        file=out,
+    )
+    for policy, limit, payload in rows:
+        result, stats = payload["result"], payload["stats"]
+        print(
+            f"{_cell_label(policy, limit):<18}"
+            f"{result['total_cycles']:>12}"
+            f"{result['stall_cycles']:>10}"
+            f"{stats['misses']:>8}{stats['evictions']:>8}"
+            f"{result['energy_nj'] / 1000:>11.2f}",
+            file=out,
+        )
+    pool = outcome.pool
+    summary = (
+        f"swept {len(rows)} configs in {pool.wall_s:.2f}s "
+        f"across {args.jobs} workers"
+    )
+    if args.compare_execute:
+        if mismatches:
+            print(summary, file=out)
+            print(f"FAILED: {mismatches} mismatched totals", file=out)
+            return 1
+        summary += "; all cells bit-identical with full execution"
+    print(summary, file=out)
+    return 0
 
 
 def main(argv=None, out=sys.stdout):
@@ -345,6 +432,11 @@ def main(argv=None, out=sys.stdout):
         )
     else:
         print(f"reusing trace: {store.path_for(document.header)}", file=out)
+
+    if args.jobs > 1:
+        if benchmark is None:
+            parser.error("--jobs > 1 needs a benchmark-name program")
+        return _pooled_sweep(args, benchmark, limits, out)
 
     engine = ReplayEngine(document)
     rows = []

@@ -55,7 +55,7 @@ from repro.machine.memory import (
     RegionKind,
 )
 from repro.machine.trace import FETCH, READ, WRITE, Attribution
-from repro.replay.capture import BASELINE, BLOCK, SWAPRAM
+from repro.replay.capture import BLOCK, SWAPRAM
 from repro.replay.schema import (
     ACC_BYTE,
     ACC_WRITE,

@@ -1,0 +1,52 @@
+"""Sharded, resumable experiment campaigns (``repro sweep``).
+
+A campaign is a declarative config matrix expanded into
+content-addressed work units, executed on a multiprocess worker pool,
+and merged into a bit-reproducible JSON document under
+``results/sweeps/<campaign-id>/``. See ``docs/sweep.md``.
+"""
+
+from repro.sweep.campaigns import (
+    PRESETS,
+    cache_size_campaign,
+    difftest_campaign,
+    fault_campaign,
+    matrix_campaign,
+    replay_campaign,
+)
+from repro.sweep.config import (
+    CampaignConfig,
+    ConfigError,
+    campaign_id,
+    canonical_json,
+    unit_key,
+)
+from repro.sweep.engine import CampaignOutcome, resume_campaign, run_campaign
+from repro.sweep.pool import PoolStats, UnitOutcome, WorkerPool
+from repro.sweep.store import DEFAULT_ROOT, CampaignStore, StoreError
+from repro.sweep.units import execute_unit, reset_caches
+
+__all__ = [
+    "DEFAULT_ROOT",
+    "PRESETS",
+    "CampaignConfig",
+    "CampaignOutcome",
+    "CampaignStore",
+    "ConfigError",
+    "PoolStats",
+    "StoreError",
+    "UnitOutcome",
+    "WorkerPool",
+    "cache_size_campaign",
+    "campaign_id",
+    "canonical_json",
+    "difftest_campaign",
+    "execute_unit",
+    "fault_campaign",
+    "matrix_campaign",
+    "replay_campaign",
+    "reset_caches",
+    "resume_campaign",
+    "run_campaign",
+    "unit_key",
+]

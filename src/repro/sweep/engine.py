@@ -1,0 +1,158 @@
+"""Campaign orchestration: expand, skip done, execute, merge.
+
+``run_campaign`` is the one entry point every consumer uses (the
+``repro sweep`` CLI, ``repro faults sweep --jobs``, the ablation
+helpers, the bench snapshot's ``parallel_sweep`` section). It expands
+the config into content-addressed units, skips the ones whose result
+files already exist -- which is all "resume" means -- runs the rest on
+a :class:`~repro.sweep.pool.WorkerPool`, and merges the store into a
+bit-reproducible ``merged.json`` once every unit is done.
+
+Interruption is therefore not an error path: SIGKILL the orchestrator,
+lose a worker, or stop early with *max_units*, and the store holds
+exactly the completed units; running the same campaign again finishes
+the remainder and produces a merged document byte-identical to one
+uninterrupted run (``tests/test_sweep_engine.py`` and the CI
+``sweep-smoke`` job both enforce this).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sweep.config import SCHEMA, campaign_id
+from repro.sweep.pool import PoolStats, WorkerPool
+from repro.sweep.store import DEFAULT_ROOT, CampaignStore
+
+
+@dataclass
+class CampaignOutcome:
+    """What one ``run_campaign`` call did and found."""
+
+    campaign: str
+    directory: object  # Path of the campaign store
+    total: int
+    cached: int  # units already done before this run
+    executed: int  # units completed by this run (ok/error/timeout)
+    failed: int
+    timeouts: int
+    lost: list  # unit keys whose workers died; still pending
+    pending: int  # units not done when this run ended
+    complete: bool
+    merged_path: object = None  # Path once merged
+    pool: PoolStats = field(default=None, repr=False)
+
+    @property
+    def interrupted(self):
+        return not self.complete
+
+
+def run_campaign(
+    config,
+    root=DEFAULT_ROOT,
+    campaign=None,
+    jobs=1,
+    max_units=None,
+    timeout_s=None,
+    metrics=None,
+    progress=None,
+    merge=True,
+):
+    """Run (or resume) *config*; returns a :class:`CampaignOutcome`.
+
+    *campaign* overrides the derived campaign id (CI uses fixed names);
+    *max_units* bounds how many units this invocation executes -- the
+    sanctioned way to interrupt a campaign deterministically;
+    *metrics* is an optional
+    :class:`~repro.metrics.registry.MetricsRegistry` receiving the
+    ``sweep.*`` counters and gauges; *progress* an optional callable
+    receiving one line per finished unit.
+    """
+    units = config.expand()
+    store = CampaignStore.for_config(config, root=root, campaign=campaign)
+    store.initialize(config)
+    done = store.completed_keys()
+    pending = [(key, spec) for key, spec in units if key not in done]
+    to_run = pending if max_units is None else pending[:max_units]
+
+    def on_outcome(outcome):
+        store.write_unit(
+            outcome.key,
+            {
+                "schema": SCHEMA,
+                "key": outcome.key,
+                "spec": outcome.spec,
+                "status": outcome.status,
+                "result": outcome.payload,
+                "host": {"wall_s": outcome.wall_s, "worker": outcome.worker},
+            },
+        )
+        if progress is not None:
+            progress(f"{outcome.status:<8} {outcome.key}  {_label(outcome.spec)}")
+
+    pool = WorkerPool(jobs=jobs, timeout_s=timeout_s)
+    stats = pool.map(to_run, on_outcome)
+
+    now_done = len(done) + stats.completed
+    outcome = CampaignOutcome(
+        campaign=store.directory.name,
+        directory=store.directory,
+        total=len(units),
+        cached=len(done),
+        executed=stats.completed,
+        failed=stats.failed,
+        timeouts=stats.timeouts,
+        lost=list(stats.lost),
+        pending=len(units) - now_done,
+        complete=now_done == len(units),
+        pool=stats,
+    )
+    if metrics is not None:
+        _record_metrics(metrics, outcome, stats)
+    if outcome.complete and merge:
+        outcome.merged_path = store.merge(units)
+    return outcome
+
+
+def resume_campaign(directory, jobs=1, timeout_s=None, metrics=None, progress=None):
+    """Finish an interrupted campaign directory; see ``run_campaign``."""
+    store = CampaignStore(directory)
+    config = store.read_config()
+    return run_campaign(
+        config,
+        root=store.directory.parent,
+        campaign=store.directory.name,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        metrics=metrics,
+        progress=progress,
+    )
+
+
+def _label(spec):
+    """A short human label for progress lines."""
+    parts = [spec.get("kind", "?")]
+    for key in ("benchmark", "target", "seed", "system", "schedule", "policy"):
+        if key in spec:
+            parts.append(f"{key}={spec[key]}")
+    return " ".join(parts)
+
+
+def _record_metrics(metrics, outcome, stats):
+    metrics.counter("sweep.units.total").inc(outcome.total)
+    metrics.counter("sweep.units.cached").inc(outcome.cached)
+    metrics.counter("sweep.units.run").inc(stats.completed)
+    metrics.counter("sweep.units.failed").inc(stats.failed)
+    metrics.counter("sweep.units.timeout").inc(stats.timeouts)
+    metrics.counter("sweep.units.lost").inc(len(stats.lost))
+    metrics.gauge("sweep.pool.jobs").set(stats.jobs)
+    metrics.gauge("sweep.pool.wall_s").set(stats.wall_s)
+    metrics.gauge("sweep.pool.busy_s").set(stats.busy_s)
+    metrics.gauge("sweep.pool.utilization").set(stats.utilization)
+    metrics.gauge("sweep.pool.speedup_vs_serial").set(stats.speedup_vs_serial)
+
+
+__all__ = [
+    "CampaignOutcome",
+    "campaign_id",
+    "resume_campaign",
+    "run_campaign",
+]

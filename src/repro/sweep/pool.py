@@ -1,0 +1,236 @@
+"""The multiprocess worker pool behind the sweep engine.
+
+``--jobs 1`` executes units inline in the calling process -- the
+deterministic serial reference path, no multiprocessing involved.
+``--jobs N`` forks N workers, each owning one duplex pipe; the parent
+dispatches one unit at a time per worker, so it always knows which
+unit every worker holds. That bookkeeping is what makes the two
+failure modes first-class:
+
+* **timeout** -- a unit exceeding ``timeout_s`` gets its worker
+  killed; the unit is *completed* with status ``timeout`` (a DNF-style
+  result, like the experiment runner's watchdog rows) and a
+  replacement worker is forked.
+* **lost worker** -- a worker that dies under the unit (SIGKILL, OOM)
+  surfaces as a pipe EOF. Its unit is *not* completed: it stays
+  pending in the store, the campaign ends incomplete, and a later
+  ``sweep resume`` picks it up. A replacement worker is forked so the
+  rest of the campaign still drains at full width.
+
+Workers are forked (the platform default on Linux), so they inherit
+the parent's imports and in-memory build cache; results come back over
+the pipe as plain data. The parent serializes store writes, so unit
+files never race.
+"""
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_ready
+
+from repro.sweep.units import execute_unit
+
+#: How long the parent blocks in one wait() round; bounds how late a
+#: timeout can fire, not how fast results return (those wake wait()).
+_TICK_S = 0.05
+
+
+@dataclass
+class UnitOutcome:
+    """What the pool reports back for one dispatched unit."""
+
+    key: str
+    spec: dict
+    status: str  # 'ok' | 'error' | 'timeout' | 'lost'
+    payload: dict
+    wall_s: float
+    worker: int  # 0 = inline
+
+
+@dataclass
+class PoolStats:
+    """Aggregate accounting for one ``map`` call."""
+
+    jobs: int
+    wall_s: float = 0.0
+    busy_s: float = 0.0  # sum of per-unit wall clocks (serial estimate)
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    lost: list = field(default_factory=list)  # keys of units lost to dead workers
+
+    @property
+    def utilization(self):
+        """Fraction of the pool's capacity that did unit work."""
+        if not self.wall_s or not self.jobs:
+            return 0.0
+        return min(self.busy_s / (self.wall_s * self.jobs), 1.0)
+
+    @property
+    def speedup_vs_serial(self):
+        """Measured wall clock vs the serial estimate (sum of units)."""
+        return self.busy_s / self.wall_s if self.wall_s else 0.0
+
+
+def _run_one(key, spec):
+    started = time.perf_counter()
+    try:
+        payload = execute_unit(spec)
+        status = "ok"
+    except Exception as error:  # a failed unit is a result, not a crash
+        payload = {"error": f"{type(error).__name__}: {error}"}
+        status = "error"
+    return key, status, payload, time.perf_counter() - started
+
+
+def _worker_main(connection):
+    """Worker loop: receive a unit, execute, send the outcome back."""
+    while True:
+        try:
+            item = connection.recv()
+        except (EOFError, OSError):
+            break
+        if item is None:
+            break
+        connection.send(_run_one(*item))
+
+
+class WorkerPool:
+    """Execute ``(key, spec)`` units across *jobs* processes."""
+
+    def __init__(self, jobs=1, timeout_s=None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+
+    def map(self, units, on_outcome):
+        """Run every unit, calling *on_outcome* as each one finishes.
+
+        Returns :class:`PoolStats`. Units lost to dead workers are
+        reported in ``stats.lost`` and never reach *on_outcome* -- the
+        caller's store must treat them as still pending.
+        """
+        started = time.perf_counter()
+        stats = PoolStats(jobs=self.jobs)
+        if self.jobs == 1:
+            self._map_inline(units, on_outcome, stats)
+        else:
+            self._map_forked(units, on_outcome, stats)
+        stats.wall_s = time.perf_counter() - started
+        return stats
+
+    def _record(self, outcome, on_outcome, stats):
+        stats.busy_s += outcome.wall_s
+        stats.completed += 1
+        if outcome.status == "error":
+            stats.failed += 1
+        elif outcome.status == "timeout":
+            stats.timeouts += 1
+        on_outcome(outcome)
+
+    def _map_inline(self, units, on_outcome, stats):
+        for key, spec in units:
+            key, status, payload, wall_s = _run_one(key, spec)
+            outcome = UnitOutcome(key, spec, status, payload, wall_s, worker=0)
+            self._record(outcome, on_outcome, stats)
+
+    # -- forked path -------------------------------------------------------
+
+    def _spawn(self, context):
+        parent_end, worker_end = context.Pipe()
+        process = context.Process(target=_worker_main, args=(worker_end,), daemon=True)
+        process.start()
+        worker_end.close()  # the parent only keeps its own end
+        return {"process": process, "conn": parent_end, "unit": None}
+
+    def _map_forked(self, units, on_outcome, stats):
+        context = multiprocessing.get_context("fork")
+        pending = list(units)
+        next_id = 0
+        workers = {}
+        for _ in range(min(self.jobs, len(pending))):
+            workers[next_id] = self._spawn(context)
+            next_id += 1
+        try:
+            while pending or any(w["unit"] for w in workers.values()):
+                for wid, worker in list(workers.items()):
+                    if worker["unit"] is None and pending:
+                        key, spec = pending.pop(0)
+                        try:
+                            worker["conn"].send((key, spec))
+                        except (BrokenPipeError, OSError):
+                            # Worker died while idle; replace it and let
+                            # the next round dispatch the unit again.
+                            pending.insert(0, (key, spec))
+                            workers[wid] = self._spawn(context)
+                            continue
+                        worker["unit"] = (key, spec, time.perf_counter())
+                if not any(w["unit"] for w in workers.values()):
+                    if pending:
+                        continue  # freshly respawned workers take these
+                    break
+                ready = _wait_ready(
+                    [w["conn"] for w in workers.values() if w["unit"]],
+                    timeout=_TICK_S,
+                )
+                for connection in ready:
+                    wid = next(i for i, w in workers.items() if w["conn"] is connection)
+                    self._collect(wid, workers, context, on_outcome, stats)
+                self._reap_timeouts(workers, context, on_outcome, stats)
+        finally:
+            for worker in workers.values():
+                if worker["process"].is_alive():
+                    try:
+                        worker["conn"].send(None)
+                    except (BrokenPipeError, OSError):
+                        pass
+            for worker in workers.values():
+                worker["process"].join(timeout=2.0)
+                if worker["process"].is_alive():
+                    worker["process"].terminate()
+                worker["conn"].close()
+
+    def _collect(self, wid, workers, context, on_outcome, stats):
+        worker = workers[wid]
+        key, spec, _dispatched = worker["unit"]
+        try:
+            result_key, status, payload, wall_s = worker["conn"].recv()
+        except (EOFError, OSError):
+            # The worker died underneath the unit (SIGKILL/OOM). The
+            # unit stays pending; fork a replacement to keep pool width.
+            stats.lost.append(key)
+            worker["process"].join(timeout=1.0)
+            worker["conn"].close()
+            workers[wid] = self._spawn(context)
+            return
+        worker["unit"] = None
+        outcome = UnitOutcome(result_key, spec, status, payload, wall_s, worker=wid + 1)
+        self._record(outcome, on_outcome, stats)
+
+    def _reap_timeouts(self, workers, context, on_outcome, stats):
+        if self.timeout_s is None:
+            return
+        now = time.perf_counter()
+        for wid, worker in list(workers.items()):
+            if worker["unit"] is None:
+                continue
+            key, spec, dispatched = worker["unit"]
+            if now - dispatched < self.timeout_s:
+                continue
+            worker["process"].terminate()
+            worker["process"].join(timeout=1.0)
+            if worker["process"].is_alive():
+                worker["process"].kill()
+                worker["process"].join(timeout=1.0)
+            worker["conn"].close()
+            workers[wid] = self._spawn(context)
+            outcome = UnitOutcome(
+                key,
+                spec,
+                "timeout",
+                {"error": f"unit exceeded the {self.timeout_s:g}s timeout"},
+                now - dispatched,
+                worker=wid + 1,
+            )
+            self._record(outcome, on_outcome, stats)

@@ -1,0 +1,191 @@
+"""The persistent campaign store under ``results/sweeps/<campaign-id>/``.
+
+Layout::
+
+    results/sweeps/<campaign-id>/
+        campaign.json       # the declarative config + unit count
+        units/<key>.json    # one file per completed unit (atomic writes)
+        merged.json         # deterministic merge of every unit
+
+A unit file is written atomically (temp file + ``os.replace``) the
+moment its unit completes, so an interrupted campaign -- SIGKILL, power
+loss, ``--max-units`` -- leaves only whole results behind and a later
+run picks up exactly the remainder. The merged document contains only
+the deterministic payloads (host wall-clock and worker attribution stay
+in the per-unit files), serialized sorted-key with a trailing newline,
+so two campaigns over the same config produce byte-identical
+``merged.json`` regardless of worker count, completion order or how
+many interruptions happened along the way.
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.sweep.config import SCHEMA, CampaignConfig, campaign_id
+
+DEFAULT_ROOT = Path("results") / "sweeps"
+
+#: Unit record fields that survive into ``merged.json``. Everything
+#: else (``host`` timings, worker ids) is run detail, not result.
+MERGED_FIELDS = ("key", "spec", "status", "result")
+
+
+class StoreError(RuntimeError):
+    """The campaign directory disagrees with the requested config."""
+
+
+def _write_json(path, document):
+    """Atomic sorted-key JSON write (temp file + rename)."""
+    path = Path(path)
+    blob = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=path.parent, prefix=f".{path.name}.", delete=False
+    )
+    try:
+        with handle:
+            handle.write(blob)
+        os.replace(handle.name, path)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+    return path
+
+
+class CampaignStore:
+    """Read/write one campaign directory."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+
+    @classmethod
+    def for_config(cls, config, root=DEFAULT_ROOT, campaign=None):
+        """The store for *config* under *root* (id derived unless given)."""
+        return cls(Path(root) / (campaign or campaign_id(config)))
+
+    @property
+    def config_path(self):
+        return self.directory / "campaign.json"
+
+    @property
+    def units_dir(self):
+        return self.directory / "units"
+
+    @property
+    def merged_path(self):
+        return self.directory / "merged.json"
+
+    def initialize(self, config):
+        """Create the layout; verify the config when resuming.
+
+        A campaign directory is bound to one config forever: reusing it
+        with a different matrix would mix incompatible unit sets, so
+        that is a :class:`StoreError`, not a silent overwrite.
+        """
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": SCHEMA,
+            "id": self.directory.name,
+            "config": config.as_dict(),
+            "total_units": config.total_units,
+        }
+        if self.config_path.is_file():
+            existing = json.loads(self.config_path.read_text())
+            if existing.get("config") != document["config"]:
+                raise StoreError(
+                    f"{self.directory} already holds a different campaign "
+                    f"config; use a fresh --id or root"
+                )
+            return
+        _write_json(self.config_path, document)
+
+    def read_config(self):
+        """The stored :class:`CampaignConfig` (for status/resume/merge)."""
+        if not self.config_path.is_file():
+            raise StoreError(f"{self.directory} has no campaign.json")
+        document = json.loads(self.config_path.read_text())
+        return CampaignConfig.from_dict(document["config"])
+
+    # -- units -------------------------------------------------------------
+
+    def unit_path(self, key):
+        return self.units_dir / f"{key}.json"
+
+    def write_unit(self, key, record):
+        return _write_json(self.unit_path(key), record)
+
+    def read_unit(self, key):
+        return json.loads(self.unit_path(key).read_text())
+
+    def completed_keys(self):
+        """Keys with a valid unit file; corrupt files are discarded.
+
+        A torn write cannot happen (writes are atomic), but a unit file
+        may still be half-formed if a previous run died inside the JSON
+        encoder's temp file cleanup path -- treating anything unreadable
+        as not-done keeps resume safe.
+        """
+        done = set()
+        if not self.units_dir.is_dir():
+            return done
+        for path in self.units_dir.glob("*.json"):
+            try:
+                json.loads(path.read_text())
+            except json.JSONDecodeError:
+                path.unlink(missing_ok=True)
+                continue
+            done.add(path.stem)
+        return done
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, units, partial=False):
+        """Write ``merged.json`` from completed unit files.
+
+        *units* is the campaign expansion (``(key, spec)`` pairs); the
+        merged document lists units in expansion order with only their
+        deterministic fields. Missing units raise unless *partial*.
+        """
+        rows = []
+        missing = []
+        for key, spec in units:
+            if not self.unit_path(key).is_file():
+                missing.append(key)
+                continue
+            record = self.read_unit(key)
+            rows.append({field: record.get(field) for field in MERGED_FIELDS})
+        if missing and not partial:
+            raise StoreError(
+                f"{len(missing)} of {len(units)} units incomplete "
+                f"(first missing: {missing[0]}); resume the campaign "
+                f"or merge with partial=True"
+            )
+        summary = {}
+        for row in rows:
+            summary[row["status"]] = summary.get(row["status"], 0) + 1
+        document = {
+            "schema": SCHEMA,
+            "id": self.directory.name,
+            "campaign": json.loads(self.config_path.read_text())["config"],
+            "complete": not missing,
+            "summary": summary,
+            "units": rows,
+        }
+        return _write_json(self.merged_path, document)
+
+    def status(self, units):
+        """Done/pending/failed counts against the expansion *units*."""
+        done = self.completed_keys()
+        counts = {"total": len(units), "done": 0, "pending": 0}
+        by_status = {}
+        for key, _spec in units:
+            if key not in done:
+                counts["pending"] += 1
+                continue
+            counts["done"] += 1
+            status = self.read_unit(key).get("status", "ok")
+            by_status[status] = by_status.get(status, 0) + 1
+        counts["by_status"] = by_status
+        counts["merged"] = self.merged_path.is_file()
+        return counts

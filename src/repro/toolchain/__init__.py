@@ -16,6 +16,7 @@ from repro.toolchain.linker import (
     measure_sections,
 )
 from repro.toolchain.build import add_startup, build_baseline, compile_program
+from repro.toolchain.cache import BUILD_CACHE, BuildCache, reset_build_cache
 from repro.toolchain.library import (
     LibraryRecoveryError,
     recover_function,
@@ -35,4 +36,7 @@ __all__ = [
     "add_startup",
     "build_baseline",
     "compile_program",
+    "BUILD_CACHE",
+    "BuildCache",
+    "reset_build_cache",
 ]

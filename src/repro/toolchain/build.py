@@ -37,10 +37,22 @@ def add_startup(program):
     return program
 
 
-def compile_program(source):
-    """mini-C source -> assembly Program with startup code attached."""
+def _compile_uncached(source):
     program = compile_c(source)
     return add_startup(program)
+
+
+def compile_program(source):
+    """mini-C source -> assembly Program with startup code attached.
+
+    Routed through the process-global
+    :data:`~repro.toolchain.cache.BUILD_CACHE`: a source seen before
+    (this process, or on disk via ``REPRO_BUILD_CACHE``) returns a
+    private clone of the cached program without re-compiling.
+    """
+    from repro.toolchain.cache import BUILD_CACHE
+
+    return BUILD_CACHE.get(source, _compile_uncached)
 
 
 def build_baseline(source_or_program, plan, frequency_mhz=24, **board_kwargs):

@@ -1,0 +1,139 @@
+"""A content-addressed build cache: each source compiles once, ever.
+
+``compile_program`` routes every str-source build in the repo through
+the process-global :data:`BUILD_CACHE` (the sweep CLI, the bench
+snapshot, the fault and difftest harnesses -- everything that takes
+mini-C text). The cache keys on a SHA-256 of the source, stores the
+pristine post-startup :class:`~repro.asm.ast.Program`, and hands out a
+``clone()`` per use -- the link and transformation passes mutate
+programs, so the cached master must never escape by reference.
+
+A memory map serves one process; attach a disk directory
+(``attach_disk`` or the ``REPRO_BUILD_CACHE`` environment variable) and
+compiled programs persist across processes as pickles, so a warm run
+performs *zero* compiles (``tests/test_toolchain_cache.py`` asserts
+exactly that through the snapshot/fault/difftest entry points). Disk
+records carry a format tag and are written atomically; a corrupt or
+stale record reads as a miss, never an error.
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Bumped whenever the pickled Program layout changes; older records
+#: are silently treated as misses.
+FORMAT = "repro-build-cache/1"
+
+ENV_DISK = "REPRO_BUILD_CACHE"
+
+
+class BuildCache:
+    """Source-hash keyed Program cache with an optional disk layer."""
+
+    def __init__(self, disk=None):
+        self.memory = {}
+        self.disk = Path(disk) if disk is not None else None
+        self.compiles = 0
+        self.hits = 0
+        self.disk_hits = 0
+
+    @staticmethod
+    def key(source):
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def get(self, source, build):
+        """Return a private clone of the compiled *source*.
+
+        *build* is the real compile function, called only on a miss.
+        """
+        key = self.key(source)
+        program = self.memory.get(key)
+        if program is not None:
+            self.hits += 1
+        else:
+            program = self._disk_load(key)
+            if program is not None:
+                self.disk_hits += 1
+            else:
+                self.compiles += 1
+                program = build(source)
+                self._disk_store(key, program)
+            self.memory[key] = program
+        return program.clone()
+
+    def attach_disk(self, directory):
+        """Persist (and look up) compiled programs under *directory*."""
+        self.disk = Path(directory)
+        return self
+
+    def clear(self):
+        """Forget everything, including the counters (tests)."""
+        self.memory.clear()
+        self.compiles = self.hits = self.disk_hits = 0
+
+    def stats(self):
+        return {
+            "compiles": self.compiles,
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "entries": len(self.memory),
+        }
+
+    def record_metrics(self, metrics):
+        """Mirror the counters into a MetricsRegistry as ``build.*``."""
+        metrics.counter("build.compiles").inc(self.compiles)
+        metrics.counter("build.cache_hits").inc(self.hits)
+        metrics.counter("build.disk_hits").inc(self.disk_hits)
+
+    # -- disk layer --------------------------------------------------------
+
+    def _path(self, key):
+        return self.disk / f"{key}.pickle"
+
+    def _disk_load(self, key):
+        if self.disk is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as handle:
+                record = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(record, dict) or record.get("format") != FORMAT:
+            return None
+        return record.get("program")
+
+    def _disk_store(self, key, program):
+        if self.disk is None:
+            return
+        self.disk.mkdir(parents=True, exist_ok=True)
+        record = {"format": FORMAT, "key": key, "program": program}
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=self.disk, prefix=f".{key}.", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(record, handle)
+            os.replace(handle.name, self._path(key))
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+
+
+def _default_cache():
+    return BuildCache(disk=os.environ.get(ENV_DISK) or None)
+
+
+#: The process-global cache behind ``compile_program``.
+BUILD_CACHE = _default_cache()
+
+
+def reset_build_cache():
+    """Fresh process-global cache (tests); returns the new instance."""
+    global BUILD_CACHE
+    BUILD_CACHE = _default_cache()
+    return BUILD_CACHE

@@ -6,9 +6,8 @@ from repro.asm import AsmSyntaxError, parse_asm, parse_operand
 from repro.asm.ast import DataItem, Label
 from repro.asm.parser import parse_expression, parse_instruction
 from repro.isa import Sym
-from repro.isa.instructions import Instruction
 from repro.isa.operands import AddressingMode
-from repro.isa.registers import CG, PC, SP
+from repro.isa.registers import CG, PC
 
 
 def test_parse_simple_function():

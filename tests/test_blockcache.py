@@ -14,8 +14,6 @@ from repro.blockcache.transform import (
     STUB_BYTES,
     STUB_SECTION,
 )
-from repro.isa.encoding import instruction_length
-from repro.isa.instructions import Instruction
 from repro.isa.operands import AddressingMode, Sym
 from repro.toolchain import PLANS
 

@@ -1,6 +1,5 @@
 """SwapRAM miss handler behaviour on live systems."""
 
-import pytest
 
 from repro.core import build_swapram
 from repro.core.policy import StackPolicy

@@ -1,6 +1,5 @@
 """SwapRAM system builder plumbing."""
 
-import pytest
 
 from repro.asm.parser import parse_asm
 from repro.core import build_swapram

@@ -1,6 +1,5 @@
 """Board wiring and RunResult accounting."""
 
-import pytest
 
 from repro.asm import SectionLayout, assemble, parse_asm
 from repro.machine import Board, fr2355_board

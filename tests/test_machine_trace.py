@@ -2,7 +2,6 @@
 
 from repro.machine.memory import RegionKind
 from repro.machine.trace import (
-    FETCH,
     READ,
     WRITE,
     AccessCounters,

@@ -2,7 +2,7 @@
 
 from repro.core import build_swapram
 from repro.machine.memory import RegionKind
-from repro.machine.trace import FETCH, WRITE
+from repro.machine.trace import WRITE
 from repro.machine.tracelog import TraceLog
 from repro.toolchain import PLANS, build_baseline
 

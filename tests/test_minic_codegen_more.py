@@ -1,6 +1,5 @@
 """Additional mini-C codegen behaviours."""
 
-import pytest
 
 from repro.minic import compile_c
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.minic import CParseError, parse_c
 from repro.minic import cast
-from repro.minic.cparser import fold_constant
 
 
 def test_globals_and_sections_metadata():

@@ -22,7 +22,6 @@ from repro.replay.schema import (
     ACC_VALUE,
     ACC_WRITE,
     MAGIC,
-    SCHEMA,
     VERSION,
     TraceDocument,
     TraceSchemaError,

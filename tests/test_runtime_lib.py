@@ -24,7 +24,6 @@ def call_helper(name, a, b):
 .endfunc
 """
     from repro.asm import SectionLayout, assemble
-    from repro.asm.ast import Program
     from repro.asm.parser import parse_asm
     from repro.machine import fr2355_board
 

@@ -1,0 +1,134 @@
+"""The ``repro sweep`` CLI: run/status/resume/merge flows and exit codes."""
+
+import io
+import json
+
+from repro.sweep.cli import EXIT_OK, EXIT_PENDING, EXIT_UNCLEAN, main
+
+
+def _probe_config(tmp_path, ops=("echo",), values=(1, 2, 3)):
+    path = tmp_path / "campaign.json"
+    path.write_text(
+        json.dumps(
+            {
+                "kind": "probe",
+                "name": "cli-probe",
+                "params": {},
+                "matrix": {"op": list(ops), "value": list(values)},
+            }
+        )
+    )
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_run_completes_clean_and_merges(tmp_path):
+    config = _probe_config(tmp_path)
+    root = str(tmp_path / "sweeps")
+    code, text = _run(["run", "--config", config, "--root", root])
+    assert code == EXIT_OK
+    assert "3 total" in text
+    assert "merged" in text
+    merged = json.loads(
+        (tmp_path / "sweeps" / "cli-probe-7309ff80" / "merged.json").read_text()
+    )
+    assert merged["summary"] == {"ok": 3}
+
+
+def test_run_with_failures_exits_unclean(tmp_path):
+    config = _probe_config(tmp_path, ops=("echo", "fail"))
+    root = str(tmp_path / "sweeps")
+    code, text = _run(["run", "--config", config, "--root", root, "--quiet"])
+    assert code == EXIT_UNCLEAN
+    assert "3 failed" in text
+
+
+def test_interrupt_resume_status_merge_flow(tmp_path):
+    config = _probe_config(tmp_path, values=(1, 2, 3, 4))
+    root = str(tmp_path / "sweeps")
+    base = ["--root", root]
+
+    code, _ = _run(
+        ["run", "--config", config, "--max-units", "2", "--id", "flow"] + base
+    )
+    assert code == EXIT_PENDING
+
+    code, text = _run(["status", "flow"] + base)
+    assert code == EXIT_OK
+    assert "2 done" in text
+    assert "2 pending" in text
+    assert "merged   : no" in text
+
+    code, _ = _run(["merge", "flow", "--partial"] + base)
+    assert code == EXIT_OK
+    partial = json.loads((tmp_path / "sweeps" / "flow" / "merged.json").read_text())
+    assert partial["complete"] is False
+
+    code, _ = _run(["resume", "flow", "--quiet"] + base)
+    assert code == EXIT_OK
+
+    code, text = _run(["status", "flow"] + base)
+    assert code == EXIT_OK
+    assert "4 done" in text
+    assert "0 pending" in text
+    assert "merged   : yes" in text
+
+    merged = json.loads((tmp_path / "sweeps" / "flow" / "merged.json").read_text())
+    assert merged["complete"] is True
+    assert [row["result"]["echo"] for row in merged["units"]] == [1, 2, 3, 4]
+
+
+def test_interrupted_merge_refuses_without_partial(tmp_path):
+    config = _probe_config(tmp_path)
+    root = str(tmp_path / "sweeps")
+    _run(
+        [
+            "run",
+            "--config",
+            config,
+            "--max-units",
+            "1",
+            "--id",
+            "partial",
+            "--root",
+            root,
+        ]
+    )
+    code, text = _run(["merge", "partial", "--root", root])
+    assert code == 2
+    assert "incomplete" in text
+
+
+def test_rerun_is_cached_and_byte_stable(tmp_path):
+    config = _probe_config(tmp_path)
+    root = str(tmp_path / "sweeps")
+    argv = ["run", "--config", config, "--id", "twice", "--root", root, "--quiet"]
+    assert _run(argv)[0] == EXIT_OK
+    merged = tmp_path / "sweeps" / "twice" / "merged.json"
+    first = merged.read_bytes()
+    code, text = _run(argv)
+    assert code == EXIT_OK
+    assert "3 cached, 0 run" in text
+    assert merged.read_bytes() == first
+
+
+def test_status_on_missing_campaign_is_a_usage_error(tmp_path):
+    code, text = _run(["status", "nonesuch", "--root", str(tmp_path)])
+    assert code == 2
+    assert "error" in text
+
+
+def test_bad_config_file_is_a_usage_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"kind": "probe"')
+    out = io.StringIO()
+    try:
+        code = main(["run", "--config", str(bad)], out=out)
+    except SystemExit as stop:  # argparse parser.error
+        code = stop.code
+    assert code == 2

@@ -1,0 +1,129 @@
+"""Campaign configs: deterministic expansion and content addressing.
+
+The golden hashes pinned here are the store's on-disk contract: if
+``unit_key`` or ``campaign_id`` ever changes encoding, every existing
+campaign directory is silently orphaned. A failure in this file means
+"you changed the hash discipline", not "update the golden".
+"""
+
+import pytest
+
+from repro.sweep.config import (
+    SCHEMA,
+    CampaignConfig,
+    ConfigError,
+    campaign_id,
+    canonical_json,
+    unit_key,
+)
+
+
+def test_schema_tag_is_stable():
+    assert SCHEMA == "repro-sweep/1"
+
+
+def test_canonical_json_is_sorted_and_compact():
+    assert canonical_json({"b": 1, "a": [2, None]}) == '{"a":[2,null],"b":1}'
+
+
+def test_unit_key_golden():
+    # Pinned: 16 hex digits of SHA-256 over the canonical spec JSON.
+    key = unit_key({"kind": "probe", "op": "echo", "value": 7})
+    assert key == "ecbd815c84a79f98"
+
+
+def test_unit_key_ignores_dict_order():
+    assert unit_key({"a": 1, "b": 2}) == unit_key({"b": 2, "a": 1})
+
+
+def test_unit_key_distinguishes_values_and_types():
+    base = unit_key({"kind": "probe", "value": 1})
+    assert unit_key({"kind": "probe", "value": 2}) != base
+    assert unit_key({"kind": "probe", "value": "1"}) != base
+
+
+def test_campaign_id_golden():
+    config = CampaignConfig(
+        "probe",
+        "golden",
+        params={"op": "echo"},
+        matrix={"value": [1, 2]},
+    )
+    assert campaign_id(config) == "golden-8ac8658c"
+
+
+def test_campaign_id_tracks_the_config():
+    one = CampaignConfig("probe", "x", matrix={"value": [1]})
+    two = CampaignConfig("probe", "x", matrix={"value": [2]})
+    assert campaign_id(one) != campaign_id(two)
+
+
+def test_expand_orders_axes_by_name_and_values_as_listed():
+    config = CampaignConfig(
+        "probe",
+        "grid",
+        params={"op": "echo"},
+        matrix={"zeta": [10, 20], "alpha": ["x", "y"]},
+    )
+    specs = [spec for _key, spec in config.expand()]
+    # 'alpha' sorts before 'zeta', so alpha is the outer axis.
+    assert [(s["alpha"], s["zeta"]) for s in specs] == [
+        ("x", 10),
+        ("x", 20),
+        ("y", 10),
+        ("y", 20),
+    ]
+    assert all(s["kind"] == "probe" and s["op"] == "echo" for s in specs)
+    assert config.total_units == 4
+
+
+def test_expand_is_reproducible():
+    def build():
+        return CampaignConfig(
+            "probe",
+            "rep",
+            params={"op": "echo"},
+            matrix={"value": [3, 1, 2], "tag": ["b", "a"]},
+        ).expand()
+
+    assert build() == build()
+
+
+def test_roundtrip_through_dict():
+    config = CampaignConfig(
+        "difftest",
+        "fuzz",
+        params={"size": "small", "quick": True},
+        matrix={"seed": [0, 1, 2]},
+    )
+    again = CampaignConfig.from_dict(config.as_dict())
+    assert again.as_dict() == config.as_dict()
+    assert again.expand() == config.expand()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "nope", "name": "x"},
+        {"kind": "probe", "name": ""},
+        {"kind": "probe", "name": "x", "matrix": {"axis": "notalist"}},
+        {"kind": "probe", "name": "x", "matrix": {"axis": []}},
+        {"kind": "probe", "name": "x", "params": {"a": 1}, "matrix": {"a": [1]}},
+        {"kind": "probe", "name": "x", "params": {"kind": "probe"}},
+    ],
+)
+def test_malformed_configs_are_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        CampaignConfig(
+            kwargs["kind"],
+            kwargs["name"],
+            params=kwargs.get("params"),
+            matrix=kwargs.get("matrix"),
+        )
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigError):
+        CampaignConfig.from_dict({"kind": "probe", "name": "x", "bogus": 1})
+    with pytest.raises(ConfigError):
+        CampaignConfig.from_dict(["not", "a", "dict"])

@@ -1,0 +1,136 @@
+"""The sweep engine's core guarantees, held with cheap probe units.
+
+Every test here uses the ``probe`` unit kind (host-side echo / fail /
+sleep / kill) so the guarantees -- byte-identical merges across worker
+counts, resume after interruption, lost workers leaving units pending
+-- are exercised without touching the simulator.
+"""
+
+import json
+
+from repro.metrics.registry import MetricsRegistry
+from repro.sweep.config import CampaignConfig
+from repro.sweep.engine import resume_campaign, run_campaign
+from repro.sweep.store import CampaignStore
+
+
+def _echo_config(name="echo", values=(1, 2, 3, 4, 5, 6)):
+    return CampaignConfig(
+        "probe",
+        name,
+        params={"op": "echo"},
+        matrix={"value": list(values)},
+    )
+
+
+def test_serial_campaign_completes_and_merges(tmp_path):
+    config = _echo_config()
+    outcome = run_campaign(config, root=tmp_path)
+    assert outcome.complete
+    assert outcome.executed == 6
+    assert outcome.cached == 0
+    assert outcome.pending == 0
+    assert outcome.failed == 0
+    document = json.loads(outcome.merged_path.read_text())
+    assert document["summary"] == {"ok": 6}
+    assert [row["result"]["echo"] for row in document["units"]] == [1, 2, 3, 4, 5, 6]
+
+
+def test_jobs1_and_jobs4_merge_to_identical_bytes(tmp_path):
+    config = _echo_config()
+    serial = run_campaign(config, root=tmp_path / "serial", jobs=1)
+    pooled = run_campaign(config, root=tmp_path / "pooled", jobs=4)
+    assert serial.complete and pooled.complete
+    assert serial.merged_path.read_bytes() == pooled.merged_path.read_bytes()
+
+
+def test_rerun_serves_everything_from_the_store(tmp_path):
+    config = _echo_config()
+    run_campaign(config, root=tmp_path)
+    again = run_campaign(config, root=tmp_path)
+    assert again.complete
+    assert again.cached == 6
+    assert again.executed == 0
+
+
+def test_max_units_interrupts_then_resume_matches_uninterrupted(tmp_path):
+    config = _echo_config()
+    first = run_campaign(config, root=tmp_path / "a", max_units=2)
+    assert first.interrupted
+    assert first.executed == 2
+    assert first.pending == 4
+    assert first.merged_path is None
+
+    store = CampaignStore.for_config(config, root=tmp_path / "a")
+    resumed = resume_campaign(store.directory, jobs=2)
+    assert resumed.complete
+    assert resumed.cached == 2
+    assert resumed.executed == 4
+
+    uninterrupted = run_campaign(config, root=tmp_path / "b")
+    merged = resumed.merged_path.read_bytes()
+    assert merged == uninterrupted.merged_path.read_bytes()
+
+
+def test_failed_units_are_results_not_crashes(tmp_path):
+    config = CampaignConfig(
+        "probe",
+        "mixed",
+        matrix={"op": ["echo", "fail"], "value": [1, 2]},
+    )
+    outcome = run_campaign(config, root=tmp_path)
+    assert outcome.complete
+    assert outcome.failed == 2
+    document = json.loads(outcome.merged_path.read_text())
+    assert document["summary"] == {"error": 2, "ok": 2}
+    errors = [row for row in document["units"] if row["status"] == "error"]
+    assert all("UnitError" in row["result"]["error"] for row in errors)
+
+
+def test_sigkilled_worker_leaves_its_unit_pending(tmp_path):
+    config = CampaignConfig(
+        "probe",
+        "lossy",
+        matrix={"op": ["echo", "kill"], "value": [1, 2]},
+    )
+    outcome = run_campaign(config, root=tmp_path, jobs=2)
+    # The killed workers' units complete nothing; the campaign ends
+    # incomplete while the echo units all finished.
+    assert outcome.interrupted
+    assert len(outcome.lost) == 2
+    assert outcome.executed == 2
+    assert outcome.pending == 2
+    assert outcome.merged_path is None
+
+    # Resuming runs exactly the lost units again (and loses them again
+    # -- a deterministic probe -- so only the pending count is stable).
+    store = CampaignStore.for_config(config, root=tmp_path)
+    resumed = resume_campaign(store.directory, jobs=2)
+    assert resumed.cached == 2
+    assert resumed.pending == 2
+
+
+def test_timeout_units_complete_with_timeout_status(tmp_path):
+    config = CampaignConfig(
+        "probe",
+        "slowpoke",
+        params={"seconds": 30.0},
+        matrix={"op": ["sleep"], "value": [1]},
+    )
+    outcome = run_campaign(config, root=tmp_path, jobs=2, timeout_s=0.2)
+    assert outcome.complete
+    assert outcome.timeouts == 1
+    document = json.loads(outcome.merged_path.read_text())
+    assert document["summary"] == {"timeout": 1}
+    assert "timeout" in document["units"][0]["result"]["error"]
+
+
+def test_campaign_metrics_are_recorded(tmp_path):
+    registry = MetricsRegistry()
+    run_campaign(_echo_config(), root=tmp_path, jobs=2, metrics=registry)
+    document = registry.as_dict()
+    assert document["sweep.units.total"]["value"] == 6
+    assert document["sweep.units.run"]["value"] == 6
+    assert document["sweep.units.failed"]["value"] == 0
+    assert document["sweep.pool.jobs"]["value"] == 2
+    assert document["sweep.pool.wall_s"]["value"] > 0

@@ -1,0 +1,134 @@
+"""The campaign store: atomic writes, corruption safety, merge bytes."""
+
+import json
+
+import pytest
+
+from repro.sweep.config import CampaignConfig
+from repro.sweep.store import MERGED_FIELDS, CampaignStore, StoreError
+
+
+def _config():
+    return CampaignConfig(
+        "probe",
+        "store-test",
+        params={"op": "echo"},
+        matrix={"value": [1, 2, 3]},
+    )
+
+
+def _record(key, spec, status="ok", worker=1):
+    return {
+        "schema": "repro-sweep/1",
+        "key": key,
+        "spec": spec,
+        "status": status,
+        "result": {"echo": spec["value"]},
+        "host": {"wall_s": 0.001 * spec["value"], "worker": worker},
+    }
+
+
+def test_initialize_creates_layout_and_is_idempotent(tmp_path):
+    config = _config()
+    store = CampaignStore.for_config(config, root=tmp_path)
+    store.initialize(config)
+    assert store.config_path.is_file()
+    assert store.units_dir.is_dir()
+    store.initialize(config)  # resuming the same config is fine
+    document = json.loads(store.config_path.read_text())
+    assert document["config"] == config.as_dict()
+    assert document["total_units"] == 3
+
+
+def test_initialize_refuses_a_different_config(tmp_path):
+    config = _config()
+    store = CampaignStore.for_config(config, root=tmp_path, campaign="fixed")
+    store.initialize(config)
+    other = CampaignConfig("probe", "store-test", matrix={"value": [9]})
+    with pytest.raises(StoreError):
+        CampaignStore(store.directory).initialize(other)
+
+
+def test_unit_files_write_atomically(tmp_path):
+    config = _config()
+    store = CampaignStore.for_config(config, root=tmp_path)
+    store.initialize(config)
+    key, spec = config.expand()[0]
+    store.write_unit(key, _record(key, spec))
+    # No temp droppings left behind, and the record round-trips.
+    assert [p.name for p in store.units_dir.iterdir()] == [f"{key}.json"]
+    assert store.read_unit(key)["result"] == {"echo": 1}
+
+
+def test_corrupt_unit_file_reads_as_pending(tmp_path):
+    config = _config()
+    store = CampaignStore.for_config(config, root=tmp_path)
+    store.initialize(config)
+    units = config.expand()
+    key, spec = units[0]
+    store.write_unit(key, _record(key, spec))
+    bad_key = units[1][0]
+    store.unit_path(bad_key).write_text('{"truncated": ')
+    done = store.completed_keys()
+    assert done == {key}
+    # The corrupt file was discarded so a resume rewrites it cleanly.
+    assert not store.unit_path(bad_key).exists()
+
+
+def test_merge_requires_every_unit_unless_partial(tmp_path):
+    config = _config()
+    store = CampaignStore.for_config(config, root=tmp_path)
+    store.initialize(config)
+    units = config.expand()
+    key, spec = units[0]
+    store.write_unit(key, _record(key, spec))
+    with pytest.raises(StoreError):
+        store.merge(units)
+    store.merge(units, partial=True)
+    document = json.loads(store.merged_path.read_text())
+    assert document["complete"] is False
+    assert len(document["units"]) == 1
+
+
+def test_merge_is_deterministic_and_drops_host_fields(tmp_path):
+    config = _config()
+    units = config.expand()
+
+    def populate(root, order, worker):
+        store = CampaignStore.for_config(config, root=root)
+        store.initialize(config)
+        for key, spec in order:
+            store.write_unit(key, _record(key, spec, worker=worker))
+        store.merge(units)
+        return store.merged_path.read_bytes()
+
+    forward = populate(tmp_path / "a", units, worker=1)
+    backward = populate(tmp_path / "b", list(reversed(units)), worker=7)
+    # Same bytes regardless of completion order or worker attribution.
+    assert forward == backward
+
+    document = json.loads(forward)
+    assert document["complete"] is True
+    assert document["summary"] == {"ok": 3}
+    assert [row["key"] for row in document["units"]] == [k for k, _ in units]
+    for row in document["units"]:
+        assert set(row) == set(MERGED_FIELDS)
+    # The canonical serialization: sorted keys, trailing newline.
+    assert forward.endswith(b"\n")
+    canonical = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    assert forward == canonical.encode()
+
+
+def test_status_counts(tmp_path):
+    config = _config()
+    store = CampaignStore.for_config(config, root=tmp_path)
+    store.initialize(config)
+    units = config.expand()
+    store.write_unit(units[0][0], _record(*units[0]))
+    store.write_unit(units[1][0], _record(*units[1], status="error"))
+    counts = store.status(units)
+    assert counts["total"] == 3
+    assert counts["done"] == 2
+    assert counts["pending"] == 1
+    assert counts["by_status"] == {"ok": 1, "error": 1}
+    assert counts["merged"] is False

@@ -1,0 +1,149 @@
+"""The build cache: clone isolation, disk layer, zero compiles warm.
+
+The headline guarantee -- each mini-C source compiles once, ever --
+is asserted two ways: directly against :class:`BuildCache`, and
+end-to-end through the entry points CI routes through it (a benchmark
+build, a difftest sweep unit), where a second "process" (a fresh
+process-global cache over the same disk directory) must report zero
+compiles.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.sweep.units import execute_unit, reset_caches
+from repro.toolchain import PLANS, build_baseline
+from repro.toolchain.cache import FORMAT, BuildCache
+from repro.toolchain.cache import reset_build_cache as _reset
+
+SOURCE = get_benchmark("crc").source
+
+
+@pytest.fixture
+def fresh_cache():
+    """A clean process-global cache, restored after the test."""
+    cache = _reset()
+    yield cache
+    _reset()
+
+
+def test_memory_hits_skip_the_build_function():
+    calls = []
+
+    def build(source):
+        calls.append(source)
+        return _Tracer()
+
+    cache = BuildCache()
+    cache.get("int main() {}", build)
+    cache.get("int main() {}", build)
+    assert len(calls) == 1
+    assert cache.stats() == {
+        "compiles": 1,
+        "hits": 1,
+        "disk_hits": 0,
+        "entries": 1,
+    }
+
+
+def test_every_hit_returns_a_private_clone(fresh_cache):
+    from repro.toolchain.build import compile_program
+
+    first = compile_program(SOURCE)
+    second = compile_program(SOURCE)
+    assert first is not second
+    # Mutating one clone (as the link/transform passes do) must not
+    # poison what later builds receive.
+    first.functions.clear()
+    third = compile_program(SOURCE)
+    assert third.has_function("main")
+    assert fresh_cache.compiles == 1
+    assert fresh_cache.hits == 2
+
+
+def test_disk_layer_round_trips(tmp_path):
+    cold = BuildCache(disk=tmp_path)
+    from repro.toolchain.build import _compile_uncached
+
+    cold.get(SOURCE, _compile_uncached)
+    assert cold.compiles == 1
+    assert list(tmp_path.glob("*.pickle"))
+
+    warm = BuildCache(disk=tmp_path)
+    program = warm.get(SOURCE, _compile_uncached)
+    assert warm.compiles == 0
+    assert warm.disk_hits == 1
+    assert program.has_function("main")
+
+
+def test_corrupt_or_foreign_disk_records_are_misses(tmp_path):
+    cache = BuildCache(disk=tmp_path)
+    key = BuildCache.key(SOURCE)
+    cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+    cache._path(key).write_bytes(b"not a pickle")
+    calls = []
+
+    def build(source):
+        calls.append(source)
+        return _Tracer()
+
+    cache.get(SOURCE, build)
+    assert calls  # the corrupt record did not mask the build
+
+    stale = BuildCache(disk=tmp_path)
+    stale._path(key).write_bytes(
+        pickle.dumps({"format": FORMAT + "-older", "program": None})
+    )
+    stale.get(SOURCE, build)
+    assert len(calls) == 2
+
+
+def test_warm_benchmark_build_performs_zero_compiles(tmp_path, fresh_cache):
+    fresh_cache.attach_disk(tmp_path)
+    board = build_baseline(SOURCE, PLANS["unified"], 8)
+    result = board.run()
+    assert fresh_cache.compiles == 1
+
+    # A "new process": fresh global cache over the same disk directory.
+    warm = _reset().attach_disk(tmp_path)
+    warm_board = build_baseline(SOURCE, PLANS["unified"], 8)
+    assert warm.compiles == 0
+    assert warm.disk_hits == 1
+    assert warm_board.run().debug_words == result.debug_words
+
+
+def test_warm_difftest_unit_performs_zero_compiles(tmp_path, fresh_cache):
+    spec = {"kind": "difftest", "seed": 3, "size": "small", "quick": True}
+    fresh_cache.attach_disk(tmp_path)
+    reset_caches()
+    cold_payload = execute_unit(spec)
+    assert fresh_cache.compiles > 0
+
+    warm = _reset().attach_disk(tmp_path)
+    reset_caches()
+    warm_payload = execute_unit(spec)
+    assert warm.compiles == 0
+    assert warm.disk_hits > 0
+    assert warm_payload == cold_payload
+
+
+def test_metrics_mirror(fresh_cache):
+    from repro.metrics.registry import MetricsRegistry
+    from repro.toolchain.build import compile_program
+
+    compile_program(SOURCE)
+    compile_program(SOURCE)
+    registry = MetricsRegistry()
+    fresh_cache.record_metrics(registry)
+    document = registry.as_dict()
+    assert document["build.compiles"]["value"] == 1
+    assert document["build.cache_hits"]["value"] == 1
+
+
+class _Tracer:
+    """A minimal stand-in for a compiled Program."""
+
+    def clone(self):
+        return _Tracer()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.asm import SectionLayout, assemble, parse_asm
 from repro.asm.ast import Program
-from repro.machine import Memory, fr2355_board
+from repro.machine import Memory
 from repro.toolchain.library import (
     LibraryRecoveryError,
     recover_function,
