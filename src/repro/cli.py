@@ -15,7 +15,9 @@
     python -m repro faults sweep --seed 1             # intermittent power
     python -m repro replay capture crc                # trace-capture a run
     python -m repro replay sweep crc                  # replay an ablation grid
-    python -m repro sweep run --preset difftest --jobs 4   # sharded campaigns
+    python -m repro sweep run --preset difftest --jobs 4 --trace   # campaigns
+    python -m repro sweep watch difftest-1a2b3c4d     # live campaign telemetry
+    python -m repro trace export --campaign difftest-1a2b3c4d   # Perfetto
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,

@@ -75,6 +75,12 @@ def _parser():
         help="persist compiled programs under DIR across runs "
         "(same as REPRO_BUILD_CACHE)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record orchestration-plane spans for the --jobs campaign "
+        "(see docs/tracing.md)",
+    )
     return parser
 
 
@@ -188,7 +194,7 @@ def _pooled_seeds(args, out):
     config = difftest_campaign(
         seed=args.seed, count=args.count, size=args.size, quick=args.quick
     )
-    outcome = run_campaign(config, jobs=args.jobs)
+    outcome = run_campaign(config, jobs=args.jobs, trace=args.trace)
     if not outcome.complete:
         raise RuntimeError(
             f"difftest campaign incomplete ({outcome.pending} units "

@@ -127,6 +127,12 @@ def _parser():
         help="persist compiled programs under DIR across runs "
         "(same as REPRO_BUILD_CACHE)",
     )
+    sweep.add_argument(
+        "--trace",
+        action="store_true",
+        help="record orchestration-plane spans for the --jobs campaign "
+        "(see docs/tracing.md)",
+    )
 
     replay.add_argument("--benchmark", help="benchmark name to replay")
     replay.add_argument(
@@ -194,7 +200,10 @@ def _parallel_cases(args, out):
         max_instructions=args.max_instructions,
     )
     outcome = run_campaign(
-        config, jobs=args.jobs, progress=lambda line: print(line, file=out)
+        config,
+        jobs=args.jobs,
+        progress=lambda line: print(line, file=out),
+        trace=args.trace,
     )
     if not outcome.complete:
         raise RuntimeError(

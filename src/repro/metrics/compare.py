@@ -68,6 +68,10 @@ class CompareReport:
     deltas: list = field(default_factory=list)
     missing: list = field(default_factory=list)  # (key, reason)
     added: list = field(default_factory=list)
+    #: (benchmark, system, plan) -> [(phase, old_s, new_s), ...] from the
+    #: snapshots' host PhaseTimer records -- what attributes a wall-clock
+    #: regression to compile vs build vs run.
+    phases: dict = field(default_factory=dict)
 
     @property
     def regressions(self):
@@ -101,6 +105,24 @@ class CompareReport:
                     title="Snapshot comparison",
                 )
             )
+        # Attribute each shown run's time to phases, so a perf-gate
+        # failure says *where* the seconds went, not just that they grew.
+        shown = sorted(
+            {
+                (delta.benchmark, delta.system, delta.plan)
+                for delta in self.deltas
+                if all_rows or delta.regressed
+            }
+        )
+        for key in shown:
+            spans = self.phases.get(key)
+            if not spans:
+                continue
+            parts = [
+                f"{phase} {old_s:.3f}s -> {new_s:.3f}s ({new_s - old_s:+.3f}s)"
+                for phase, old_s, new_s in spans
+            ]
+            lines.append(f"phases {key[0]}/{key[1]}: {', '.join(parts)}")
         for key, reason in self.missing:
             lines.append(f"MISSING {'/'.join(key)}: {reason}")
         for key in self.added:
@@ -119,6 +141,27 @@ def _fmt(value):
     if isinstance(value, float) and not value.is_integer():
         return f"{value:.4g}"
     return str(int(value)) if isinstance(value, float) else str(value)
+
+
+def _phase_spans(old_run, new_run):
+    """``[(phase, old_s, new_s), ...]`` where both snapshots timed it.
+
+    Phases iterate in the old snapshot's recorded order (compile,
+    build, run for execute rows; capture, run for replay rows), so the
+    attribution lines read in pipeline order.
+    """
+    old_phases = (old_run.get("host") or {}).get("phases") or {}
+    new_phases = (new_run.get("host") or {}).get("phases") or {}
+    spans = []
+    for phase, old_span in old_phases.items():
+        new_span = new_phases.get(phase)
+        if not isinstance(old_span, dict) or not isinstance(new_span, dict):
+            continue
+        old_s, new_s = old_span.get("seconds"), new_span.get("seconds")
+        if old_s is None or new_s is None:
+            continue
+        spans.append((phase, old_s, new_s))
+    return spans
 
 
 def _index(snapshot):
@@ -165,6 +208,9 @@ def compare_snapshots(
             report.missing.append((key, "newly DNF (did not fit)"))
             continue
         benchmark, system, plan = key
+        spans = _phase_spans(old_run, new_run)
+        if spans:
+            report.phases[key] = spans
         for metric, threshold in sorted(gate.items()):
             old_value = old_run["guest"].get(metric)
             new_value = new_run["guest"].get(metric)

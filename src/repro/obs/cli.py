@@ -6,6 +6,7 @@
     python -m repro trace rc4 --system swapram --policy stack --cache-limit 384
     python -m repro trace program.c --system block --plan standard
     python -m repro trace crc --accesses 40      # tail of the access stream
+    python -m repro trace export --campaign difftest-1a2b3c4d   # campaign trace
 
 Builds the chosen system, attaches a :class:`~repro.obs.session.TraceSession`,
 runs the program, prints the per-function attribution table and the
@@ -149,8 +150,15 @@ def _build(args, source):
 
 
 def main(argv=None, out=sys.stdout):
+    arguments = sys.argv[1:] if argv is None else list(argv)
+    if arguments and arguments[0] == "export":
+        # `repro trace export` renders a whole campaign's orchestration
+        # plane (docs/tracing.md); everything else traces one guest run.
+        from repro.tracing.cli import export_main
+
+        return export_main(arguments[1:], out=out)
     parser = _parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     label, source, expected = _resolve_source(args, parser)
 
     try:

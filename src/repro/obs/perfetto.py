@@ -169,6 +169,43 @@ def validate_trace(trace):
     return problems
 
 
+def track_name_problems(trace):
+    """Tracks that would render as bare integers in the Perfetto UI.
+
+    Every pid that emits events must carry a ``process_name`` "M"
+    metadata event, and every (pid, tid) pair used by duration/instant
+    events a ``thread_name`` one. Returns a sorted list of problem
+    strings (empty = every track is named).
+    """
+    if not isinstance(trace, dict) or not isinstance(
+        trace.get("traceEvents"), list
+    ):
+        return ["trace is not an object with a traceEvents list"]
+    named_processes = set()
+    named_threads = set()
+    for event in trace["traceEvents"]:
+        if not isinstance(event, dict) or event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            named_processes.add(event.get("pid"))
+        elif event.get("name") == "thread_name":
+            named_threads.add((event.get("pid"), event.get("tid")))
+    problems = set()
+    for event in trace["traceEvents"]:
+        if not isinstance(event, dict) or event.get("ph") == "M":
+            continue
+        pid = event.get("pid")
+        if pid not in named_processes:
+            problems.add(f"pid {pid} has no process_name metadata")
+        if event.get("ph") in ("B", "E", "i", "X"):
+            tid = event.get("tid")
+            if (pid, tid) not in named_threads:
+                problems.add(
+                    f"pid {pid} tid {tid} has no thread_name metadata"
+                )
+    return sorted(problems)
+
+
 def write_trace(path, trace):
     """Validate and write *trace* as JSON; returns the path.
 

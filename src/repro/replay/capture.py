@@ -301,14 +301,29 @@ def capture_run(
     the system was built from -- embedded in the header so a replay
     engine can rebuild the system without any out-of-band state.
     """
+    from repro.tracing.runtime import current_recorder
+    from repro.tracing.span import NULL_SPAN
+
     kind, board, runtime = classify(target)
     recorder = _Recorder(kind, board, runtime)
+    tracing = current_recorder()
     recorder.attach()
     try:
-        try:
-            result = target.run(max_instructions=max_instructions)
-        except RunawayError as error:
-            raise CaptureError(f"run did not halt: {error}") from error
+        # Raw (det=False): captures are memoised per process, so whether
+        # one happens depends on which units a worker served before.
+        with (
+            tracing.span(
+                "replay.capture",
+                det=False,
+                attrs={"benchmark": benchmark, "system": kind},
+            )
+            if tracing
+            else NULL_SPAN
+        ):
+            try:
+                result = target.run(max_instructions=max_instructions)
+            except RunawayError as error:
+                raise CaptureError(f"run did not halt: {error}") from error
     finally:
         recorder.detach()
 

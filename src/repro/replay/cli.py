@@ -177,6 +177,12 @@ def _parser():
         help="shard the grid cells across N worker processes via the "
         "sweep engine (benchmark programs only)",
     )
+    sweep.add_argument(
+        "--trace",
+        action="store_true",
+        help="record orchestration-plane spans for the --jobs campaign "
+        "(see docs/tracing.md)",
+    )
     _common(sweep)
 
     listing = commands.add_parser("list", help="show the trace store index")
@@ -264,7 +270,7 @@ def _pooled_sweep(args, benchmark, limits, out):
         compare_execute=args.compare_execute,
         trace_store=args.store,
     )
-    outcome = run_campaign(config, jobs=args.jobs)
+    outcome = run_campaign(config, jobs=args.jobs, trace=args.trace)
     if not outcome.complete:
         print(
             f"sweep incomplete ({outcome.pending} units pending); resume "

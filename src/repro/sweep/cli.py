@@ -1,15 +1,17 @@
-"""The ``repro sweep`` subcommand: run, status, resume, merge.
+"""The ``repro sweep`` subcommand: run, status, resume, merge, watch, report.
 
 ::
 
     python -m repro sweep run --preset difftest --seed 0 --count 50 --jobs 4
     python -m repro sweep run --preset faults --benchmarks crc --jobs 2
     python -m repro sweep run --preset replay --benchmark crc --compare-execute
-    python -m repro sweep run --config campaign.json --jobs 8
+    python -m repro sweep run --config campaign.json --jobs 8 --trace
     python -m repro sweep run --preset difftest --count 9 --max-units 3
-    python -m repro sweep status results/sweeps/difftest-1a2b3c4d
+    python -m repro sweep status results/sweeps/difftest-1a2b3c4d --json
     python -m repro sweep resume results/sweeps/difftest-1a2b3c4d --jobs 4
     python -m repro sweep merge results/sweeps/difftest-1a2b3c4d
+    python -m repro sweep watch results/sweeps/difftest-1a2b3c4d
+    python -m repro sweep report results/sweeps/difftest-1a2b3c4d
 
 ``run`` expands a campaign (a ``--preset`` or a JSON ``--config``) into
 content-addressed units under ``results/sweeps/<campaign-id>/`` and
@@ -17,13 +19,17 @@ executes the ones without stored results; interrupting it -- Ctrl-C,
 SIGKILL, ``--max-units`` -- loses nothing, and ``resume`` (or simply
 ``run`` again) completes the remainder. ``merge`` writes the
 bit-reproducible ``merged.json``; ``status`` reports done/pending
-counts. Exit status: 0 = complete and clean, 1 = complete with
-failed/timeout units, 3 = units still pending.
+counts (``--json`` for one sorted-key machine-readable object);
+``watch`` live-renders progress, throughput and ETA; ``report`` flags
+straggler units and breaks down worker idle time (see
+docs/tracing.md). Exit status: 0 = complete and clean, 1 = complete
+with failed/timeout units, 3 = units still pending.
 """
 
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.sweep.campaigns import PRESETS
@@ -84,6 +90,12 @@ def _parser():
         action="store_true",
         help="skip writing merged.json even when complete",
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record orchestration-plane spans under <campaign>/events/ "
+        "(see docs/tracing.md; merged.json bytes are unaffected)",
+    )
     run.add_argument("--quiet", action="store_true", help="no per-unit lines")
 
     # Preset knobs; each preset reads the subset it understands.
@@ -121,19 +133,49 @@ def _parser():
         ("status", "report done/pending counts for a campaign"),
         ("resume", "finish an interrupted campaign"),
         ("merge", "write merged.json from the unit files"),
+        ("watch", "live-refreshing campaign status (throughput, ETA)"),
+        ("report", "straggler detection and worker-utilization report"),
     ):
         sub = commands.add_parser(name, help=text)
         sub.add_argument("campaign", help="campaign directory (or id under --root)")
         sub.add_argument("--root", default=str(DEFAULT_ROOT))
+        if name == "status":
+            sub.add_argument(
+                "--json",
+                action="store_true",
+                help="machine-readable output (one sorted-key JSON object)",
+            )
         if name == "resume":
             sub.add_argument("--jobs", type=int, default=1)
             sub.add_argument("--timeout", type=float, default=None)
+            sub.add_argument("--trace", action="store_true")
             sub.add_argument("--quiet", action="store_true")
         if name == "merge":
             sub.add_argument(
                 "--partial",
                 action="store_true",
                 help="merge whatever is done; mark the document incomplete",
+            )
+        if name == "watch":
+            sub.add_argument(
+                "--interval",
+                type=float,
+                default=2.0,
+                metavar="SECONDS",
+                help="refresh period (default: 2)",
+            )
+            sub.add_argument(
+                "--once",
+                action="store_true",
+                help="print one snapshot and exit (scripts, tests)",
+            )
+        if name == "report":
+            sub.add_argument(
+                "--straggler-factor",
+                type=float,
+                default=3.0,
+                metavar="K",
+                help="flag units slower than K x median (default: 3)",
             )
     return parser
 
@@ -253,6 +295,30 @@ def _print_outcome(outcome, out):
         print("resume   : run the same command again (or 'sweep resume')", file=out)
 
 
+def _watch(args, store, units, out):
+    """``sweep watch``: re-render snapshots until the campaign is done.
+
+    ``--once`` prints a single frame (what scripts and tests use); the
+    live mode separates frames with a blank line rather than cursor
+    tricks so it stays readable in logs and dumb terminals alike.
+    """
+    from repro.tracing.analytics import render_watch, watch_snapshot
+
+    while True:
+        snapshot = watch_snapshot(store, units)
+        print(render_watch(snapshot), file=out)
+        if args.once or snapshot["complete"]:
+            break
+        print(file=out)
+        time.sleep(args.interval)
+    bad = sum(
+        n for status, n in snapshot["counts"]["by_status"].items() if status != "ok"
+    )
+    if snapshot["counts"]["pending"]:
+        return EXIT_PENDING
+    return EXIT_UNCLEAN if bad else EXIT_OK
+
+
 def _campaign_exit_code(store, config):
     """0 clean-and-complete, 1 complete-with-findings, 3 pending."""
     counts = store.status(config.expand())
@@ -278,6 +344,7 @@ def _run(args, parser, out, store=None, config=None):
             timeout_s=args.timeout,
             progress=progress,
             merge=not getattr(args, "no_merge", False),
+            trace=getattr(args, "trace", False),
         )
     except (ConfigError, StoreError) as error:
         print(f"error: {error}", file=out)
@@ -305,6 +372,12 @@ def main(argv=None, out=sys.stdout):
 
     units = config.expand()
     if args.command == "status":
+        if args.json:
+            from repro.tracing.analytics import status_document
+
+            document = status_document(store, units)
+            print(json.dumps(document, sort_keys=True, indent=2), file=out)
+            return EXIT_OK
         counts = store.status(units)
         print(f"campaign : {store.directory.name}", file=out)
         print(f"store    : {store.directory}", file=out)
@@ -319,6 +392,16 @@ def main(argv=None, out=sys.stdout):
         )
         print(f"merged   : {'yes' if counts['merged'] else 'no'}", file=out)
         return EXIT_OK
+
+    if args.command == "watch":
+        return _watch(args, store, units, out)
+
+    if args.command == "report":
+        from repro.tracing.analytics import render_report, straggler_report
+
+        report = straggler_report(store, units, factor=args.straggler_factor)
+        print(render_report(report), file=out)
+        return _campaign_exit_code(store, config)
 
     # merge
     try:

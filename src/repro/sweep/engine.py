@@ -16,11 +16,15 @@ uninterrupted run (``tests/test_sweep_engine.py`` and the CI
 ``sweep-smoke`` job both enforce this).
 """
 
+import os
 from dataclasses import dataclass, field
 
 from repro.sweep.config import SCHEMA, campaign_id
 from repro.sweep.pool import PoolStats, WorkerPool
 from repro.sweep.store import DEFAULT_ROOT, CampaignStore
+from repro.tracing.log import merge_events
+from repro.tracing.runtime import set_recorder
+from repro.tracing.span import NULL_SPAN, SpanRecorder
 
 
 @dataclass
@@ -38,6 +42,7 @@ class CampaignOutcome:
     pending: int  # units not done when this run ended
     complete: bool
     merged_path: object = None  # Path once merged
+    events_path: object = None  # Path of merged events.jsonl (tracing on)
     pool: PoolStats = field(default=None, repr=False)
 
     @property
@@ -55,6 +60,7 @@ def run_campaign(
     metrics=None,
     progress=None,
     merge=True,
+    trace=False,
 ):
     """Run (or resume) *config*; returns a :class:`CampaignOutcome`.
 
@@ -64,7 +70,11 @@ def run_campaign(
     *metrics* is an optional
     :class:`~repro.metrics.registry.MetricsRegistry` receiving the
     ``sweep.*`` counters and gauges; *progress* an optional callable
-    receiving one line per finished unit.
+    receiving one line per finished unit; *trace* (or the
+    ``REPRO_TRACE`` environment variable) records orchestration-plane
+    spans to per-PID logs under ``<campaign>/events/`` and merges the
+    deterministic ``events.jsonl`` when the campaign completes -- the
+    merged.json bytes are identical either way (see docs/tracing.md).
     """
     units = config.expand()
     store = CampaignStore.for_config(config, root=root, campaign=campaign)
@@ -88,31 +98,74 @@ def run_campaign(
         if progress is not None:
             progress(f"{outcome.status:<8} {outcome.key}  {_label(outcome.spec)}")
 
-    pool = WorkerPool(jobs=jobs, timeout_s=timeout_s)
-    stats = pool.map(to_run, on_outcome)
+    recorder = None
+    previous = None
+    if trace or os.environ.get("REPRO_TRACE"):
+        recorder = SpanRecorder(store.directory / "events")
+        previous = set_recorder(recorder)
+    try:
+        campaign_span = NULL_SPAN
+        if recorder is not None:
+            campaign_span = recorder.span(
+                "campaign",
+                attrs={"name": config.name, "kind": config.kind, "units": len(units)},
+            )
+        with campaign_span:
+            if recorder is not None:
+                recorder.instant(
+                    "campaign.session",
+                    attrs={
+                        "cached": len(done),
+                        "to_run": len(to_run),
+                        "jobs": jobs,
+                    },
+                )
+            pool = WorkerPool(jobs=jobs, timeout_s=timeout_s)
+            stats = pool.map(to_run, on_outcome)
 
-    now_done = len(done) + stats.completed
-    outcome = CampaignOutcome(
-        campaign=store.directory.name,
-        directory=store.directory,
-        total=len(units),
-        cached=len(done),
-        executed=stats.completed,
-        failed=stats.failed,
-        timeouts=stats.timeouts,
-        lost=list(stats.lost),
-        pending=len(units) - now_done,
-        complete=now_done == len(units),
-        pool=stats,
-    )
-    if metrics is not None:
-        _record_metrics(metrics, outcome, stats)
-    if outcome.complete and merge:
-        outcome.merged_path = store.merge(units)
+            now_done = len(done) + stats.completed
+            outcome = CampaignOutcome(
+                campaign=store.directory.name,
+                directory=store.directory,
+                total=len(units),
+                cached=len(done),
+                executed=stats.completed,
+                failed=stats.failed,
+                timeouts=stats.timeouts,
+                lost=list(stats.lost),
+                pending=len(units) - now_done,
+                complete=now_done == len(units),
+                pool=stats,
+            )
+            if metrics is not None:
+                _record_metrics(metrics, outcome, stats)
+            if outcome.complete and merge:
+                merge_span = NULL_SPAN
+                if recorder is not None:
+                    merge_span = recorder.span("merge", det=False)
+                with merge_span:
+                    outcome.merged_path = store.merge(units)
+    finally:
+        if recorder is not None:
+            set_recorder(previous)
+            recorder.close()
+    if recorder is not None and outcome.complete:
+        # Runs after the campaign span closed so the root record is on
+        # disk; merges every session's per-PID logs deterministically.
+        outcome.events_path = merge_events(
+            recorder.directory, units=[key for key, _spec in units]
+        )
     return outcome
 
 
-def resume_campaign(directory, jobs=1, timeout_s=None, metrics=None, progress=None):
+def resume_campaign(
+    directory,
+    jobs=1,
+    timeout_s=None,
+    metrics=None,
+    progress=None,
+    trace=False,
+):
     """Finish an interrupted campaign directory; see ``run_campaign``."""
     store = CampaignStore(directory)
     config = store.read_config()
@@ -124,6 +177,7 @@ def resume_campaign(directory, jobs=1, timeout_s=None, metrics=None, progress=No
         timeout_s=timeout_s,
         metrics=metrics,
         progress=progress,
+        trace=trace,
     )
 
 

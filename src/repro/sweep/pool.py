@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_ready
 
 from repro.sweep.units import execute_unit
+from repro.tracing.runtime import current_recorder
 
 #: How long the parent blocks in one wait() round; bounds how late a
 #: timeout can fire, not how fast results return (those wake wait()).
@@ -73,6 +74,12 @@ class PoolStats:
 
 
 def _run_one(key, spec):
+    # The hot path: when tracing is detached this costs one global load
+    # and one `is None` test, nothing else (pinned by a regression test
+    # mirroring the obs/metrics zero-cost-when-detached ones).
+    recorder = current_recorder()
+    if recorder is not None:
+        return _run_one_traced(recorder, key, spec)
     started = time.perf_counter()
     try:
         payload = execute_unit(spec)
@@ -83,8 +90,26 @@ def _run_one(key, spec):
     return key, status, payload, time.perf_counter() - started
 
 
-def _worker_main(connection):
+def _run_one_traced(recorder, key, spec):
+    """The traced twin of ``_run_one``: a unit scope wrapping execute."""
+    started = time.perf_counter()
+    with recorder.unit(key, spec.get("kind")) as root:
+        try:
+            with recorder.span("execute"):
+                payload = execute_unit(spec)
+            status = "ok"
+        except Exception as error:
+            payload = {"error": f"{type(error).__name__}: {error}"}
+            status = "error"
+        root.set("status", status)
+    return key, status, payload, time.perf_counter() - started
+
+
+def _worker_main(connection, worker=0):
     """Worker loop: receive a unit, execute, send the outcome back."""
+    recorder = current_recorder()  # inherited through fork
+    if recorder is not None:
+        recorder.worker = worker
     while True:
         try:
             item = connection.recv()
@@ -130,27 +155,33 @@ class WorkerPool:
         on_outcome(outcome)
 
     def _map_inline(self, units, on_outcome, stats):
+        recorder = current_recorder()
         for key, spec in units:
+            if recorder is not None:
+                recorder.instant("unit.dispatched", attrs={"key": key, "worker": 0})
             key, status, payload, wall_s = _run_one(key, spec)
             outcome = UnitOutcome(key, spec, status, payload, wall_s, worker=0)
             self._record(outcome, on_outcome, stats)
 
     # -- forked path -------------------------------------------------------
 
-    def _spawn(self, context):
+    def _spawn(self, context, worker):
         parent_end, worker_end = context.Pipe()
-        process = context.Process(target=_worker_main, args=(worker_end,), daemon=True)
+        process = context.Process(
+            target=_worker_main, args=(worker_end, worker), daemon=True
+        )
         process.start()
         worker_end.close()  # the parent only keeps its own end
         return {"process": process, "conn": parent_end, "unit": None}
 
     def _map_forked(self, units, on_outcome, stats):
         context = multiprocessing.get_context("fork")
+        recorder = current_recorder()
         pending = list(units)
         next_id = 0
         workers = {}
         for _ in range(min(self.jobs, len(pending))):
-            workers[next_id] = self._spawn(context)
+            workers[next_id] = self._spawn(context, next_id + 1)
             next_id += 1
         try:
             while pending or any(w["unit"] for w in workers.values()):
@@ -163,9 +194,18 @@ class WorkerPool:
                             # Worker died while idle; replace it and let
                             # the next round dispatch the unit again.
                             pending.insert(0, (key, spec))
-                            workers[wid] = self._spawn(context)
+                            workers[wid] = self._spawn(context, wid + 1)
+                            if recorder is not None:
+                                recorder.instant(
+                                    "worker.respawn", attrs={"worker": wid + 1}
+                                )
                             continue
                         worker["unit"] = (key, spec, time.perf_counter())
+                        if recorder is not None:
+                            recorder.instant(
+                                "unit.dispatched",
+                                attrs={"key": key, "worker": wid + 1},
+                            )
                 if not any(w["unit"] for w in workers.values()):
                     if pending:
                         continue  # freshly respawned workers take these
@@ -202,7 +242,11 @@ class WorkerPool:
             stats.lost.append(key)
             worker["process"].join(timeout=1.0)
             worker["conn"].close()
-            workers[wid] = self._spawn(context)
+            workers[wid] = self._spawn(context, wid + 1)
+            recorder = current_recorder()
+            if recorder is not None:
+                recorder.instant("unit.lost", attrs={"key": key, "worker": wid + 1})
+                recorder.instant("worker.respawn", attrs={"worker": wid + 1})
             return
         worker["unit"] = None
         outcome = UnitOutcome(result_key, spec, status, payload, wall_s, worker=wid + 1)
@@ -224,7 +268,13 @@ class WorkerPool:
                 worker["process"].kill()
                 worker["process"].join(timeout=1.0)
             worker["conn"].close()
-            workers[wid] = self._spawn(context)
+            workers[wid] = self._spawn(context, wid + 1)
+            recorder = current_recorder()
+            if recorder is not None:
+                recorder.instant(
+                    "unit.timeout", attrs={"key": key, "worker": wid + 1}
+                )
+                recorder.instant("worker.respawn", attrs={"worker": wid + 1})
             outcome = UnitOutcome(
                 key,
                 spec,

@@ -19,6 +19,9 @@ import os
 import signal
 import time
 
+from repro.tracing.runtime import current_recorder
+from repro.tracing.span import NULL_SPAN
+
 _RUNNERS = {}
 _REPLAY_ENGINES = {}
 _FAULT_GOLDENS = {}
@@ -92,13 +95,18 @@ def record_payload(record):
 
 def _execute_run(spec):
     runner = _runner_for(spec)
-    record = runner.run(
-        spec["benchmark"],
-        spec["system"],
-        frequency_mhz=spec.get("frequency_mhz", 24),
-        plan_name=spec.get("plan", "unified"),
-        cache_reserve=spec.get("cache_reserve", 0),
-    )
+    recorder = current_recorder()
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span("run.simulate", attrs={"benchmark": spec["benchmark"]})
+    with span:
+        record = runner.run(
+            spec["benchmark"],
+            spec["system"],
+            frequency_mhz=spec.get("frequency_mhz", 24),
+            plan_name=spec.get("plan", "unified"),
+            cache_reserve=spec.get("cache_reserve", 0),
+        )
     return record_payload(record)
 
 
@@ -112,9 +120,18 @@ def _execute_difftest(spec):
     seed = spec["seed"]
     size = spec.get("size", "medium")
     quick = spec.get("quick", False)
-    program = generate_program(seed, size=size)
+    recorder = current_recorder()
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span("difftest.generate", attrs={"seed": seed})
+    with span:
+        program = generate_program(seed, size=size)
     configs = quick_matrix() if quick else full_matrix()
-    report = run_differential(program, configs)
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span("difftest.matrix", attrs={"configs": len(configs)})
+    with span:
+        report = run_differential(program, configs)
     return {
         "seed": seed,
         "size": size,
@@ -157,24 +174,37 @@ def _execute_fault(spec):
     from repro.faults.harness import run_case, run_golden
     from repro.metrics.registry import MetricsRegistry
 
+    recorder = current_recorder()
     target = _fault_target(spec)
     max_instructions = spec.get("max_instructions", 5_000_000)
     golden_key = (target.name, max_instructions)
     if golden_key not in _FAULT_GOLDENS:
-        _FAULT_GOLDENS[golden_key] = run_golden(
-            target, max_instructions=max_instructions
-        )
+        # Memo-dependent work is recorded det=False: whether it runs
+        # depends on which units a process served before this one.
+        span = NULL_SPAN
+        if recorder is not None:
+            span = recorder.span(
+                "fault.golden", det=False, attrs={"target": target.name}
+            )
+        with span:
+            _FAULT_GOLDENS[golden_key] = run_golden(
+                target, max_instructions=max_instructions
+            )
     registry = MetricsRegistry()
-    report = run_case(
-        target,
-        spec["schedule"],
-        spec.get("seed", 1),
-        golden=_FAULT_GOLDENS[golden_key],
-        max_reboots=spec.get("max_reboots", 16),
-        max_instructions=max_instructions,
-        recovery=spec.get("recovery", "none"),
-        metrics=registry,
-    )
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span("fault.case", attrs={"schedule": spec["schedule"]})
+    with span:
+        report = run_case(
+            target,
+            spec["schedule"],
+            spec.get("seed", 1),
+            golden=_FAULT_GOLDENS[golden_key],
+            max_reboots=spec.get("max_reboots", 16),
+            max_instructions=max_instructions,
+            recovery=spec.get("recovery", "none"),
+            metrics=registry,
+        )
     return {"case": report.as_dict(), "metrics": registry.as_dict()}
 
 
@@ -227,14 +257,21 @@ def _execute_replay(spec):
     from repro.bench import get_benchmark
     from repro.replay.reference import diff_outcome, execute_reference
 
+    recorder = current_recorder()
     engine = _replay_engine(spec)
     policy = spec.get("policy", "queue")
     limit = spec.get("cache_limit")
-    outcome = engine.replay(
-        policy=policy,
-        cache_limit=limit,
-        frequency_mhz=spec.get("frequency_mhz", 24),
-    )
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span(
+            "replay.run", attrs={"policy": policy, "cache_limit": limit}
+        )
+    with span:
+        outcome = engine.replay(
+            policy=policy,
+            cache_limit=limit,
+            frequency_mhz=spec.get("frequency_mhz", 24),
+        )
     expected = get_benchmark(spec["benchmark"], scale=spec.get("scale", 1)).expected
     payload = {
         "benchmark": spec["benchmark"],
@@ -269,9 +306,16 @@ def _baseline_result(benchmark, frequency_mhz):
 
     key = (benchmark, frequency_mhz)
     if key not in _BASELINE_RESULTS:
-        bench = get_benchmark(benchmark)
-        board = build_baseline(bench.source, PLANS["unified"], frequency_mhz)
-        _BASELINE_RESULTS[key] = board.run()
+        recorder = current_recorder()
+        span = NULL_SPAN
+        if recorder is not None:
+            span = recorder.span(
+                "cache_size.baseline", det=False, attrs={"benchmark": benchmark}
+            )
+        with span:
+            bench = get_benchmark(benchmark)
+            board = build_baseline(bench.source, PLANS["unified"], frequency_mhz)
+            _BASELINE_RESULTS[key] = board.run()
     return _BASELINE_RESULTS[key]
 
 
@@ -285,17 +329,24 @@ def _execute_cache_size(spec):
     frequency_mhz = spec.get("frequency_mhz", 24)
     cache_bytes = spec["cache_bytes"]
     baseline = _baseline_result(benchmark, frequency_mhz)
-    if spec.get("engine", "execute") == "replay":
-        engine = _replay_engine(spec)
-        outcome = engine.replay(cache_limit=cache_bytes, frequency_mhz=frequency_mhz)
-        result, stats = outcome.result, outcome.stats
-    else:
-        bench = get_benchmark(benchmark)
-        system = build_swapram(
-            bench.source, PLANS["unified"], frequency_mhz, cache_limit=cache_bytes
-        )
-        result = system.run()
-        stats = system.stats
+    recorder = current_recorder()
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span("cache_size.run", attrs={"cache_bytes": cache_bytes})
+    with span:
+        if spec.get("engine", "execute") == "replay":
+            engine = _replay_engine(spec)
+            outcome = engine.replay(
+                cache_limit=cache_bytes, frequency_mhz=frequency_mhz
+            )
+            result, stats = outcome.result, outcome.stats
+        else:
+            bench = get_benchmark(benchmark)
+            system = build_swapram(
+                bench.source, PLANS["unified"], frequency_mhz, cache_limit=cache_bytes
+            )
+            result = system.run()
+            stats = system.stats
     expected = get_benchmark(benchmark).expected
     if result.debug_words != expected:
         raise UnitError(f"{benchmark}@{cache_bytes}: wrong debug output")

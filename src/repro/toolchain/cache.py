@@ -23,6 +23,9 @@ import pickle
 import tempfile
 from pathlib import Path
 
+from repro.tracing.runtime import current_recorder
+from repro.tracing.span import NULL_SPAN
+
 #: Bumped whenever the pickled Program layout changes; older records
 #: are silently treated as misses.
 FORMAT = "repro-build-cache/1"
@@ -50,19 +53,37 @@ class BuildCache:
         *build* is the real compile function, called only on a miss.
         """
         key = self.key(source)
+        recorder = current_recorder()
         program = self.memory.get(key)
         if program is not None:
             self.hits += 1
+            if recorder is not None:
+                recorder.instant("build.hit", attrs={"key": key[:16]})
         else:
             program = self._disk_load(key)
             if program is not None:
                 self.disk_hits += 1
+                if recorder is not None:
+                    recorder.instant("build.disk_hit", attrs={"key": key[:16]})
             else:
                 self.compiles += 1
-                program = build(source)
+                # Cache traffic is warm-state dependent, so every record
+                # here is raw (det=False): it feeds the Perfetto export
+                # and never the deterministic merged events.
+                span = NULL_SPAN
+                if recorder is not None:
+                    span = recorder.span(
+                        "build.compile", det=False, attrs={"key": key[:16]}
+                    )
+                with span:
+                    program = build(source)
                 self._disk_store(key, program)
             self.memory[key] = program
-        return program.clone()
+        span = NULL_SPAN
+        if recorder is not None:
+            span = recorder.span("build.clone", det=False, attrs={"key": key[:16]})
+        with span:
+            return program.clone()
 
     def attach_disk(self, directory):
         """Persist (and look up) compiled programs under *directory*."""

@@ -1,0 +1,51 @@
+"""Orchestration-plane tracing: spans, event logs, campaign telemetry.
+
+Where ``repro.obs`` observes the *guest* (simulated cycles inside one
+board), this package observes the *host orchestration plane*: campaign
+and unit lifecycle spans, worker dispatch/timeout/respawn instants,
+compile-cache traffic and trace captures, recorded to per-PID JSONL
+logs under ``results/sweeps/<id>/events/`` and merged into a
+deterministic ``events.jsonl``. Detached by default -- every producer
+guards on :func:`~repro.tracing.runtime.current_recorder` -- so the
+hot unit-execution path is untouched unless a campaign opted in with
+``--trace`` / ``REPRO_TRACE``. See ``docs/tracing.md``.
+
+Only the cycle-free core is re-exported here (this package is imported
+by ``repro.sweep`` at module load); the analytics, Perfetto exporter
+and CLI live in their own submodules and are imported where used.
+"""
+
+from repro.tracing.log import (
+    EventLogError,
+    merge_events,
+    read_log,
+    read_raw,
+    validate_events,
+)
+from repro.tracing.runtime import current_recorder, set_recorder
+from repro.tracing.span import (
+    MERGED_FIELDS,
+    NULL_SPAN,
+    SCHEMA,
+    NullSpan,
+    Span,
+    SpanRecorder,
+    span_hash,
+)
+
+__all__ = [
+    "MERGED_FIELDS",
+    "NULL_SPAN",
+    "SCHEMA",
+    "EventLogError",
+    "NullSpan",
+    "Span",
+    "SpanRecorder",
+    "current_recorder",
+    "merge_events",
+    "read_log",
+    "read_raw",
+    "set_recorder",
+    "span_hash",
+    "validate_events",
+]

@@ -1,0 +1,294 @@
+"""Campaign telemetry: live status, throughput/ETA, straggler reports.
+
+Everything here is derived from data the store and the event logs
+already persist -- per-unit ``host`` records (wall clock, worker) and
+the raw per-PID event logs -- so the analytics work on finished,
+running *and* crashed campaigns alike, with no daemon involved.
+``repro sweep watch`` renders :func:`watch_snapshot` on an interval;
+``repro sweep report`` renders :func:`straggler_report`, the view the
+ROADMAP's work-stealing scheduler will read (a unit >k·median is
+exactly a steal candidate).
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.tracing.log import read_raw
+
+
+def unit_rows(store, units):
+    """Per-unit host rows ``{key, kind, status, wall_s, worker}``.
+
+    Only completed units appear; unreadable files are skipped the same
+    way ``completed_keys`` treats them as not-done.
+    """
+    rows = []
+    for key, spec in units:
+        path = store.unit_path(key)
+        if not path.is_file():
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        host = record.get("host") or {}
+        rows.append(
+            {
+                "key": key,
+                "kind": spec.get("kind"),
+                "status": record.get("status"),
+                "wall_s": host.get("wall_s"),
+                "worker": host.get("worker"),
+            }
+        )
+    return rows
+
+
+def _elapsed_s(store, clock=time.time):
+    """Campaign age: creation (campaign.json mtime) to merge or now."""
+    try:
+        started = store.config_path.stat().st_mtime
+    except OSError:
+        return None
+    if store.merged_path.is_file():
+        return max(store.merged_path.stat().st_mtime - started, 0.0)
+    return max(clock() - started, 0.0)
+
+
+def status_document(store, units, clock=time.time):
+    """The ``sweep status --json`` object (plain data, sorted keys).
+
+    Counts by status, per-kind progress, and elapsed seconds; dumped
+    with ``sort_keys`` so the output is stable for scripts.
+    """
+    done = store.completed_keys()
+    by_status = {}
+    kinds = {}
+    for key, spec in units:
+        kind = spec.get("kind") or "?"
+        slot = kinds.setdefault(kind, {"done": 0, "total": 0})
+        slot["total"] += 1
+        if key not in done:
+            continue
+        slot["done"] += 1
+        try:
+            status = store.read_unit(key).get("status", "ok")
+        except (OSError, json.JSONDecodeError):
+            status = "?"
+        by_status[status] = by_status.get(status, 0) + 1
+    done_count = sum(by_status.values())
+    elapsed = _elapsed_s(store, clock=clock)
+    return {
+        "campaign": store.directory.name,
+        "complete": done_count == len(units),
+        "counts": {
+            "by_status": by_status,
+            "done": done_count,
+            "pending": len(units) - done_count,
+            "total": len(units),
+        },
+        "elapsed_s": None if elapsed is None else round(elapsed, 3),
+        "kinds": kinds,
+        "merged": store.merged_path.is_file(),
+    }
+
+
+def _worker_breakdown(rows):
+    """Per-worker ``{units, busy_s}`` from completed-unit host rows."""
+    workers = {}
+    for row in rows:
+        worker = row.get("worker")
+        wall = row.get("wall_s")
+        if worker is None or wall is None:
+            continue
+        slot = workers.setdefault(worker, {"units": 0, "busy_s": 0.0})
+        slot["units"] += 1
+        slot["busy_s"] += wall
+    return workers
+
+
+def watch_snapshot(store, units, clock=time.time):
+    """One ``sweep watch`` frame: progress, throughput, ETA, workers."""
+    document = status_document(store, units, clock=clock)
+    rows = unit_rows(store, units)
+    walls = sorted(r["wall_s"] for r in rows if r.get("wall_s") is not None)
+    median = statistics.median(walls) if walls else None
+    elapsed = document["elapsed_s"]
+    done = document["counts"]["done"]
+    pending = document["counts"]["pending"]
+    workers = _worker_breakdown(rows)
+    width = max(len(workers), 1)
+    document["median_wall_s"] = median
+    document["throughput_per_min"] = (
+        done / elapsed * 60.0 if elapsed and done else None
+    )
+    document["eta_s"] = (
+        pending * median / width if pending and median is not None else None
+    )
+    for slot in workers.values():
+        slot["utilization"] = (
+            min(slot["busy_s"] / elapsed, 1.0) if elapsed else None
+        )
+    document["workers"] = {str(w): workers[w] for w in sorted(workers)}
+    return document
+
+
+def render_watch(snapshot):
+    """A compact text frame for one :func:`watch_snapshot`."""
+    counts = snapshot["counts"]
+    by_status = ", ".join(
+        f"{n} {status}" for status, n in sorted(counts["by_status"].items())
+    )
+    lines = [
+        f"campaign : {snapshot['campaign']}",
+        f"units    : {counts['total']} total, {counts['done']} done"
+        + (f" ({by_status})" if by_status else "")
+        + f", {counts['pending']} pending",
+    ]
+    facts = []
+    if snapshot.get("elapsed_s") is not None:
+        facts.append(f"elapsed {snapshot['elapsed_s']:.1f}s")
+    if snapshot.get("throughput_per_min"):
+        facts.append(f"{snapshot['throughput_per_min']:.1f} units/min")
+    if snapshot.get("eta_s") is not None:
+        facts.append(f"eta ~{snapshot['eta_s']:.0f}s")
+    if facts:
+        lines.append(f"pace     : {'  '.join(facts)}")
+    for worker, slot in snapshot.get("workers", {}).items():
+        label = "inline" if worker == "0" else f"worker {worker}"
+        util = (
+            f"{slot['utilization'] * 100.0:.0f}% busy"
+            if slot.get("utilization") is not None
+            else f"{slot['busy_s']:.1f}s busy"
+        )
+        lines.append(f"{label:<9}: {slot['units']} units, {util}")
+    if snapshot["complete"]:
+        lines.append("complete : yes" + (" (merged)" if snapshot["merged"] else ""))
+    return "\n".join(lines)
+
+
+def _queue_waits(directory):
+    """Dispatch latencies from the raw logs: instant ts - trace start.
+
+    Keyed per trace id so resumed campaigns measure against their own
+    session start, not the original run's.
+    """
+    records, _skipped = read_raw(Path(directory) / "events")
+    if not records:
+        return []
+    start = {}
+    for record in records:
+        trace = record.get("trace_id")
+        ts = record.get("ts")
+        if trace is None or ts is None:
+            continue
+        if trace not in start or ts < start[trace]:
+            start[trace] = ts
+    waits = []
+    for record in records:
+        if record.get("name") != "unit.dispatched":
+            continue
+        origin = start.get(record.get("trace_id"))
+        if origin is not None:
+            waits.append(max(record["ts"] - origin, 0.0))
+    return waits
+
+
+def straggler_report(store, units, factor=3.0, metrics=None, clock=time.time):
+    """Stragglers, worker idle time, and latency histograms.
+
+    A unit is a straggler when its wall clock exceeds ``factor`` times
+    the median of all completed units. *metrics* is an optional
+    :class:`~repro.metrics.registry.MetricsRegistry`; the wall-clock
+    and queue-wait distributions are observed into
+    ``sweep.unit.execute_s`` / ``sweep.unit.queue_wait_s`` histograms
+    there (a fresh registry is used when omitted).
+    """
+    if metrics is None:
+        from repro.metrics.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    rows = unit_rows(store, units)
+    timed = [r for r in rows if r.get("wall_s") is not None]
+    walls = sorted(r["wall_s"] for r in timed)
+    median = statistics.median(walls) if walls else None
+
+    execute = metrics.histogram("sweep.unit.execute_s")
+    for wall in walls:
+        execute.observe(wall)
+    waits = _queue_waits(store.directory)
+    queue_wait = metrics.histogram("sweep.unit.queue_wait_s")
+    for wait in waits:
+        queue_wait.observe(wait)
+
+    stragglers = []
+    if median:
+        for row in timed:
+            if row["wall_s"] > factor * median:
+                stragglers.append(dict(row, ratio=row["wall_s"] / median))
+        stragglers.sort(key=lambda r: -r["wall_s"])
+
+    elapsed = _elapsed_s(store, clock=clock)
+    workers = _worker_breakdown(rows)
+    for slot in workers.values():
+        slot["idle_s"] = (
+            max(elapsed - slot["busy_s"], 0.0) if elapsed is not None else None
+        )
+        slot["utilization"] = (
+            min(slot["busy_s"] / elapsed, 1.0) if elapsed else None
+        )
+
+    return {
+        "campaign": store.directory.name,
+        "factor": factor,
+        "median_wall_s": median,
+        "timed_units": len(timed),
+        "stragglers": stragglers,
+        "workers": {str(w): workers[w] for w in sorted(workers)},
+        "elapsed_s": elapsed,
+        "histograms": {
+            "execute_s": execute.as_dict(),
+            "queue_wait_s": queue_wait.as_dict() if waits else None,
+        },
+    }
+
+
+def render_report(report):
+    """Text rendering of one :func:`straggler_report`."""
+    lines = [f"campaign : {report['campaign']}"]
+    median = report["median_wall_s"]
+    if median is None:
+        lines.append("units    : no timed units yet")
+        return "\n".join(lines)
+    lines.append(
+        f"units    : {report['timed_units']} timed, median {median:.3f}s, "
+        f"straggler gate > {report['factor']:g}x median"
+    )
+    if report["stragglers"]:
+        lines.append(f"stragglers ({len(report['stragglers'])}):")
+        for row in report["stragglers"]:
+            lines.append(
+                f"  {row['key']}  {row['wall_s']:.3f}s "
+                f"({row['ratio']:.1f}x median, {row['kind']}, "
+                f"worker {row['worker']}, {row['status']})"
+            )
+    else:
+        lines.append("stragglers: none")
+    for worker, slot in report["workers"].items():
+        label = "inline" if worker == "0" else f"worker {worker}"
+        parts = [f"{slot['units']} units", f"busy {slot['busy_s']:.2f}s"]
+        if slot.get("idle_s") is not None:
+            parts.append(f"idle {slot['idle_s']:.2f}s")
+        if slot.get("utilization") is not None:
+            parts.append(f"{slot['utilization'] * 100.0:.0f}% busy")
+        lines.append(f"{label:<9}: {', '.join(parts)}")
+    for name, hist in report["histograms"].items():
+        if not hist or not hist.get("count"):
+            continue
+        lines.append(
+            f"{name:<9}: n={hist['count']} mean={hist['mean']:.3f}s "
+            f"min={hist['min']:.3f}s max={hist['max']:.3f}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""The ``repro trace export`` subcommand: campaign Perfetto export.
+
+::
+
+    python -m repro trace export --campaign difftest-1a2b3c4d
+    python -m repro trace export --campaign results/sweeps/ci-sweep --out t.json
+
+Dispatched from :mod:`repro.obs.cli` (``repro trace <bench>`` keeps
+tracing one guest run; ``repro trace export`` renders a whole
+campaign's orchestration plane). The campaign must have been run with
+``--trace`` (or ``REPRO_TRACE=1``) so its event logs exist.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="repro trace export",
+        description="Export a campaign's event logs as a Perfetto trace.",
+    )
+    parser.add_argument(
+        "--campaign",
+        required=True,
+        help="campaign directory, or an id under --root",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(Path("results") / "sweeps"),
+        help="sweep store root (default: results/sweeps)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="trace destination (default: <campaign>/campaign.trace.json)",
+    )
+    return parser
+
+
+def export_main(argv=None, out=sys.stdout):
+    from repro.tracing.perfetto import export_campaign
+
+    parser = _parser()
+    args = parser.parse_args(argv)
+    directory = Path(args.campaign)
+    if not directory.is_dir():
+        directory = Path(args.root) / args.campaign
+    if not directory.is_dir():
+        print(f"error: no campaign directory at {directory}", file=out)
+        return 2
+    try:
+        path = export_campaign(directory, out_path=args.out)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    print(f"trace  : {path}", file=out)
+    print("open it at https://ui.perfetto.dev", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(export_main())

@@ -1,0 +1,197 @@
+"""Reading, merging and validating campaign event logs.
+
+Each process appends whole JSONL lines to its own
+``events/pid-<pid>.jsonl``; a SIGKILL mid-write therefore leaves at
+worst one torn *tail* line, which :func:`read_log` skips (and which the
+recorder terminates before appending on a pid-reuse resume). The
+deterministic projection of those raw logs is ``events.jsonl`` in the
+campaign directory: ``det: true`` records only, reduced to
+:data:`~repro.tracing.span.MERGED_FIELDS`, deduplicated per scope by
+picking one *complete* run, and ordered by campaign expansion -- the
+same merge discipline that makes ``merged.json`` byte-identical across
+worker counts applies here line for line.
+"""
+
+import json
+from pathlib import Path
+
+from repro.tracing.span import MERGED_FIELDS, SCHEMA
+
+#: Raw-record keys every well-formed event carries.
+RAW_FIELDS = MERGED_FIELDS + ("run", "det", "ts", "dur", "pid", "worker", "trace_id")
+
+
+class EventLogError(ValueError):
+    """A malformed or unmergeable event log."""
+
+
+def read_log(path):
+    """Parse one per-PID log, skipping torn (unparseable) lines.
+
+    Returns ``(records, skipped)`` -- *skipped* counts lines dropped as
+    torn or foreign; a crash can tear only the tail, but resumed logs
+    may carry a repaired torn line mid-file, so every line is judged on
+    its own.
+    """
+    records = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
+def read_raw(directory):
+    """All raw records from every ``pid-*.jsonl`` under *directory*.
+
+    Files iterate in sorted-name order so the result is reproducible
+    for a given set of logs; returns ``(records, skipped)``.
+    """
+    directory = Path(directory)
+    records = []
+    skipped = 0
+    if not directory.is_dir():
+        return records, skipped
+    for path in sorted(directory.glob("pid-*.jsonl")):
+        found, torn = read_log(path)
+        records.extend(found)
+        skipped += torn
+    return records, skipped
+
+
+def _unit_order(directory):
+    """Unit keys in campaign-expansion order, read from the store.
+
+    Imported lazily: ``repro.sweep`` imports the engine at package
+    init, and the engine imports this module -- a top-level import
+    would cycle.
+    """
+    from repro.sweep.store import CampaignStore
+
+    store = CampaignStore(Path(directory).parent)
+    return [key for key, _spec in store.read_config().expand()]
+
+
+def _root_name(scope):
+    return "campaign" if scope == "campaign" else "unit"
+
+
+def _complete_runs(records):
+    """Map scope -> chosen run token (the minimal *complete* run).
+
+    A run is complete when it contains the scope's root span record --
+    root spans close last, so its presence proves the whole run was
+    written. Retried or resumed scopes contribute several runs; their
+    deterministic contents are identical by construction, so the
+    minimal run token is an arbitrary-but-stable choice.
+    """
+    complete = {}
+    for record in records:
+        scope = record["scope"]
+        if record["name"] != _root_name(scope) or record["t"] != "span":
+            continue
+        run = record["run"]
+        if scope not in complete or run < complete[scope]:
+            complete[scope] = run
+    return complete
+
+
+def merge_events(directory, units=None, out_path=None):
+    """Write the deterministic ``events.jsonl`` from per-PID raw logs.
+
+    *directory* is the campaign's ``events/`` dir; *units* the unit
+    keys in expansion order (loaded from the store when omitted);
+    *out_path* defaults to ``<campaign>/events.jsonl``. Returns the
+    written path, or ``None`` when there are no raw logs at all.
+    """
+    directory = Path(directory)
+    records, _skipped = read_raw(directory)
+    if not records:
+        return None
+    if units is None:
+        units = _unit_order(directory)
+    if out_path is None:
+        out_path = directory.parent / "events.jsonl"
+
+    det = [r for r in records if r.get("det")]
+    chosen = _complete_runs(det)
+    by_scope = {}
+    for record in det:
+        scope = record["scope"]
+        if chosen.get(scope) != record["run"]:
+            continue
+        by_scope.setdefault(scope, {})[record["span_id"]] = record
+
+    order = ["campaign"] + [key for key in units if key in by_scope]
+    order += sorted(set(by_scope) - set(order))  # orphans, stable tail
+    lines = []
+    for scope in order:
+        scoped = sorted(
+            by_scope.get(scope, {}).values(),
+            key=lambda r: (r["start"], r["end"], r["span_id"]),
+        )
+        for record in scoped:
+            projection = {field: record.get(field) for field in MERGED_FIELDS}
+            lines.append(json.dumps(projection, sort_keys=True, separators=(",", ":")))
+
+    out_path = Path(out_path)
+    tmp = out_path.with_name(f".{out_path.name}.tmp")
+    tmp.write_text("".join(line + "\n" for line in lines))
+    tmp.replace(out_path)
+    return out_path
+
+
+def validate_events(records):
+    """Structural problems in merged (or raw) event records.
+
+    Checks every span_id is unique, every parent_id resolves to a
+    record in the same document, ``end >= start``, and the schema and
+    record type are well-formed. *records* may be a path to a JSONL
+    file or an iterable of dicts; returns a list of problem strings
+    (empty = valid).
+    """
+    if isinstance(records, (str, Path)):
+        loaded, skipped = read_log(records)
+        problems = [f"{skipped} unparseable line(s)"] if skipped else []
+        records = loaded
+    else:
+        records = list(records)
+        problems = []
+
+    seen = {}
+    for index, record in enumerate(records):
+        where = f"record {index} ({record.get('name')!r})"
+        if record.get("schema") != SCHEMA:
+            problems.append(f"{where}: schema {record.get('schema')!r} != {SCHEMA!r}")
+        if record.get("t") not in ("span", "instant"):
+            problems.append(f"{where}: unknown record type {record.get('t')!r}")
+        span_id = record.get("span_id")
+        if not span_id:
+            problems.append(f"{where}: missing span_id")
+        elif span_id in seen:
+            problems.append(f"{where}: duplicate span_id {span_id} (also {seen[span_id]})")
+        else:
+            seen[span_id] = index
+        start, end = record.get("start"), record.get("end")
+        if not isinstance(start, int) or not isinstance(end, int) or end < start:
+            problems.append(f"{where}: bad start/end ({start!r}, {end!r})")
+
+    for index, record in enumerate(records):
+        parent = record.get("parent_id")
+        if parent is not None and parent not in seen:
+            problems.append(
+                f"record {index} ({record.get('name')!r}): "
+                f"unresolvable parent_id {parent}"
+            )
+    return problems

@@ -1,0 +1,126 @@
+"""Perfetto export of a campaign's orchestration-plane event logs.
+
+Renders the raw per-PID logs as one Chrome ``trace_event`` JSON: one
+process per recorded PID (named ``orchestrator``/``worker N`` via "M"
+metadata, so tracks never show bare integers), a span track (tid 1) of
+``X`` complete events for the unit lifecycle -- campaign, unit,
+execute, compiles, captures, the final merge -- and an instant track
+(tid 2) for dispatches, cache hits/misses, timeouts, lost units and
+pool respawns. Timestamps are microseconds relative to the earliest
+record, so the Perfetto time axis reads as campaign wall clock.
+
+Validation and writing reuse :mod:`repro.obs.perfetto` -- the same
+schema checker the guest traces go through, plus its
+``track_name_problems`` naming audit.
+"""
+
+from pathlib import Path
+
+from repro.obs.perfetto import track_name_problems, validate_trace, write_trace
+from repro.tracing.log import read_raw
+
+SPAN_TID = 1
+INSTANT_TID = 2
+
+_TRACK_NAMES = {SPAN_TID: "spans", INSTANT_TID: "events"}
+
+
+def _process_names(records):
+    """pid -> human-readable track name, from the records' worker ids."""
+    names = {}
+    for record in records:
+        pid = record.get("pid")
+        if pid is None or pid in names:
+            continue
+        worker = record.get("worker", 0)
+        role = "orchestrator" if worker == 0 else f"worker {worker}"
+        names[pid] = f"{role} (pid {pid})"
+    return names
+
+
+def campaign_events(records):
+    """Flatten raw records into a ``traceEvents`` list (metadata first)."""
+    names = _process_names(records)
+    events = []
+    for pid in sorted(names):
+        events.append(
+            {"ph": "M", "pid": pid, "name": "process_name",
+             "args": {"name": names[pid]}}
+        )
+        for tid, track in _TRACK_NAMES.items():
+            events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                 "args": {"name": track}}
+            )
+
+    t0 = min((r["ts"] for r in records if r.get("ts") is not None), default=0.0)
+    body = []
+    for record in records:
+        ts = record.get("ts")
+        if ts is None:
+            continue
+        args = dict(record.get("attrs") or {})
+        args["scope"] = record.get("scope")
+        common = {
+            "pid": record.get("pid"),
+            "ts": (ts - t0) * 1e6,
+            "cat": "host",
+            "name": record.get("name"),
+            "args": args,
+        }
+        if record.get("t") == "span":
+            body.append(
+                dict(common, ph="X", tid=SPAN_TID,
+                     dur=max(record.get("dur", 0.0), 0.0) * 1e6)
+            )
+        else:
+            body.append(dict(common, ph="i", tid=INSTANT_TID, s="p"))
+    # A global time sort keeps every track's timestamps monotonic, the
+    # invariant validate_trace enforces per tid.
+    body.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return events + body
+
+
+def campaign_trace(directory):
+    """The full trace object for one campaign directory.
+
+    Raises :class:`ValueError` when the campaign has no event logs
+    (tracing was never enabled).
+    """
+    directory = Path(directory)
+    records, skipped = read_raw(directory / "events")
+    if not records:
+        raise ValueError(
+            f"{directory} has no event logs; run the campaign with --trace"
+        )
+    trace = {
+        "traceEvents": campaign_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.tracing",
+            "campaign": directory.name,
+            "records": len(records),
+            "torn_lines_skipped": skipped,
+        },
+    }
+    return trace
+
+
+def export_campaign(directory, out_path=None):
+    """Validate and write the campaign trace; returns the written path."""
+    directory = Path(directory)
+    trace = campaign_trace(directory)
+    problems = track_name_problems(trace)
+    if problems:
+        raise ValueError("unnamed tracks: " + "; ".join(problems[:5]))
+    if out_path is None:
+        out_path = directory / "campaign.trace.json"
+    return write_trace(out_path, trace)
+
+
+__all__ = [
+    "campaign_events",
+    "campaign_trace",
+    "export_campaign",
+    "validate_trace",
+]

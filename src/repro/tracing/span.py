@@ -1,0 +1,337 @@
+"""The span model and the per-PID append-only recorder.
+
+A *span* is one timed region of the orchestration plane -- a campaign,
+a work unit, a compile, a merge -- carrying a ``trace_id`` /
+``span_id`` / ``parent_id`` triple, monotonic host start/end
+timestamps, attributes, and nested instant events. Spans are emitted
+as single JSONL lines the moment they close, into a per-PID file under
+``<campaign>/events/pid-<pid>.jsonl``: one line per record, flushed
+whole, so a SIGKILLed worker leaves at worst one torn *tail* line and
+never a corrupted earlier record (:mod:`repro.tracing.log` tolerates
+exactly that).
+
+Every record carries two parallel identities:
+
+* **deterministic** (``det: true`` records only): ``span_id`` is a
+  hash of ``scope/seq`` where *scope* is the unit's content-addressed
+  key (or ``campaign``) and *seq* a logical clock ticked only by
+  deterministic records. Two executions of the same unit -- different
+  worker, different day -- emit byte-identical deterministic fields,
+  which is what makes the merged ``events.jsonl`` reproducible across
+  worker counts.
+* **host** (every record): real ``ts``/``dur`` monotonic seconds, pid,
+  worker number, run token, trace id. These power the Perfetto export
+  and the straggler analytics, and are stripped from the merge the
+  same way ``merged.json`` drops per-unit wall clocks.
+
+The recorder is **fork-safe**: a worker forked mid-campaign inherits
+the recorder but writes to its own ``pid-<pid>.jsonl`` from its first
+record (lines are flushed per write, so the inherited buffer is always
+empty). It is also **detached by default** -- nothing in this module
+runs unless a campaign opted in; instrumentation sites guard with a
+single ``if recorder is not None`` (see :mod:`repro.tracing.runtime`)
+and share the no-op :data:`NULL_SPAN` so the detached hot path
+allocates nothing.
+"""
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+SCHEMA = "repro-events/1"
+
+#: Raw-record fields that survive into the merged, deterministic
+#: ``events.jsonl``. Everything host-variant -- timestamps, pids,
+#: worker numbers, run tokens, trace ids -- stays in the per-PID logs,
+#: the same discipline ``merged.json`` applies to unit records.
+MERGED_FIELDS = (
+    "schema",
+    "t",
+    "name",
+    "scope",
+    "span_id",
+    "parent_id",
+    "start",
+    "end",
+    "attrs",
+)
+
+
+def span_hash(text):
+    """16-hex-digit content address for span ids (same width as unit keys)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class Span:
+    """One open span; becomes a single JSONL record when it closes."""
+
+    __slots__ = (
+        "recorder",
+        "name",
+        "det",
+        "attrs",
+        "scope",
+        "run",
+        "span_id",
+        "parent_id",
+        "start",
+        "ts",
+    )
+
+    def __init__(
+        self, recorder, name, det, attrs, scope, run, span_id, parent_id, start, ts
+    ):
+        self.recorder = recorder
+        self.name = name
+        self.det = det
+        self.attrs = attrs
+        self.scope = scope
+        self.run = run
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.ts = ts
+
+    def set(self, key, value):
+        """Attach one attribute (deterministic values only on det spans)."""
+        self.attrs[key] = value
+        return self
+
+    def event(self, name, det=False, attrs=None):
+        """Record an instant event parented to this span's stack."""
+        self.recorder.instant(name, det=det, attrs=attrs)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+        self.recorder.close_span(self)
+        return False
+
+
+class NullSpan:
+    """The shared no-op span handed out while tracing is detached.
+
+    A single module-level instance (:data:`NULL_SPAN`) serves every
+    detached call site, so ``span = recorder.span(...) if recorder
+    else NULL_SPAN`` performs zero allocations when detached -- the
+    invariant ``tests/test_sweep_trace.py`` pins.
+    """
+
+    __slots__ = ()
+
+    def set(self, key, value):
+        return self
+
+    def event(self, name, det=False, attrs=None):
+        return None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class _Frame:
+    """One scope on the recorder's stack (campaign, or one unit run)."""
+
+    __slots__ = ("scope", "run", "det_seq", "raw_seq", "stack")
+
+    def __init__(self, scope, run):
+        self.scope = scope
+        self.run = run
+        self.det_seq = 0  # logical clock ticked by det records only
+        self.raw_seq = 0  # logical clock ticked by raw records only
+        self.stack = []  # open spans, innermost last
+
+
+class SpanRecorder:
+    """Append-only span recorder writing per-PID JSONL event logs.
+
+    *directory* is the campaign's ``events/`` directory; *trace_id*
+    labels the session (host-variant -- it never reaches the merge);
+    *clock* is injectable for deterministic tests and must be
+    cross-process comparable on one host (``time.monotonic``).
+    """
+
+    def __init__(self, directory, trace_id=None, worker=0, clock=time.monotonic):
+        self.directory = Path(directory)
+        self.trace_id = trace_id or os.urandom(8).hex()
+        self.worker = worker
+        self._clock = clock
+        self._nonce = os.urandom(4).hex()
+        self._runs = 0
+        self._pid = None
+        self._handle = None
+        self._frames = [_Frame("campaign", f"c-{self._nonce}")]
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name, det=True, attrs=None):
+        """Open a span in the current scope; use as a context manager."""
+        frame = self._frames[-1]
+        if det:
+            start = frame.det_seq
+            frame.det_seq += 1
+            span_id = span_hash(f"{frame.scope}/{start}")
+        else:
+            start = frame.raw_seq
+            frame.raw_seq += 1
+            span_id = span_hash(f"{frame.scope}/{frame.run}/{start}")
+        span = Span(
+            self,
+            name,
+            det,
+            dict(attrs or {}),
+            frame.scope,
+            frame.run,
+            span_id,
+            self._parent_id(det),
+            start,
+            self._clock(),
+        )
+        frame.stack.append(span)
+        return span
+
+    def close_span(self, span):
+        """Close *span* and emit its record (innermost-first discipline)."""
+        frame = self._frames[-1]
+        if not frame.stack or frame.stack[-1] is not span:
+            raise RuntimeError(f"span {span.name!r} is not the innermost open span")
+        frame.stack.pop()
+        if span.det:
+            end = frame.det_seq
+            frame.det_seq += 1
+        else:
+            end = frame.raw_seq
+            frame.raw_seq += 1
+        self._emit(span, "span", end=end, dur=self._clock() - span.ts)
+
+    def instant(self, name, det=False, attrs=None):
+        """Record an instant event (a zero-duration record)."""
+        frame = self._frames[-1]
+        if det:
+            seq = frame.det_seq
+            frame.det_seq += 1
+            span_id = span_hash(f"{frame.scope}/{seq}")
+        else:
+            seq = frame.raw_seq
+            frame.raw_seq += 1
+            span_id = span_hash(f"{frame.scope}/{frame.run}/{seq}")
+        record = Span(
+            self,
+            name,
+            det,
+            dict(attrs or {}),
+            frame.scope,
+            frame.run,
+            span_id,
+            self._parent_id(det),
+            seq,
+            self._clock(),
+        )
+        self._emit(record, "instant", end=seq, dur=0.0)
+
+    def unit(self, key, kind=None):
+        """Context manager: a unit scope with its root ``unit`` span."""
+        return _UnitScope(self, key, kind)
+
+    def close(self):
+        """Flush and close the current per-PID file (frames survive)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._pid = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _parent_id(self, det):
+        """Nearest enclosing open span id; det spans skip raw ancestors
+        so every parent_id in the merged projection stays resolvable."""
+        for frame in reversed(self._frames):
+            for span in reversed(frame.stack):
+                if span.det or not det:
+                    return span.span_id
+        return None
+
+    def _next_run(self):
+        self._runs += 1
+        return f"{os.getpid()}-{self._nonce}-{self._runs}"
+
+    def _emit(self, span, record_type, end, dur):
+        record = {
+            "schema": SCHEMA,
+            "t": record_type,
+            "name": span.name,
+            "scope": span.scope,
+            "run": span.run,
+            "det": span.det,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start": span.start,
+            "end": end,
+            "ts": span.ts,
+            "dur": dur,
+            "pid": os.getpid(),
+            "worker": self.worker,
+            "trace_id": self.trace_id,
+            "attrs": span.attrs,
+        }
+        self._write_line(json.dumps(record, sort_keys=True, separators=(",", ":")))
+
+    def _write_line(self, line):
+        pid = os.getpid()
+        if self._handle is None or pid != self._pid:
+            # First record, or first record after a fork: (re)open this
+            # process's own log. The inherited handle's buffer is empty
+            # (every line is flushed), so dropping it is safe.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / f"pid-{pid}.jsonl"
+            torn_tail = False
+            try:
+                with open(path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    torn_tail = existing.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass  # absent or empty: nothing to repair
+            self._handle = open(path, "a")
+            if torn_tail:
+                # A predecessor with this pid died mid-write; terminate
+                # its torn tail so our first record starts a fresh line.
+                self._handle.write("\n")
+            self._pid = pid
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+
+class _UnitScope:
+    """Pushes a unit frame, opens the root ``unit`` span, pops on exit."""
+
+    __slots__ = ("recorder", "key", "kind", "root")
+
+    def __init__(self, recorder, key, kind):
+        self.recorder = recorder
+        self.key = key
+        self.kind = kind
+        self.root = None
+
+    def __enter__(self):
+        recorder = self.recorder
+        recorder._frames.append(_Frame(self.key, recorder._next_run()))
+        self.root = recorder.span(
+            "unit", det=True, attrs={"key": self.key, "kind": self.kind}
+        )
+        return self.root
+
+    def __exit__(self, exc_type, exc, tb):
+        self.root.__exit__(exc_type, exc, tb)
+        self.recorder._frames.pop()
+        return False

@@ -198,6 +198,48 @@ def test_host_metrics_not_gated_by_default(crc_snapshot):
     assert not gated.ok
 
 
+# -- phase attribution --------------------------------------------------------------
+
+
+def test_compare_collects_phase_spans_in_pipeline_order(crc_snapshot):
+    report = compare_snapshots(crc_snapshot, crc_snapshot)
+    assert report.phases  # every compared run timed its phases
+    for spans in report.phases.values():
+        names = [phase for phase, _old, _new in spans]
+        assert names.index("compile") < names.index("build")
+
+
+def test_render_attributes_regressions_to_phases(crc_snapshot):
+    """A failing gate must say *where* the seconds went: the render
+    carries per-phase old -> new deltas next to the metric table."""
+    worse = copy.deepcopy(crc_snapshot)
+    for run in worse["runs"]:
+        run["guest"]["total_cycles"] *= 2
+        run["host"]["phases"]["compile"]["seconds"] += 1.0
+    report = compare_snapshots(crc_snapshot, worse)
+    assert not report.ok
+    rendered = report.render()
+    assert "phases crc/" in rendered
+    assert "compile" in rendered
+    assert "(+1.000s)" in rendered
+
+
+def test_phase_lines_track_shown_rows_only(crc_snapshot):
+    clean = compare_snapshots(crc_snapshot, crc_snapshot)
+    assert "phases crc/" not in clean.render()  # nothing regressed
+    assert "phases crc/" in clean.render(all_rows=True)
+
+
+def test_runs_without_phase_records_render_fine(crc_snapshot):
+    bare = copy.deepcopy(crc_snapshot)
+    for snapshot in (bare,):
+        for run in snapshot["runs"]:
+            run["host"].pop("phases", None)
+    report = compare_snapshots(bare, bare)
+    assert report.phases == {}
+    assert "OK" in report.render(all_rows=True)
+
+
 # -- the CLI ------------------------------------------------------------------------
 
 

@@ -1,0 +1,190 @@
+"""Campaign telemetry: status --json, watch snapshots, straggler reports.
+
+The straggler tests run one real sleep-probe campaign with a unit ten
+times slower than its peers -- the exact shape the report exists to
+flag -- and the rest works off stores the engine already wrote, since
+the analytics must serve finished, running and crashed campaigns alike.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.sweep.cli import main as sweep_main
+from repro.sweep.config import CampaignConfig
+from repro.sweep.engine import run_campaign
+from repro.sweep.store import CampaignStore
+from repro.tracing.analytics import (
+    render_report,
+    render_watch,
+    status_document,
+    straggler_report,
+    watch_snapshot,
+)
+
+SLOW_S = 0.3
+
+
+def _echo_config(values=(1, 2, 3, 4, 5, 6)):
+    return CampaignConfig(
+        "probe", "echo", params={"op": "echo"}, matrix={"value": list(values)}
+    )
+
+
+@pytest.fixture(scope="module")
+def straggler(tmp_path_factory):
+    """Five ~30ms sleeps and one 300ms sleep, traced on two workers."""
+    root = tmp_path_factory.mktemp("straggle")
+    config = CampaignConfig(
+        "probe",
+        "straggle",
+        params={"op": "sleep"},
+        matrix={"seconds": [0.028, 0.03, 0.032, 0.034, 0.036, SLOW_S]},
+    )
+    outcome = run_campaign(config, root=root, jobs=2, trace=True)
+    assert outcome.complete
+    return config, CampaignStore.for_config(config, root=root)
+
+
+def _slow_key(config):
+    return next(key for key, spec in config.expand() if spec["seconds"] == SLOW_S)
+
+
+# -- status --------------------------------------------------------------------------
+
+
+def test_status_document_counts_and_kinds(tmp_path):
+    config = _echo_config()
+    run_campaign(config, root=tmp_path, max_units=2)
+    store = CampaignStore.for_config(config, root=tmp_path)
+    document = status_document(store, config.expand())
+    assert document["campaign"] == store.directory.name
+    assert document["complete"] is False
+    assert document["counts"] == {
+        "by_status": {"ok": 2},
+        "done": 2,
+        "pending": 4,
+        "total": 6,
+    }
+    assert document["kinds"] == {"probe": {"done": 2, "total": 6}}
+    assert document["merged"] is False
+    assert document["elapsed_s"] >= 0
+
+
+def test_status_json_cli_is_machine_readable(tmp_path):
+    config = _echo_config()
+    outcome = run_campaign(config, root=tmp_path)
+    out = io.StringIO()
+    code = sweep_main(["status", str(outcome.directory), "--json"], out=out)
+    assert code == 0
+    document = json.loads(out.getvalue())
+    assert document["complete"] is True
+    assert document["counts"]["done"] == 6
+    assert document["merged"] is True
+    # sort_keys output: stable for scripts diffing two status calls
+    assert out.getvalue() == json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def test_status_text_cli_exit_code_unchanged(tmp_path):
+    outcome = run_campaign(_echo_config(), root=tmp_path)
+    out = io.StringIO()
+    assert sweep_main(["status", str(outcome.directory)], out=out) == 0
+    assert "6 total" in out.getvalue()  # plain rendering kept
+
+
+# -- watch ---------------------------------------------------------------------------
+
+
+def test_watch_snapshot_reports_pace_and_workers(straggler):
+    config, store = straggler
+    snapshot = watch_snapshot(store, config.expand())
+    assert snapshot["complete"] is True
+    assert snapshot["median_wall_s"] > 0
+    assert snapshot["eta_s"] is None  # nothing pending
+    assert snapshot["throughput_per_min"] > 0
+    assert snapshot["workers"]  # per-worker rows exist
+    for slot in snapshot["workers"].values():
+        assert slot["units"] > 0
+        assert "utilization" in slot
+    rendered = render_watch(snapshot)
+    assert "complete : yes (merged)" in rendered
+
+
+def test_watch_once_cli_exit_codes(tmp_path):
+    config = _echo_config()
+    done = run_campaign(config, root=tmp_path / "done")
+    out = io.StringIO()
+    assert sweep_main(["watch", str(done.directory), "--once"], out=out) == 0
+    assert "complete : yes" in out.getvalue()
+
+    partial = run_campaign(config, root=tmp_path / "partial", max_units=2)
+    out = io.StringIO()
+    assert sweep_main(["watch", str(partial.directory), "--once"], out=out) == 3
+    assert "4 pending" in out.getvalue()
+
+
+# -- straggler report ----------------------------------------------------------------
+
+
+def test_report_flags_the_injected_10x_straggler(straggler):
+    config, store = straggler
+    units = config.expand()
+    report = straggler_report(store, units, factor=3.0)
+    assert report["timed_units"] == 6
+    assert [row["key"] for row in report["stragglers"]] == [_slow_key(config)]
+    row = report["stragglers"][0]
+    assert row["ratio"] > 3.0
+    assert row["status"] == "ok"
+    assert row["kind"] == "probe"
+
+
+def test_report_breaks_down_workers_and_histograms(straggler):
+    config, store = straggler
+    metrics = MetricsRegistry()
+    report = straggler_report(store, config.expand(), metrics=metrics)
+
+    for slot in report["workers"].values():
+        assert slot["busy_s"] > 0
+        assert slot["idle_s"] >= 0
+        assert 0 <= slot["utilization"] <= 1
+
+    execute = report["histograms"]["execute_s"]
+    assert execute["count"] == 6
+    assert execute["max"] >= SLOW_S
+    # The campaign was traced, so dispatch instants yield queue waits.
+    assert report["histograms"]["queue_wait_s"]["count"] == 6
+    # ...and both distributions landed in the caller's registry.
+    document = metrics.as_dict()
+    assert document["sweep.unit.execute_s"]["count"] == 6
+    assert document["sweep.unit.queue_wait_s"]["count"] == 6
+
+
+def test_report_without_timed_units_renders_gracefully(tmp_path):
+    config = _echo_config()
+    store = CampaignStore.for_config(config, root=tmp_path)
+    store.initialize(config)
+    report = straggler_report(store, config.expand())
+    assert report["median_wall_s"] is None
+    assert report["stragglers"] == []
+    assert "no timed units" in render_report(report)
+
+
+def test_report_cli_renders_stragglers(straggler):
+    config, store = straggler
+    out = io.StringIO()
+    assert sweep_main(["report", str(store.directory)], out=out) == 0
+    rendered = out.getvalue()
+    assert "stragglers (1):" in rendered
+    assert _slow_key(config) in rendered
+    assert "execute_s" in rendered
+
+
+def test_render_report_labels_the_inline_worker(tmp_path):
+    config = _echo_config()
+    run_campaign(config, root=tmp_path, jobs=1)
+    store = CampaignStore.for_config(config, root=tmp_path)
+    rendered = render_report(straggler_report(store, config.expand()))
+    assert "median" in rendered
+    assert "inline" in rendered  # jobs=1 runs on the inline pseudo-worker

@@ -1,0 +1,152 @@
+"""Orchestration-plane tracing through the sweep engine.
+
+The acceptance bar for tracing: turning it on must not move a byte of
+``merged.json``; the merged ``events.jsonl`` must be byte-identical
+across worker counts and across interrupt/resume; crashed workers
+leave logs the reader tolerates; and the detached path costs one
+``if`` -- no allocations, no traced-helper calls (the zero-cost
+discipline ``tests/test_obs_timeline.py`` pins for guest tracing).
+"""
+
+import json
+import os
+
+from repro.sweep.config import CampaignConfig
+from repro.sweep.engine import resume_campaign, run_campaign
+from repro.sweep.store import CampaignStore
+from repro.tracing import current_recorder, validate_events
+from repro.tracing.log import read_raw
+
+
+def _echo_config(name="echo", values=(1, 2, 3, 4, 5, 6)):
+    return CampaignConfig(
+        "probe",
+        name,
+        params={"op": "echo"},
+        matrix={"value": list(values)},
+    )
+
+
+def test_tracing_does_not_move_a_byte_of_merged_json(tmp_path):
+    config = _echo_config()
+    plain = run_campaign(config, root=tmp_path / "off", jobs=1)
+    traced = run_campaign(config, root=tmp_path / "on1", jobs=1, trace=True)
+    pooled = run_campaign(config, root=tmp_path / "on4", jobs=4, trace=True)
+    assert plain.events_path is None
+    assert traced.events_path is not None and pooled.events_path is not None
+    merged = plain.merged_path.read_bytes()
+    assert merged == traced.merged_path.read_bytes()
+    assert merged == pooled.merged_path.read_bytes()
+
+
+def test_events_jsonl_identical_across_worker_counts(tmp_path):
+    config = _echo_config()
+    serial = run_campaign(config, root=tmp_path / "j1", jobs=1, trace=True)
+    pooled = run_campaign(config, root=tmp_path / "j4", jobs=4, trace=True)
+    assert serial.events_path.read_bytes() == pooled.events_path.read_bytes()
+
+
+def test_merged_events_are_schema_valid_and_cover_every_unit(tmp_path):
+    config = _echo_config()
+    outcome = run_campaign(config, root=tmp_path, jobs=4, trace=True)
+    assert validate_events(outcome.events_path) == []
+
+    lines = [
+        json.loads(line)
+        for line in outcome.events_path.read_text().splitlines()
+    ]
+    keys = {key for key, _spec in config.expand()}
+    assert {record["scope"] for record in lines} == {"campaign"} | keys
+    for key in keys:
+        names = [r["name"] for r in lines if r["scope"] == key]
+        assert names == ["unit", "execute"]
+        root = next(r for r in lines if r["scope"] == key and r["name"] == "unit")
+        assert root["attrs"]["status"] == "ok"
+
+
+def test_repro_trace_env_var_enables_tracing(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    outcome = run_campaign(_echo_config(), root=tmp_path)
+    assert outcome.events_path is not None
+    assert outcome.events_path.is_file()
+
+
+def test_interrupt_resume_events_match_uninterrupted(tmp_path):
+    """Resume appends to the same per-PID log (same orchestrator pid)
+    without corrupting it, and the merge picks one complete run per
+    scope -- so the final events.jsonl matches a one-shot campaign."""
+    config = _echo_config()
+    first = run_campaign(config, root=tmp_path / "a", max_units=2, trace=True)
+    assert first.interrupted
+    assert first.events_path is None  # no merge until complete
+
+    store = CampaignStore.for_config(config, root=tmp_path / "a")
+    resumed = resume_campaign(store.directory, jobs=2, trace=True)
+    assert resumed.complete
+    assert validate_events(resumed.events_path) == []
+
+    oneshot = run_campaign(config, root=tmp_path / "b", jobs=1, trace=True)
+    assert resumed.events_path.read_bytes() == oneshot.events_path.read_bytes()
+
+
+def test_sigkilled_workers_leave_readable_logs(tmp_path):
+    config = CampaignConfig(
+        "probe",
+        "crashy",
+        matrix={"op": ["echo", "kill"], "value": [1, 2]},
+    )
+    outcome = run_campaign(config, root=tmp_path, jobs=2, trace=True)
+    assert len(outcome.lost) == 2
+    assert outcome.events_path is None  # incomplete campaigns don't merge
+
+    store = CampaignStore.for_config(config, root=tmp_path)
+    records, skipped = read_raw(store.directory / "events")
+    assert skipped == 0  # lines are flushed whole; SIGKILL can't tear them
+    names = {record["name"] for record in records}
+    assert "campaign" in names  # the orchestrator's root span closed
+    assert "unit.lost" in names  # ...and recorded both deaths
+    assert sum(r["name"] == "worker.respawn" for r in records) >= 2
+    echo_roots = [
+        r for r in records if r["name"] == "unit" and r["attrs"]["status"] == "ok"
+    ]
+    assert len(echo_roots) == 2  # the echo units' runs are complete
+
+
+def test_untraced_campaign_creates_no_tracing_state(tmp_path):
+    outcome = run_campaign(_echo_config(), root=tmp_path, jobs=2)
+    assert outcome.events_path is None
+    assert current_recorder() is None
+    assert not (outcome.directory / "events").exists()
+    assert not (outcome.directory / "events.jsonl").exists()
+
+
+def test_detached_units_never_enter_the_traced_path(tmp_path, monkeypatch):
+    """The zero-cost regression: with no recorder attached, the unit
+    hot path is one global load and an ``is None`` test -- the traced
+    helper must be unreachable."""
+    import repro.sweep.pool as pool
+
+    def boom(recorder, key, spec):
+        raise AssertionError("traced path entered while detached")
+
+    monkeypatch.setattr(pool, "_run_one_traced", boom)
+    outcome = run_campaign(_echo_config(), root=tmp_path, jobs=1)
+    assert outcome.complete
+    assert outcome.executed == 6
+
+
+def test_trace_attach_is_scoped_to_the_campaign(tmp_path):
+    assert current_recorder() is None
+    run_campaign(_echo_config(), root=tmp_path, jobs=1, trace=True)
+    assert current_recorder() is None  # detached again on the way out
+
+
+def test_worker_identity_reaches_the_raw_records(tmp_path):
+    run_campaign(_echo_config(), root=tmp_path, jobs=2, trace=True)
+    store = CampaignStore.for_config(_echo_config(), root=tmp_path)
+    records, _skipped = read_raw(store.directory / "events")
+    orchestrator = [r for r in records if r["worker"] == 0]
+    workers = {r["worker"] for r in records} - {0}
+    assert any(r["name"] == "campaign" for r in orchestrator)
+    assert workers  # forked workers stamped their own ids
+    assert all(r["pid"] != os.getpid() for r in records if r["worker"] != 0)

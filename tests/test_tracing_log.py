@@ -1,0 +1,174 @@
+"""Event-log reading, deterministic merging, and schema validation.
+
+``events.jsonl`` applies the ``merged.json`` discipline to spans: det
+records only, host identity stripped, one complete run per scope,
+campaign-expansion order. These tests build logs with injected clocks
+so the *raw* side differs wildly between sessions while the merged
+bytes must not.
+"""
+
+import json
+
+from repro.tracing import (
+    MERGED_FIELDS,
+    SCHEMA,
+    SpanRecorder,
+    merge_events,
+    read_log,
+    validate_events,
+)
+
+K1, K2, K3 = "1" * 16, "2" * 16, "3" * 16
+
+
+def _ticking(step):
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def _session(root, step=0.5, units=(K1, K2), raw_noise=False):
+    """One traced pseudo-campaign; returns the merged events.jsonl path."""
+    events = root / "events"
+    recorder = SpanRecorder(events, clock=_ticking(step))
+    with recorder.span("campaign", attrs={"units": len(units)}):
+        if raw_noise:
+            recorder.instant("campaign.session", attrs={"jobs": 4})
+        for key in units:
+            with recorder.unit(key, "probe") as role:
+                with recorder.span("execute"):
+                    if raw_noise:
+                        with recorder.span("build.compile", det=False):
+                            pass
+                role.set("status", "ok")
+    recorder.close()
+    return merge_events(events, units=list(units))
+
+
+def test_read_log_judges_every_line_on_its_own(tmp_path):
+    good = json.dumps({"schema": SCHEMA, "t": "span", "name": "ok"})
+    path = tmp_path / "pid-1.jsonl"
+    path.write_text(
+        good + "\n"
+        '{"torn half lin\n'
+        '{"schema": "other/1", "t": "span"}\n'
+        "\n"
+        + good.replace("ok", "also-ok")
+        + "\n"
+    )
+    records, skipped = read_log(path)
+    assert [record["name"] for record in records] == ["ok", "also-ok"]
+    assert skipped == 2  # the torn line and the foreign-schema line
+
+
+def test_merge_projects_det_records_only(tmp_path):
+    path = _session(tmp_path, raw_noise=True)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines, "merged events.jsonl is empty"
+    for record in lines:
+        assert sorted(record) == sorted(MERGED_FIELDS)
+    names = {record["name"] for record in lines}
+    assert names == {"campaign", "unit", "execute"}  # no raw noise survives
+
+
+def test_merged_bytes_identical_across_sessions(tmp_path):
+    """Different wall clocks, pids-equal-but-new trace ids, extra raw
+    records: the merged projection must not notice any of it."""
+    quiet = _session(tmp_path / "a", step=0.1, raw_noise=False)
+    noisy = _session(tmp_path / "b", step=7.3, raw_noise=True)
+    assert quiet.read_bytes() == noisy.read_bytes()
+
+
+def test_merge_drops_incomplete_runs_and_dedupes_retries(tmp_path):
+    events = tmp_path / "events"
+
+    # Run 1: unit K1 abandoned mid-flight (root span never closes), the
+    # shape a SIGKILLed worker leaves behind.
+    recorder = SpanRecorder(events, clock=_ticking(0.5))
+    scope = recorder.unit(K1, "probe")
+    scope.__enter__()
+    with recorder.span("execute"):
+        pass
+    recorder.close()
+
+    # Runs 2 and 3: the unit retried to completion, twice.
+    recorder = SpanRecorder(events, clock=_ticking(0.5))
+    for _attempt in range(2):
+        with recorder.unit(K1, "probe") as role:
+            with recorder.span("execute"):
+                pass
+            role.set("status", "ok")
+    recorder.close()
+
+    path = merge_events(events, units=[K1])
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [record["name"] for record in lines] == ["unit", "execute"]
+    assert lines[0]["attrs"]["status"] == "ok"  # a complete run won
+    assert validate_events(path) == []
+
+
+def test_merge_orders_campaign_then_units_then_orphans(tmp_path):
+    _session(tmp_path, units=(K3, K2, K1))
+    # Merge again claiming only K2 and K1 belong to the campaign (in
+    # that order); K3 becomes an orphan scope at the sorted tail.
+    path = merge_events(tmp_path / "events", units=[K2, K1])
+    scopes = [
+        json.loads(line)["scope"] for line in path.read_text().splitlines()
+    ]
+    deduped = [scope for i, scope in enumerate(scopes) if scope not in scopes[:i]]
+    assert deduped == ["campaign", K2, K1, K3]
+
+
+def test_merge_without_logs_returns_none(tmp_path):
+    assert merge_events(tmp_path / "events", units=[K1]) is None
+
+
+def test_validate_events_accepts_a_real_merged_log(tmp_path):
+    path = _session(tmp_path, raw_noise=True)
+    assert validate_events(path) == []
+
+
+def _record(**overrides):
+    base = {
+        "schema": SCHEMA,
+        "t": "span",
+        "name": "x",
+        "scope": "campaign",
+        "span_id": "a" * 16,
+        "parent_id": None,
+        "start": 0,
+        "end": 1,
+        "attrs": {},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_validate_events_catches_structural_problems():
+    problems = validate_events([_record(), _record()])
+    assert any("duplicate span_id" in problem for problem in problems)
+
+    problems = validate_events([_record(start=2, end=1)])
+    assert any("bad start/end" in problem for problem in problems)
+
+    problems = validate_events([_record(t="mystery")])
+    assert any("unknown record type" in problem for problem in problems)
+
+    problems = validate_events([_record(parent_id="b" * 16)])
+    assert any("unresolvable parent_id" in problem for problem in problems)
+
+    problems = validate_events([_record(schema="other/9")])
+    assert any("schema" in problem for problem in problems)
+
+    assert validate_events([_record()]) == []
+
+
+def test_validate_events_counts_unparseable_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(json.dumps(_record()) + '\n{"torn\n')
+    problems = validate_events(path)
+    assert any("unparseable" in problem for problem in problems)

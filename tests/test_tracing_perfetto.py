@@ -1,0 +1,132 @@
+"""Campaign Perfetto export: named tracks, valid schema, CLI round trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.perfetto import track_name_problems, validate_trace
+from repro.sweep.config import CampaignConfig
+from repro.sweep.engine import run_campaign
+from repro.tracing.perfetto import campaign_trace, export_campaign
+
+
+@pytest.fixture(scope="module")
+def traced_campaign(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sweeps")
+    config = CampaignConfig(
+        "probe", "echo", params={"op": "echo"}, matrix={"value": [1, 2, 3, 4]}
+    )
+    outcome = run_campaign(config, root=root, jobs=2, trace=True)
+    assert outcome.complete
+    return outcome.directory
+
+
+def test_export_is_schema_valid_with_named_tracks(traced_campaign):
+    path = export_campaign(traced_campaign)
+    assert path == traced_campaign / "campaign.trace.json"
+    trace = json.loads(path.read_text())
+    assert validate_trace(trace) == []
+    assert track_name_problems(trace) == []
+
+    names = {
+        event["args"]["name"]
+        for event in trace["traceEvents"]
+        if event.get("ph") == "M" and event.get("name") == "process_name"
+    }
+    assert any(name.startswith("orchestrator (pid ") for name in names)
+    assert any(name.startswith("worker ") for name in names)
+
+
+def test_export_carries_spans_and_instants(traced_campaign):
+    trace = campaign_trace(traced_campaign)
+    spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    instants = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+    span_names = {event["name"] for event in spans}
+    assert {"campaign", "unit", "execute", "merge"} <= span_names
+    assert {e["name"] for e in instants} >= {"campaign.session", "unit.dispatched"}
+    # Spans carry their attrs plus the owning scope for drill-down.
+    unit = next(event for event in spans if event["name"] == "unit")
+    assert unit["args"]["scope"] == unit["args"]["key"]
+    assert unit["args"]["status"] == "ok"
+    assert all(event["dur"] >= 0 for event in spans)
+    assert trace["otherData"]["campaign"] == traced_campaign.name
+
+
+def test_export_cli_round_trip(traced_campaign):
+    out = io.StringIO()
+    code = repro_main(
+        ["trace", "export", "--campaign", str(traced_campaign)], out=out
+    )
+    assert code == 0
+    assert "campaign.trace.json" in out.getvalue()
+    assert "ui.perfetto.dev" in out.getvalue()
+
+    # --campaign also resolves ids under --root
+    out = io.StringIO()
+    code = repro_main(
+        [
+            "trace",
+            "export",
+            "--campaign",
+            traced_campaign.name,
+            "--root",
+            str(traced_campaign.parent),
+            "--out",
+            str(traced_campaign / "renamed.trace.json"),
+        ],
+        out=out,
+    )
+    assert code == 0
+    assert (traced_campaign / "renamed.trace.json").is_file()
+
+
+def test_export_cli_errors_are_exit_2(tmp_path):
+    out = io.StringIO()
+    code = repro_main(
+        ["trace", "export", "--campaign", str(tmp_path / "nowhere")], out=out
+    )
+    assert code == 2
+    assert "no campaign directory" in out.getvalue()
+
+    # A campaign that was never traced has no event logs to export.
+    config = CampaignConfig(
+        "probe", "untraced", params={"op": "echo"}, matrix={"value": [1]}
+    )
+    outcome = run_campaign(config, root=tmp_path)
+    out = io.StringIO()
+    code = repro_main(
+        ["trace", "export", "--campaign", str(outcome.directory)], out=out
+    )
+    assert code == 2
+    assert "--trace" in out.getvalue()
+
+
+def test_track_name_problems_flags_anonymous_tracks():
+    anonymous = {
+        "traceEvents": [
+            {"ph": "X", "pid": 7, "tid": 1, "ts": 0, "dur": 1, "name": "x"}
+        ]
+    }
+    problems = track_name_problems(anonymous)
+    assert any("process_name" in problem for problem in problems)
+    assert any("thread_name" in problem for problem in problems)
+
+    named = {
+        "traceEvents": [
+            {"ph": "M", "pid": 7, "name": "process_name", "args": {"name": "p"}},
+            {
+                "ph": "M",
+                "pid": 7,
+                "tid": 1,
+                "name": "thread_name",
+                "args": {"name": "t"},
+            },
+            {"ph": "X", "pid": 7, "tid": 1, "ts": 0, "dur": 1, "name": "x"},
+        ]
+    }
+    assert track_name_problems(named) == []
+    assert track_name_problems([]) == [
+        "trace is not an object with a traceEvents list"
+    ]

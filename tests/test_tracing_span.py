@@ -1,0 +1,223 @@
+"""Span recorder mechanics: det/raw identity, fork-safe per-PID logs.
+
+The recorder's one structural promise is the det/raw split: ``det:
+true`` records carry only logical clocks and content-derived span ids,
+so two executions of the same scope -- different process, different
+wall clock -- emit byte-identical deterministic fields. Everything
+host-variant (timestamps, pids, run tokens) rides along on the same
+records and never perturbs the det side.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.tracing import (
+    MERGED_FIELDS,
+    NULL_SPAN,
+    SCHEMA,
+    NullSpan,
+    SpanRecorder,
+    read_log,
+    span_hash,
+)
+
+KEY = "k" * 16
+
+
+def _ticking(step=0.25):
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def _records(directory):
+    records = []
+    for path in sorted(directory.glob("pid-*.jsonl")):
+        found, skipped = read_log(path)
+        assert skipped == 0
+        records.extend(found)
+    return records
+
+
+def _det_projection(records):
+    return [
+        tuple(record.get(field) for field in MERGED_FIELDS)
+        for record in records
+        if record["det"]
+    ]
+
+
+def test_span_record_shape(tmp_path):
+    recorder = SpanRecorder(tmp_path, trace_id="t1", clock=_ticking())
+    with recorder.span("campaign", attrs={"name": "demo"}) as span:
+        span.set("units", 3)
+    recorder.close()
+
+    (record,) = _records(tmp_path)
+    assert record["schema"] == SCHEMA
+    assert record["t"] == "span"
+    assert record["name"] == "campaign"
+    assert record["scope"] == "campaign"
+    assert record["det"] is True
+    assert record["span_id"] == span_hash("campaign/0")
+    assert record["parent_id"] is None
+    assert (record["start"], record["end"]) == (0, 1)
+    assert record["attrs"] == {"name": "demo", "units": 3}
+    assert record["pid"] == os.getpid()
+    assert record["trace_id"] == "t1"
+    assert record["dur"] > 0
+
+
+def test_nested_spans_parent_to_enclosing(tmp_path):
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    with recorder.span("outer") as outer:
+        with recorder.span("inner"):
+            pass
+    recorder.close()
+
+    inner, closed_outer = _records(tmp_path)  # inner closes (emits) first
+    assert inner["name"] == "inner"
+    assert inner["parent_id"] == outer.span_id
+    assert closed_outer["name"] == "outer"
+    assert closed_outer["start"] < inner["start"] < inner["end"] < closed_outer["end"]
+
+
+def test_closing_a_non_innermost_span_is_an_error(tmp_path):
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    outer = recorder.span("outer")
+    recorder.span("inner")
+    with pytest.raises(RuntimeError, match="innermost"):
+        recorder.close_span(outer)
+
+
+def test_det_identity_survives_raw_interleaving(tmp_path):
+    """Raw spans/instants tick their own clock: the det projection of a
+    run with cache-hit instants and compile spans interleaved is
+    byte-identical to one without (the merged-events invariant)."""
+
+    def session(directory, noisy):
+        recorder = SpanRecorder(directory, clock=_ticking())
+        with recorder.span("campaign"):
+            if noisy:
+                recorder.instant("campaign.session", attrs={"jobs": 4})
+            with recorder.unit(KEY, "probe") as root:
+                with recorder.span("execute"):
+                    if noisy:
+                        with recorder.span("build.compile", det=False):
+                            pass
+                        recorder.instant("build.hit", attrs={"key": KEY})
+                root.set("status", "ok")
+        recorder.close()
+        return _records(directory)
+
+    quiet = session(tmp_path / "quiet", noisy=False)
+    noisy = session(tmp_path / "noisy", noisy=True)
+    assert len(noisy) > len(quiet)
+    assert _det_projection(quiet) == _det_projection(noisy)
+
+
+def test_unit_scope_opens_root_and_restores_campaign_scope(tmp_path):
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    with recorder.unit(KEY, "probe") as root:
+        root.set("status", "ok")
+    with recorder.span("merge", det=False):
+        pass
+    recorder.close()
+
+    unit, merge = _records(tmp_path)
+    assert unit["name"] == "unit"
+    assert unit["scope"] == KEY
+    assert unit["attrs"] == {"key": KEY, "kind": "probe", "status": "ok"}
+    assert merge["scope"] == "campaign"
+
+
+def test_exception_inside_span_tags_error_attribute(tmp_path):
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    with pytest.raises(ValueError):
+        with recorder.span("execute"):
+            raise ValueError("boom")
+    recorder.close()
+
+    (record,) = _records(tmp_path)
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_instants_are_zero_duration_raw_records(tmp_path):
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    recorder.instant("unit.dispatched", attrs={"key": KEY, "worker": 2})
+    recorder.close()
+
+    (record,) = _records(tmp_path)
+    assert record["t"] == "instant"
+    assert record["det"] is False
+    assert record["start"] == record["end"]
+    assert record["dur"] == 0.0
+
+
+def test_every_line_lands_whole_and_flushed(tmp_path):
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    with recorder.span("one"):
+        pass
+    # Visible on disk before close(): lines are flushed as written, so
+    # a SIGKILLed process loses at most the line being written.
+    path = tmp_path / f"pid-{os.getpid()}.jsonl"
+    content = path.read_text()
+    assert content.endswith("\n")
+    assert json.loads(content.splitlines()[0])["name"] == "one"
+    recorder.close()
+
+
+def test_torn_tail_is_repaired_before_appending(tmp_path):
+    """Pid reuse after a crash: the new recorder terminates a torn tail
+    line so its first record starts on a fresh line."""
+    path = tmp_path / f"pid-{os.getpid()}.jsonl"
+    path.write_text('{"schema":"repro-events/1","t":"sp')  # no newline
+    recorder = SpanRecorder(tmp_path, clock=_ticking())
+    with recorder.span("after-crash"):
+        pass
+    recorder.close()
+
+    records, skipped = read_log(path)
+    assert skipped == 1  # the torn line, and only it
+    assert [record["name"] for record in records] == ["after-crash"]
+
+
+def test_forked_child_writes_its_own_pid_file(tmp_path):
+    recorder = SpanRecorder(tmp_path)
+    with recorder.span("parent-side"):
+        pass
+    child = os.fork()
+    if child == 0:
+        try:
+            recorder.worker = 1
+            with recorder.span("child-side", det=False):
+                pass
+        finally:
+            os._exit(0)
+    os.waitpid(child, 0)
+
+    files = sorted(path.name for path in tmp_path.glob("pid-*.jsonl"))
+    assert len(files) == 2
+    assert f"pid-{os.getpid()}.jsonl" in files
+    records = _records(tmp_path)
+    assert {record["name"] for record in records} == {"parent-side", "child-side"}
+    assert {record["pid"] for record in records} == {
+        os.getpid(),
+        child,
+    }
+
+
+def test_null_span_is_a_shared_inert_singleton():
+    """The detached hot path hands out one module-level NullSpan: no
+    per-call allocation, no per-instance state to allocate at all."""
+    assert NullSpan.__slots__ == ()
+    assert NULL_SPAN.set("key", "value") is NULL_SPAN
+    assert NULL_SPAN.event("anything") is None
+    with NULL_SPAN as span:
+        assert span is NULL_SPAN
