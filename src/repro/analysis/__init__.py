@@ -1,0 +1,50 @@
+"""Cache-behavior analytics over captured replay traces.
+
+The replay layer (PR 6) can *run* a cache configuration fast; this
+package explains **why** it misses. From one captured baseline trace it
+derives, exactly:
+
+* per-access **miss classification** -- compulsory / capacity /
+  conflict, via infinite-cache and fully-associative-LRU reference
+  simulations (:mod:`repro.analysis.classify`);
+* single-pass **Mattson reuse profiles** -- exact LRU miss counts for
+  *every* way count from one pass, hole-aware so FRAM write
+  invalidations stay exact (:mod:`repro.analysis.mrc`);
+* **eviction causality** -- which function's lines evict which, thrash
+  pairs, and working-set-over-time curves
+  (:mod:`repro.analysis.causality`);
+* deterministic JSON / text / Perfetto reports and the
+  ``python -m repro cache`` CLI (:mod:`repro.analysis.report`,
+  :mod:`repro.analysis.cli`).
+
+Every number is exact, not sampled: the analyses replicate the replay
+engine's FRAM-line mirror touch for touch, and the test suite pins the
+MRC bit-exactly against :class:`~repro.replay.engine.ReplayEngine` runs
+at measured geometries.
+"""
+
+from repro.analysis.causality import eviction_causality, window_series, working_set
+from repro.analysis.classify import classify_stream
+from repro.analysis.mrc import reuse_profile
+from repro.analysis.stream import (
+    AnalysisError,
+    AnalysisRefused,
+    INVALIDATE,
+    TOUCH,
+    ReferenceStream,
+    build_stream,
+)
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisRefused",
+    "INVALIDATE",
+    "TOUCH",
+    "ReferenceStream",
+    "build_stream",
+    "classify_stream",
+    "eviction_causality",
+    "reuse_profile",
+    "window_series",
+    "working_set",
+]

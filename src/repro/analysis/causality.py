@@ -1,0 +1,230 @@
+"""Eviction causality, thrash pairs, and working-set-over-time curves.
+
+**Eviction causality.** The target-geometry simulation here mirrors
+:class:`~repro.machine.fram_cache.FramReadCache` line for line but also
+*names* each eviction: when the line being filled pushes out a set's
+LRU victim, the fill's owner (the function whose code -- or ``<data>``
+-- lives on the incoming line, via :mod:`repro.obs.funcmap`) is charged
+with evicting the victim's owner. Summed over the run this yields the
+evictor x victim matrix behind the ``repro cache report`` causality
+section and the thrash ranking.
+
+**Thrash pairs.** A pair of functions that repeatedly evict *each
+other* is the line-cache analogue of the paper's function-cache
+thrashing: A's fetches push out B's lines, whose very next fetches push
+A's back out. Pairs are ranked by mutual pressure -- ``min`` of the two
+directed counts first (both directions must be hot for real
+ping-ponging), total second -- with one-directional pressure listed
+after any mutual pair.
+
+**Working set.** :func:`working_set` cuts the stream's deterministic
+time axis (cumulative unstalled cycles, which no cache configuration
+can change) into fixed windows and counts distinct lines touched per
+window -- the classic Denning working set over line granules.
+:func:`window_series` additionally samples, at every window boundary,
+the cumulative per-class miss counts and the live-line occupancy of the
+target cache, feeding the Perfetto counter tracks.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.classify import MissClassifier
+from repro.analysis.stream import INVALIDATE, TOUCH
+
+
+@dataclass
+class CausalityResult:
+    """Who evicts whom, at one target geometry."""
+
+    sets: int
+    ways: int
+    line_bytes: int
+    evictions: int = 0
+    #: (evictor_owner, victim_owner) -> directed eviction count.
+    matrix: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: tag-granular re-fetch count: evictions whose victim line was
+    #: touched again later (each one a miss the eviction caused).
+    harmful_evictions: int = 0
+
+    def pairs(self):
+        """Function pairs ranked by mutual eviction pressure.
+
+        One row per unordered pair ``{a, b}``: mutual pairs (both
+        directions non-zero) first, ordered by ``min`` of the two
+        directed counts then total; one-directional pressure follows.
+        """
+        combined = {}
+        for (evictor, victim), count in self.matrix.items():
+            key = (min(evictor, victim), max(evictor, victim))
+            entry = combined.setdefault(key, [0, 0])
+            if (evictor, victim) == key:
+                entry[0] += count
+            else:
+                entry[1] += count
+        rows = []
+        for (first, second), (forward, backward) in combined.items():
+            if first == second:
+                forward, backward = forward + backward, forward + backward
+            rows.append(
+                {
+                    "functions": [first, second],
+                    "evictions": (
+                        forward if first == second else forward + backward
+                    ),
+                    "mutual": min(forward, backward),
+                    "forward": forward,  # first evicts second
+                    "backward": backward,  # second evicts first
+                }
+            )
+        rows.sort(
+            key=lambda row: (
+                -row["mutual"],
+                -row["evictions"],
+                row["functions"],
+            )
+        )
+        return rows
+
+
+def eviction_causality(stream, sets=2, ways=2, metrics=None):
+    """Attribute every eviction at the target geometry to its causer."""
+    owners = stream.owners
+    result = CausalityResult(sets, ways, stream.line_bytes)
+    matrix = result.matrix
+    lines = [[] for _ in range(sets)]
+    evicted_at = {}  # tag -> order index of its last eviction
+    order = 0
+    for op, tag, _cycles in stream.events:
+        ways_list = lines[tag % sets]
+        if op == TOUCH:
+            order += 1
+            if tag in ways_list:
+                ways_list.remove(tag)
+                ways_list.append(tag)
+                continue
+            if evicted_at.pop(tag, None) is not None:
+                # This miss exists because an earlier eviction threw
+                # the line out -- the eviction did real damage.
+                result.harmful_evictions += 1
+            ways_list.append(tag)
+            if len(ways_list) > ways:
+                victim = ways_list.pop(0)
+                result.evictions += 1
+                evicted_at[victim] = order
+                key = (owners[tag], owners[victim])
+                matrix[key] = matrix.get(key, 0) + 1
+        elif op == INVALIDATE:
+            if tag in ways_list:
+                ways_list.remove(tag)
+            evicted_at.pop(tag, None)  # invalidation resets causality
+    if metrics is not None:
+        metrics.counter("analysis.evictions").inc(result.evictions)
+        metrics.counter("analysis.harmful_evictions").inc(
+            result.harmful_evictions
+        )
+    return result
+
+
+def default_window(stream, windows=64):
+    """A window width (unstalled cycles) giving about *windows* windows."""
+    if stream.total_cycles <= 0:
+        return 1
+    return max(1, -(-stream.total_cycles // windows))
+
+
+@dataclass
+class Window:
+    """One time slice of the run, on the unstalled-cycle axis."""
+
+    start_cycle: int
+    end_cycle: int
+    touches: int = 0
+    working_set_lines: int = 0
+    working_set_functions: int = 0
+    # Cumulative-through-end-of-window counters:
+    cum_hits: int = 0
+    cum_compulsory: int = 0
+    cum_capacity: int = 0
+    cum_conflict: int = 0
+    occupancy_lines: int = 0
+
+    def as_dict(self):
+        return {
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "touches": self.touches,
+            "working_set_lines": self.working_set_lines,
+            "working_set_bytes": None,  # filled by the caller (line size)
+            "working_set_functions": self.working_set_functions,
+            "cum_hits": self.cum_hits,
+            "cum_compulsory": self.cum_compulsory,
+            "cum_capacity": self.cum_capacity,
+            "cum_conflict": self.cum_conflict,
+            "occupancy_lines": self.occupancy_lines,
+        }
+
+
+def window_series(stream, sets=2, ways=2, window_cycles=None) -> List[Window]:
+    """Windowed working set + cumulative classified misses + occupancy.
+
+    One pass: a :class:`MissClassifier` runs alongside the window
+    bookkeeping and is sampled at each boundary, so the cumulative
+    curves are exact, not interpolated. The final window is clamped to
+    the run's last cycle.
+    """
+    if window_cycles is None:
+        window_cycles = default_window(stream)
+    if window_cycles < 1:
+        raise ValueError(f"window_cycles must be >= 1, got {window_cycles}")
+    classifier = MissClassifier(sets, ways, stream.line_bytes)
+    owners = stream.owners
+    windows = []
+    current = None
+    tags_in_window = set()
+    funcs_in_window = set()
+
+    def close(window):
+        result = classifier.result
+        window.working_set_lines = len(tags_in_window)
+        window.working_set_functions = len(funcs_in_window)
+        window.cum_hits = result.hits
+        window.cum_compulsory = result.compulsory
+        window.cum_capacity = result.capacity
+        window.cum_conflict = result.conflict
+        window.occupancy_lines = classifier.occupancy_lines
+        windows.append(window)
+
+    for op, tag, cycles in stream.events:
+        index = cycles // window_cycles
+        start = index * window_cycles
+        if current is None or start > current.start_cycle:
+            if current is not None:
+                close(current)
+            current = Window(start, start + window_cycles)
+            tags_in_window = set()
+            funcs_in_window = set()
+        classifier.feed(op, tag)
+        if op == TOUCH:
+            current.touches += 1
+            tags_in_window.add(tag)
+            funcs_in_window.add(owners[tag])
+    if current is not None:
+        current.end_cycle = min(current.end_cycle, stream.total_cycles)
+        close(current)
+    return windows
+
+
+def working_set(stream, window_cycles=None):
+    """Just the working-set-over-time curve (distinct lines per window)."""
+    return [
+        {
+            "start_cycle": window.start_cycle,
+            "end_cycle": window.end_cycle,
+            "touches": window.touches,
+            "working_set_lines": window.working_set_lines,
+            "working_set_bytes": window.working_set_lines * stream.line_bytes,
+            "working_set_functions": window.working_set_functions,
+        }
+        for window in window_series(stream, window_cycles=window_cycles)
+    ]

@@ -1,0 +1,218 @@
+"""Exact per-access miss classification: compulsory / capacity / conflict.
+
+The classic three-C taxonomy, computed per access (not estimated) by
+running three reference simulations over the same line stream:
+
+* **infinite cache** -- a set of live lines with write invalidation.
+  A miss here is **compulsory**: no finite cache of any shape avoids
+  it. Two sub-kinds are counted: *cold* (first touch ever) and
+  *invalidation* (re-touch after a FRAM write killed the line) --
+  the second is the price of FRAM's write-through semantics, not of
+  cache capacity.
+* **fully-associative LRU** of the same total line count as the target
+  geometry. A target miss that also misses here (but not in the
+  infinite cache) is a **capacity** miss: the working set simply does
+  not fit in that many lines, no matter how they are indexed.
+* the **target geometry** itself (the real
+  :class:`~repro.machine.fram_cache.FramReadCache` class, so the
+  semantics cannot drift from the machine model). A target miss that
+  the equal-size fully-associative cache would have hit is a
+  **conflict** miss: set indexing, not capacity, caused it.
+
+Invariant (asserted): ``compulsory + capacity + conflict`` equals the
+target cache's total miss count, which in turn equals the ``fc.misses``
+a replay at that geometry reports.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.analysis.stream import INVALIDATE, TOUCH
+from repro.machine.fram_cache import FramReadCache
+
+COMPULSORY = "compulsory"
+CAPACITY = "capacity"
+CONFLICT = "conflict"
+
+
+@dataclass
+class OwnerStats:
+    """Per-function (line-owner) touch/miss tallies."""
+
+    touches: int = 0
+    hits: int = 0
+    compulsory: int = 0
+    capacity: int = 0
+    conflict: int = 0
+    invalidations: int = 0
+
+    @property
+    def misses(self):
+        return self.compulsory + self.capacity + self.conflict
+
+    def as_dict(self):
+        return {
+            "touches": self.touches,
+            "hits": self.hits,
+            "misses": self.misses,
+            "compulsory": self.compulsory,
+            "capacity": self.capacity,
+            "conflict": self.conflict,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class Classification:
+    """The full classification of one stream at one target geometry."""
+
+    sets: int
+    ways: int
+    line_bytes: int
+    touches: int = 0
+    hits: int = 0
+    compulsory: int = 0
+    cold: int = 0
+    invalidation: int = 0
+    capacity: int = 0
+    conflict: int = 0
+    invalidations: int = 0
+    per_owner: Dict[str, OwnerStats] = field(default_factory=dict)
+
+    @property
+    def misses(self):
+        return self.compulsory + self.capacity + self.conflict
+
+    @property
+    def miss_ratio(self):
+        return self.misses / self.touches if self.touches else 0.0
+
+    def as_dict(self):
+        return {
+            "geometry": {
+                "sets": self.sets,
+                "ways": self.ways,
+                "line_bytes": self.line_bytes,
+                "total_bytes": self.sets * self.ways * self.line_bytes,
+            },
+            "touches": self.touches,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_ratio": self.miss_ratio,
+            "compulsory": self.compulsory,
+            "compulsory_cold": self.cold,
+            "compulsory_invalidation": self.invalidation,
+            "capacity": self.capacity,
+            "conflict": self.conflict,
+            "invalidations": self.invalidations,
+            "per_function": {
+                owner: stats.as_dict()
+                for owner, stats in sorted(self.per_owner.items())
+            },
+        }
+
+
+class MissClassifier:
+    """Streaming classifier; feed events in order, read the result.
+
+    Exposed as a class (not just :func:`classify_stream`) so the
+    windowed time-series builder in :mod:`repro.analysis.causality` can
+    sample cumulative counts at window boundaries mid-stream.
+    """
+
+    def __init__(self, sets, ways, line_bytes):
+        self.result = Classification(sets, ways, line_bytes)
+        self._live_infinite = set()
+        self._seen = set()
+        self._full = FramReadCache(
+            sets=1, ways=sets * ways, line_bytes=line_bytes
+        )
+        self._target = FramReadCache(
+            sets=sets, ways=ways, line_bytes=line_bytes
+        )
+        self._line_bytes = line_bytes
+
+    @property
+    def occupancy_lines(self):
+        """Lines currently resident in the target cache."""
+        return sum(len(ways) for ways in self._target._lines)
+
+    def feed(self, op, tag):
+        result = self.result
+        address = tag * self._line_bytes
+        if op == TOUCH:
+            result.touches += 1
+            infinite_hit = tag in self._live_infinite
+            self._live_infinite.add(tag)
+            full_hit = self._full.access(address)
+            target_hit = self._target.access(address)
+            if target_hit:
+                result.hits += 1
+                return True
+            if not infinite_hit:
+                result.compulsory += 1
+                if tag in self._seen:
+                    result.invalidation += 1
+                    kind = COMPULSORY
+                else:
+                    self._seen.add(tag)
+                    result.cold += 1
+                    kind = COMPULSORY
+            elif not full_hit:
+                result.capacity += 1
+                kind = CAPACITY
+            else:
+                result.conflict += 1
+                kind = CONFLICT
+            return kind
+        if op == INVALIDATE:
+            result.invalidations += 1
+            self._live_infinite.discard(tag)
+            self._full.invalidate(address)
+            self._target.invalidate(address)
+        return None
+
+    def feed_owned(self, op, tag, owner):
+        """Like :meth:`feed`, also attributing to the line's owner."""
+        outcome = self.feed(op, tag)
+        stats = self.result.per_owner.get(owner)
+        if stats is None:
+            stats = self.result.per_owner[owner] = OwnerStats()
+        if op == TOUCH:
+            stats.touches += 1
+            if outcome is True:
+                stats.hits += 1
+            elif outcome == COMPULSORY:
+                stats.compulsory += 1
+            elif outcome == CAPACITY:
+                stats.capacity += 1
+            elif outcome == CONFLICT:
+                stats.conflict += 1
+        elif op == INVALIDATE:
+            stats.invalidations += 1
+        return outcome
+
+
+def classify_stream(stream, sets=2, ways=2, metrics=None):
+    """Classify every access of *stream* at the target geometry.
+
+    The default geometry is the FR2355's real FRAM controller cache
+    (2 sets x 2 ways x 8-byte lines). Returns a
+    :class:`Classification`; its ``misses`` equals the ``fc.misses`` a
+    replay at ``fram_cache=(sets, ways, line_bytes)`` reports.
+    """
+    classifier = MissClassifier(sets, ways, stream.line_bytes)
+    owners = stream.owners
+    for op, tag, _cycles in stream.events:
+        classifier.feed_owned(op, tag, owners[tag])
+    result = classifier.result
+    assert result.hits + result.misses == result.touches
+    if metrics is not None:
+        metrics.counter("analysis.classified_accesses").inc(result.touches)
+        for kind, value in (
+            (COMPULSORY, result.compulsory),
+            (CAPACITY, result.capacity),
+            (CONFLICT, result.conflict),
+        ):
+            metrics.counter(f"analysis.misses.{kind}").inc(value)
+    return result

@@ -1,0 +1,229 @@
+"""Exact LRU miss-ratio curves in one pass: hole-aware Mattson stacks.
+
+**Classic Mattson.** For a pure reference string, LRU has the stack
+(inclusion) property: the content of a size-``k`` cache is the ``k``
+most recently used blocks, so one pass that records each access's
+*stack distance* (how many distinct blocks were touched since the last
+access to this one) yields the exact miss count for *every* size at
+once: an access hits in a size-``k`` cache iff its distance is < ``k``.
+
+**The wrinkle: invalidation.** FRAM writes invalidate their line, and
+plain Mattson is *not* exact under invalidation. Counterexample: touch
+``A B C``, invalidate ``C``, touch ``A``. A real 2-line LRU holds only
+``{B}`` at that point, so ``A`` misses -- but a naive stack that simply
+deleted ``C`` would see ``A`` at distance 1 and predict a hit.
+
+**The fix: holes.** Invalidation does not shrink larger caches' recency
+order, it punches a *hole* in it: the stack keeps one slot per
+(live-block or hole) entry, and
+
+* an access's effective distance counts **all** slots above it, holes
+  included (in the counterexample ``A`` sits under ``[hole, B]`` at
+  distance 2: hit only for 3+ lines -- exact);
+* a **hit** at distance ``d``: if the topmost hole lies above the
+  accessed block, that hole is consumed and a new hole appears at the
+  block's old slot (smaller caches gained a free slot; larger ones did
+  not); otherwise the block's slot is removed outright;
+* a **miss** (cold, or re-touch after invalidation) consumes the
+  topmost hole, if any -- every cache inserts, and only caches still
+  full above their hole evict;
+* an **invalidation** turns the block's slot into a hole in place.
+
+The update is O(log n) per event: slot depths come from a Fenwick tree
+over an append-only position counter, and the topmost hole from a
+max-heap (holes are only ever consumed at their maximum, so no lazy
+deletion is needed). Exactness against brute-force per-size simulation
+with the real :class:`~repro.machine.fram_cache.FramReadCache` is
+machine-checked by a hypothesis property test.
+
+**Set-associativity for free.** A set-associative cache statically
+partitions lines by ``tag % sets``, and each set is an independent
+fully-associative LRU over its own sub-string. One profile per set
+therefore yields the exact miss count of *any* ``(sets, ways)``
+geometry with that set count: :func:`reuse_profile` takes ``sets`` and
+``misses(ways)`` sums over the per-set stacks.
+"""
+
+from heapq import heappop, heappush
+
+from repro.analysis.stream import INVALIDATE, TOUCH
+
+
+class _Fenwick:
+    """Prefix sums over slot positions, preallocated to capacity.
+
+    Positions are assigned from an append-only counter that advances
+    once per touch, so the caller sizes the tree at the stream's touch
+    count and no growth path is ever needed.
+    """
+
+    def __init__(self, capacity):
+        self._tree = [0] * (capacity + 1)
+        self._size = capacity
+        self.total = 0
+
+    def add(self, position, delta):
+        self.total += delta
+        tree = self._tree
+        size = self._size
+        while position <= size:
+            tree[position] += delta
+            position += position & -position
+
+    def prefix(self, position):
+        """Sum of occupied slots at positions <= *position*."""
+        total = 0
+        tree = self._tree
+        while position > 0:
+            total += tree[position]
+            position -= position & -position
+        return total
+
+    def above(self, position):
+        """Occupied slots strictly above *position* -- the stack depth."""
+        return self.total - self.prefix(position)
+
+
+class _HoleStack:
+    """One hole-aware Mattson stack; exact LRU-with-invalidation."""
+
+    def __init__(self, capacity):
+        self._fenwick = _Fenwick(capacity)
+        self._position = {}  # live tag -> slot position
+        self._holes = []  # max-heap (negated positions)
+        self._seen = set()
+        self._top = 0
+        #: finite distance -> access count
+        self.histogram = {}
+        self.cold_misses = 0
+        self.invalidation_misses = 0
+        self.touches = 0
+
+    def _push_top(self, tag):
+        self._top += 1
+        self._position[tag] = self._top
+        self._fenwick.add(self._top, 1)
+
+    def touch(self, tag):
+        """Record one line read; returns the effective stack distance
+        (``None`` for an infinite-distance miss)."""
+        self.touches += 1
+        position = self._position.pop(tag, None)
+        if position is None:
+            # Miss at every finite size: every cache inserts the line,
+            # consuming its topmost free slot if it has one.
+            if tag in self._seen:
+                self.invalidation_misses += 1
+            else:
+                self._seen.add(tag)
+                self.cold_misses += 1
+            if self._holes:
+                hole = -heappop(self._holes)
+                self._fenwick.add(hole, -1)
+            self._push_top(tag)
+            return None
+        depth = self._fenwick.above(position)
+        self.histogram[depth] = self.histogram.get(depth, 0) + 1
+        if self._holes and -self._holes[0] > position:
+            # The topmost hole is above the block: caches small enough
+            # to have absorbed that invalidation re-insert (their free
+            # slot is spent), larger ones just reorder -- modelled by
+            # consuming the hole and leaving one at the old slot.
+            hole = -heappop(self._holes)
+            self._fenwick.add(hole, -1)
+            heappush(self._holes, -position)  # slot stays occupied
+        else:
+            self._fenwick.add(position, -1)
+        self._push_top(tag)
+        return depth
+
+    def invalidate(self, tag):
+        """Record one line invalidation (no-op unless the tag is live)."""
+        position = self._position.pop(tag, None)
+        if position is not None:
+            heappush(self._holes, -position)  # slot becomes a hole
+
+
+class ReuseProfile:
+    """Exact miss counts for every way count of one set geometry."""
+
+    def __init__(self, sets, line_bytes, stacks):
+        self.sets = sets
+        self.line_bytes = line_bytes
+        self._stacks = stacks
+        self.touches = sum(stack.touches for stack in stacks)
+        self.cold_misses = sum(stack.cold_misses for stack in stacks)
+        self.invalidation_misses = sum(
+            stack.invalidation_misses for stack in stacks
+        )
+        histogram = {}
+        for stack in stacks:
+            for distance, count in stack.histogram.items():
+                histogram[distance] = histogram.get(distance, 0) + count
+        #: merged distance -> count map (finite distances only).
+        self.histogram = histogram
+
+    @property
+    def compulsory_misses(self):
+        """Misses no finite cache avoids: cold + post-invalidation."""
+        return self.cold_misses + self.invalidation_misses
+
+    def misses(self, ways):
+        """Exact miss count of ``FramReadCache(sets, ways, line_bytes)``."""
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        hits = sum(
+            count
+            for distance, count in self.histogram.items()
+            if distance < ways
+        )
+        return self.touches - hits
+
+    def miss_ratio(self, ways):
+        return self.misses(ways) / self.touches if self.touches else 0.0
+
+    def curve(self):
+        """The full MRC as ``(ways, misses)`` change points.
+
+        The first point is ``ways=1``; further points appear exactly
+        where the miss count drops; the last point's miss count is the
+        compulsory floor (cold + invalidation misses), reached once
+        ``ways`` exceeds every finite distance.
+        """
+        points = [(1, self.misses(1))]
+        for distance in sorted(self.histogram):
+            ways = distance + 1
+            if ways == 1:
+                continue
+            points.append((ways, self.misses(ways)))
+        return points
+
+
+def reuse_profile(stream, sets=1, metrics=None):
+    """Single-pass exact reuse profile of *stream* at *sets* sets.
+
+    ``reuse_profile(stream, sets).misses(ways)`` equals the
+    ``fc.misses`` a :class:`~repro.replay.engine.ReplayEngine` replay
+    with ``fram_cache=(sets, ways, stream.line_bytes)`` reports --
+    bit-exactly, for every ``ways``, from this one pass.
+    """
+    if sets < 1:
+        raise ValueError(f"sets must be >= 1, got {sets}")
+    capacity = len(stream.events) + 1
+    stacks = [_HoleStack(capacity) for _ in range(sets)]
+    distance_histogram = None
+    if metrics is not None:
+        distance_histogram = metrics.histogram("analysis.stack_distance")
+    for op, tag, _cycles in stream.events:
+        stack = stacks[tag % sets]
+        if op == TOUCH:
+            depth = stack.touch(tag)
+            if distance_histogram is not None and depth is not None:
+                distance_histogram.observe(depth)
+        elif op == INVALIDATE:
+            stack.invalidate(tag)
+    profile = ReuseProfile(sets, stream.line_bytes, stacks)
+    if metrics is not None:
+        metrics.counter("analysis.mrc_profiles").inc()
+        metrics.counter("analysis.mrc_touches").inc(profile.touches)
+    return profile

@@ -1,0 +1,357 @@
+"""Deterministic report documents: JSON, text, and Perfetto counters.
+
+Every document here is a plain dict of analysis facts -- no wall-clock,
+no environment, nothing order-unstable -- serialized with
+``json.dumps(..., sort_keys=True, indent=2)`` (the ``repro sweep status
+--json`` convention), so repeated runs over the same trace are
+byte-identical: the property the CI ``analysis-smoke`` job diffs.
+
+The Perfetto export rides the shared :mod:`repro.trace_event` helpers:
+one process, counter ("C") tracks sampled at every working-set window
+boundary -- target-cache occupancy, working-set lines, and cumulative
+misses by class -- on the same microsecond axis the guest-run exporter
+uses (``cycles / frequency_mhz``).
+"""
+
+import json
+
+from repro.analysis.causality import (
+    default_window,
+    eviction_causality,
+    window_series,
+)
+from repro.analysis.classify import classify_stream
+from repro.analysis.mrc import reuse_profile
+from repro.trace_event import metadata_events, write_trace
+
+REPORT_SCHEMA = "repro-cache-report/1"
+MRC_SCHEMA = "repro-cache-mrc/1"
+THRASH_SCHEMA = "repro-cache-thrash/1"
+
+_PID = 1
+
+
+def to_json(document):
+    """The canonical byte-stable serialization of a report document."""
+    return json.dumps(document, sort_keys=True, indent=2)
+
+
+def _geometry(sets, ways, line_bytes):
+    return {
+        "sets": sets,
+        "ways": ways,
+        "line_bytes": line_bytes,
+        "total_bytes": sets * ways * line_bytes,
+    }
+
+
+def mrc_document(stream, sets=1, way_counts=None, metrics=None):
+    """The ``repro cache mrc`` document: the exact LRU miss-ratio curve.
+
+    Without *way_counts* the points are the curve's change points (the
+    only places the exact miss count moves); with it, exactly the
+    requested way counts.
+    """
+    profile = reuse_profile(stream, sets=sets, metrics=metrics)
+    if way_counts is None:
+        points = profile.curve()
+    else:
+        points = [(ways, profile.misses(ways)) for ways in way_counts]
+    return {
+        "schema": MRC_SCHEMA,
+        "trace": stream.identity(),
+        "sets": sets,
+        "line_bytes": stream.line_bytes,
+        "touches": profile.touches,
+        "cold_misses": profile.cold_misses,
+        "invalidation_misses": profile.invalidation_misses,
+        "compulsory_floor": profile.compulsory_misses,
+        "points": [
+            {
+                "ways": ways,
+                "lines": sets * ways,
+                "cache_bytes": sets * ways * stream.line_bytes,
+                "misses": misses,
+                "miss_ratio": misses / profile.touches
+                if profile.touches
+                else 0.0,
+            }
+            for ways, misses in points
+        ],
+    }
+
+
+def validate_mrc(mrc, engine, way_counts):
+    """Cross-check MRC points against live replays; returns a validation
+    section (also asserting -- a mismatch is a bug, not a report row)."""
+    checks = []
+    for ways in way_counts:
+        point = next(
+            (p for p in mrc["points"] if p["ways"] == ways), None
+        )
+        predicted = (
+            point["misses"]
+            if point is not None
+            else _misses_at(mrc, ways)
+        )
+        outcome = engine.replay(
+            fram_cache=(mrc["sets"], ways, mrc["line_bytes"])
+        )
+        measured = outcome.board.bus.fram_cache.misses
+        if predicted != measured:
+            raise AssertionError(
+                f"MRC exactness violated at sets={mrc['sets']} ways={ways}: "
+                f"predicted {predicted}, replay measured {measured}"
+            )
+        checks.append({"ways": ways, "misses": measured, "exact": True})
+    return {"replayed": checks}
+
+
+def _misses_at(mrc, ways):
+    """Miss count at *ways* from a change-point curve (step function)."""
+    misses = None
+    for point in mrc["points"]:
+        if point["ways"] <= ways:
+            misses = point["misses"]
+        else:
+            break
+    if misses is None:  # below the first change point: every touch misses
+        return mrc["touches"]
+    return misses
+
+
+def thrash_document(stream, sets=2, ways=2, top=20, metrics=None):
+    """The ``repro cache thrash`` document: eviction-causality ranking."""
+    causality = eviction_causality(stream, sets=sets, ways=ways, metrics=metrics)
+    return {
+        "schema": THRASH_SCHEMA,
+        "trace": stream.identity(),
+        "geometry": _geometry(sets, ways, stream.line_bytes),
+        "evictions": causality.evictions,
+        "harmful_evictions": causality.harmful_evictions,
+        "pairs": causality.pairs()[:top],
+    }
+
+
+def report_document(
+    stream, sets=2, ways=2, window_cycles=None, top=20, metrics=None
+):
+    """The full ``repro cache report`` document."""
+    if window_cycles is None:
+        window_cycles = default_window(stream)
+    classification = classify_stream(
+        stream, sets=sets, ways=ways, metrics=metrics
+    )
+    causality = eviction_causality(stream, sets=sets, ways=ways)
+    windows = window_series(
+        stream, sets=sets, ways=ways, window_cycles=window_cycles
+    )
+    window_rows = []
+    for window in windows:
+        row = window.as_dict()
+        row["working_set_bytes"] = (
+            window.working_set_lines * stream.line_bytes
+        )
+        window_rows.append(row)
+    mrc = mrc_document(stream, sets=sets)
+    return {
+        "schema": REPORT_SCHEMA,
+        "trace": stream.identity(),
+        "frequency_mhz": stream.header["frequency_mhz"],
+        "geometry": _geometry(sets, ways, stream.line_bytes),
+        "stream": {
+            "instructions": stream.total_instructions,
+            "unstalled_cycles": stream.total_cycles,
+            "touches": stream.touches,
+            "invalidations": stream.invalidations,
+            "distinct_lines": stream.distinct_lines,
+        },
+        "classification": classification.as_dict(),
+        "causality": {
+            "evictions": causality.evictions,
+            "harmful_evictions": causality.harmful_evictions,
+            "pairs": causality.pairs()[:top],
+        },
+        "working_set": {
+            "window_cycles": window_cycles,
+            "peak_lines": max(
+                (w["working_set_lines"] for w in window_rows), default=0
+            ),
+            "windows": window_rows,
+        },
+        "mrc": mrc,
+    }
+
+
+def render_report_text(document, out):
+    """Human-readable rendering of a report document."""
+    trace = document["trace"]
+    geometry = document["geometry"]
+    classification = document["classification"]
+    print(
+        f"cache report : {trace.get('benchmark') or 'program'} "
+        f"({trace['system']}/{trace['plan']}, scale {trace['scale']})",
+        file=out,
+    )
+    print(
+        f"geometry     : {geometry['sets']} sets x {geometry['ways']} ways "
+        f"x {geometry['line_bytes']} B lines "
+        f"({geometry['total_bytes']} bytes)",
+        file=out,
+    )
+    stream = document["stream"]
+    print(
+        f"stream       : {stream['touches']} line touches, "
+        f"{stream['invalidations']} invalidations, "
+        f"{stream['distinct_lines']} distinct lines",
+        file=out,
+    )
+    print(
+        f"misses       : {classification['misses']} "
+        f"({classification['miss_ratio']:.1%}) = "
+        f"{classification['compulsory']} compulsory "
+        f"({classification['compulsory_cold']} cold + "
+        f"{classification['compulsory_invalidation']} invalidation) + "
+        f"{classification['capacity']} capacity + "
+        f"{classification['conflict']} conflict",
+        file=out,
+    )
+    causality = document["causality"]
+    print(
+        f"evictions    : {causality['evictions']} "
+        f"({causality['harmful_evictions']} caused a later miss)",
+        file=out,
+    )
+    working = document["working_set"]
+    print(
+        f"working set  : peak {working['peak_lines']} lines over "
+        f"{len(working['windows'])} windows of "
+        f"{working['window_cycles']} cycles",
+        file=out,
+    )
+    print("top thrash pairs:", file=out)
+    for row in causality["pairs"][:5]:
+        first, second = row["functions"]
+        if first == second:
+            print(
+                f"  {first}: {row['evictions']} self-evictions",
+                file=out,
+            )
+        else:
+            print(
+                f"  {first} <-> {second}: {row['evictions']} evictions "
+                f"(mutual {row['mutual']})",
+                file=out,
+            )
+    print("miss-ratio curve (change points):", file=out)
+    for point in document["mrc"]["points"]:
+        print(
+            f"  {point['cache_bytes']:>6} B ({point['lines']} lines): "
+            f"{point['misses']} misses ({point['miss_ratio']:.1%})",
+            file=out,
+        )
+
+
+def render_mrc_text(document, out):
+    trace = document["trace"]
+    print(
+        f"mrc          : {trace.get('benchmark') or 'program'}, "
+        f"{document['sets']} set(s), {document['line_bytes']} B lines, "
+        f"{document['touches']} touches",
+        file=out,
+    )
+    print(
+        f"floor        : {document['compulsory_floor']} compulsory misses "
+        f"({document['cold_misses']} cold + "
+        f"{document['invalidation_misses']} invalidation)",
+        file=out,
+    )
+    for point in document["points"]:
+        print(
+            f"  {point['cache_bytes']:>6} B ({point['lines']:>3} lines): "
+            f"{point['misses']:>8} misses ({point['miss_ratio']:.1%})",
+            file=out,
+        )
+    validation = document.get("validation")
+    if validation:
+        print(
+            f"validated    : {len(validation['replayed'])} sizes replayed, "
+            f"all exact",
+            file=out,
+        )
+
+
+def render_thrash_text(document, out):
+    trace = document["trace"]
+    geometry = document["geometry"]
+    print(
+        f"thrash       : {trace.get('benchmark') or 'program'} at "
+        f"{geometry['sets']}x{geometry['ways']}x{geometry['line_bytes']} B",
+        file=out,
+    )
+    print(
+        f"evictions    : {document['evictions']} "
+        f"({document['harmful_evictions']} harmful)",
+        file=out,
+    )
+    for row in document["pairs"]:
+        first, second = row["functions"]
+        if first == second:
+            print(
+                f"  {first}: {row['evictions']} self-evictions",
+                file=out,
+            )
+        else:
+            print(
+                f"  {first} <-> {second}: {row['evictions']} "
+                f"(mutual {row['mutual']}, {first}->{second} "
+                f"{row['forward']}, {second}->{first} {row['backward']})",
+                file=out,
+            )
+
+
+def perfetto_counter_trace(document):
+    """Perfetto counter tracks from a report document's window series.
+
+    Occupancy, working set, and cumulative misses by class, one sample
+    per window boundary, on the simulated-microsecond axis.
+    """
+    trace_meta = document["trace"]
+    # The unstalled-cycle axis is configuration-independent; dividing by
+    # the capture clock renders it as simulated microseconds, matching
+    # the guest-run exporter's axis.
+    scale = 1.0 / document["frequency_mhz"]
+    events = metadata_events(_PID, "cache analysis")
+    for window in document["working_set"]["windows"]:
+        ts = window["end_cycle"] * scale
+        for name, value in (
+            ("fram-cache-occupancy-lines", window["occupancy_lines"]),
+            ("working-set-lines", window["working_set_lines"]),
+            ("cum-misses-compulsory", window["cum_compulsory"]),
+            ("cum-misses-capacity", window["cum_capacity"]),
+            ("cum-misses-conflict", window["cum_conflict"]),
+            ("cum-hits", window["cum_hits"]),
+        ):
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": _PID,
+                    "ts": ts,
+                    "name": name,
+                    "args": {"value": value},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.analysis",
+            "benchmark": trace_meta.get("benchmark"),
+            "geometry": document["geometry"],
+        },
+    }
+
+
+def write_perfetto(path, document):
+    """Validate-and-write the counter trace; returns the path."""
+    return write_trace(path, perfetto_counter_trace(document))

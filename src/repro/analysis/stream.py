@@ -1,0 +1,178 @@
+"""The line-reference stream: what a trace does to FRAM cache lines.
+
+Every analysis in this package consumes the same derived object: the
+ordered sequence of FRAM *line* events a captured trace induces --
+``TOUCH`` for every instruction-fetch word and data read (one event per
+word fetched, exactly as the replay engine's FRAM-cache mirror counts
+them) and ``INVALIDATE`` for every FRAM write (word or byte: one line).
+SRAM and MMIO traffic never reaches the FRAM controller and is skipped.
+
+**Exactness contract.** :func:`build_stream` replicates
+:meth:`repro.replay.engine.ReplayEngine._walk`'s cache interaction
+touch for touch: classifying addresses through the same rebuilt,
+hash-verified memory map, touching ``words`` consecutive word addresses
+per FRAM fetch, one line per data read, and invalidating a single line
+per FRAM write. Feeding the stream to a :class:`FramReadCache` of any
+geometry therefore reproduces the replay engine's hit/miss totals for
+that geometry bit-exactly -- the property the test suite pins.
+
+**Scope.** Only **baseline** traces are analysable: their event stream
+is the complete application reference string and every PC is absolute.
+A swapram or block trace's FRAM traffic depends on the captured cache
+configuration (code executes from SRAM on a hit), so line-level
+analytics over it would silently describe one configuration while
+claiming generality -- :func:`build_stream` refuses loudly instead.
+
+Line *owners* come from :mod:`repro.obs.funcmap`: a line holding code
+is attributed to the function occupying its base address; FRAM lines
+outside any function (rodata/data/tables) are pooled as ``<data>``.
+Each touch also carries the cumulative unstalled cycle count, giving
+every analysis a deterministic, configuration-independent time axis.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.machine.memory import RegionKind
+from repro.obs.funcmap import _static_map
+from repro.replay.engine import ReplayEngine
+from repro.replay.schema import ACC_WRITE
+
+#: Line-event opcodes.
+TOUCH = 0
+INVALIDATE = 1
+
+#: Pseudo-owner for FRAM lines outside any function (rodata/data).
+DATA_OWNER = "<data>"
+
+
+class AnalysisError(ValueError):
+    """Base class for every cache-analytics problem."""
+
+
+class AnalysisRefused(AnalysisError):
+    """The trace cannot support exact line-level analytics."""
+
+
+@dataclass
+class ReferenceStream:
+    """The derived line-reference stream plus its identity facts."""
+
+    header: dict
+    line_bytes: int
+    #: ``(op, tag, cycles)`` triples in execution order. ``tag`` is the
+    #: line number (``address >> shift``); ``cycles`` the cumulative
+    #: unstalled cycle count *after* the emitting instruction.
+    events: List[Tuple[int, int, int]] = field(repr=False)
+    #: tag -> owning function name (or ``<data>``).
+    owners: Dict[int, str] = field(repr=False)
+    total_instructions: int = 0
+    total_cycles: int = 0
+
+    @property
+    def shift(self):
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def touches(self):
+        return sum(1 for op, _, _ in self.events if op == TOUCH)
+
+    @property
+    def invalidations(self):
+        return sum(1 for op, _, _ in self.events if op == INVALIDATE)
+
+    @property
+    def distinct_lines(self):
+        return len({tag for op, tag, _ in self.events if op == TOUCH})
+
+    def identity(self):
+        """The facts that pin which capture this stream describes."""
+        header = self.header
+        return {
+            "benchmark": header.get("benchmark"),
+            "system": header["system"],
+            "plan": header["plan"],
+            "scale": header["scale"],
+            "image_sha256": header["image_sha256"],
+            "events": header["events"],
+            "line_bytes": self.line_bytes,
+        }
+
+
+def build_stream(document, line_bytes=8, metrics=None):
+    """Derive the line-reference stream from a parsed trace document.
+
+    Raises :class:`AnalysisRefused` for non-baseline traces (see the
+    module docstring) and propagates the replay layer's own loud
+    validation (image-hash mismatch, truncated payloads) unchanged.
+    """
+    if line_bytes < 2 or line_bytes & (line_bytes - 1):
+        raise AnalysisError(
+            f"line_bytes must be a power of two >= 2, got {line_bytes}"
+        )
+    system = document.header.get("system")
+    if system != "baseline":
+        if metrics is not None:
+            metrics.counter("analysis.refused").inc()
+        raise AnalysisRefused(
+            f"cache analytics need a baseline trace (got {system!r}): a "
+            f"{system} trace's FRAM traffic depends on the captured cache "
+            f"configuration, so line-level analysis of it would describe "
+            f"one configuration while claiming all; capture with "
+            f"--system baseline"
+        )
+
+    engine = ReplayEngine(document)
+    linked = engine.linked  # rebuilds + hash-verifies the image
+    kinds = linked.memory_map._kinds
+    fram = RegionKind.FRAM
+    funcmap = _static_map(linked).seal()
+    shift = line_bytes.bit_length() - 1
+
+    events = []
+    append = events.append
+    owners = {}
+    cycles = 0
+    instructions = 0
+    for record in document.records:
+        if record is None:
+            raise AnalysisRefused("hook marker in a baseline trace")
+        func, pc, words, cycles_cost, accesses = record
+        if func >= 0:
+            raise AnalysisRefused(
+                "function-relative record in a baseline trace"
+            )
+        instructions += 1
+        cycles += cycles_cost
+        if kinds[pc] is fram:
+            address = pc
+            for _ in range(words):
+                append((TOUCH, address >> shift, cycles))
+                address += 2
+        for flags, addr, _value in accesses:
+            if kinds[addr] is not fram:
+                continue
+            if flags & ACC_WRITE:
+                append((INVALIDATE, addr >> shift, cycles))
+            else:
+                append((TOUCH, addr >> shift, cycles))
+
+    resolve = funcmap.resolve
+    for _op, tag, _cycles in events:
+        if tag not in owners:
+            name = resolve(tag << shift)
+            owners[tag] = DATA_OWNER if name.startswith("<unmapped:") else name
+
+    stream = ReferenceStream(
+        header=document.header,
+        line_bytes=line_bytes,
+        events=events,
+        owners=owners,
+        total_instructions=instructions,
+        total_cycles=cycles,
+    )
+    if metrics is not None:
+        metrics.counter("analysis.streams").inc()
+        metrics.counter("analysis.touches").inc(stream.touches)
+        metrics.counter("analysis.invalidations").inc(stream.invalidations)
+    return stream

@@ -18,6 +18,8 @@
     python -m repro sweep run --preset difftest --jobs 4 --trace   # campaigns
     python -m repro sweep watch difftest-1a2b3c4d     # live campaign telemetry
     python -m repro trace export --campaign difftest-1a2b3c4d   # Perfetto
+    python -m repro cache report crc                  # miss classification
+    python -m repro cache mrc crc --validate          # exact miss-ratio curve
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,
@@ -33,7 +35,9 @@ intermittent-power fault campaigns (see :mod:`repro.faults.cli`); the
 ablation grids through the cache/cost/energy models at a fraction of
 the wall clock (see :mod:`repro.replay.cli`); the ``sweep`` subcommand
 runs sharded, resumable configuration-matrix campaigns on a worker
-pool (see :mod:`repro.sweep.cli`).
+pool (see :mod:`repro.sweep.cli`); the ``cache`` subcommand derives
+exact miss classification, miss-ratio curves and eviction-causality
+reports from captured baseline traces (see :mod:`repro.analysis.cli`).
 
 ``--max-cycles`` arms a cycle watchdog: a run that exceeds the budget
 is reported as a first-class DNF (exit status 2) instead of spinning to
@@ -180,6 +184,10 @@ def main(argv=None, out=sys.stdout):
         from repro.sweep.cli import main as sweep_main
 
         return sweep_main(argv[1:], out=out)
+    if argv and argv[0] == "cache":
+        from repro.analysis.cli import main as cache_main
+
+        return cache_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()

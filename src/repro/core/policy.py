@@ -25,6 +25,19 @@ class CacheNode:
     def end(self):
         return self.address + self.size
 
+    def identity(self):
+        """The victim/occupant identity observability consumers record.
+
+        Plain data -- funcId plus the SRAM line (address/size) it
+        occupies -- so eviction-causality reports and timelines can
+        name exactly which cache bytes changed hands.
+        """
+        return {
+            "func_id": self.func_id,
+            "address": self.address,
+            "size": self.size,
+        }
+
 
 @dataclass
 class Placement:
@@ -45,9 +58,15 @@ class CachePolicy:
         self.size = size
         self.end = base + size
         self.nodes: List[CacheNode] = []
+        #: Victims removed by the most recent :meth:`commit` -- the
+        #: eviction-identity surface observability layers read. Purely
+        #: informational: policies never consult it, so exposing it
+        #: cannot change placement decisions or run totals.
+        self.last_evictions: tuple = ()
 
     def reset(self):
         self.nodes = []
+        self.last_evictions = ()
 
     def lookup(self, func_id) -> Optional[CacheNode]:
         for node in self.nodes:
@@ -93,6 +112,7 @@ class CachePolicy:
 
     def commit(self, func_id, placement, size) -> CacheNode:
         """Apply a planned insertion after the caller evicted the victims."""
+        self.last_evictions = tuple(placement.victims)
         for victim in placement.victims:
             self.nodes.remove(victim)
         node = CacheNode(func_id, placement.address, size)

@@ -1,4 +1,4 @@
-"""Chrome/Perfetto ``trace_event`` JSON export.
+"""Chrome/Perfetto ``trace_event`` JSON export of guest runs.
 
 Produces the JSON-object flavour of the Trace Event Format that both
 ``chrome://tracing`` and https://ui.perfetto.dev load directly:
@@ -15,22 +15,25 @@ Timestamps are microseconds at the board's configured clock
 (``cycle / frequency_mhz``), so Perfetto's time axis reads as simulated
 wall-clock and slice widths are honest cycle counts.
 
-``validate_trace`` is the schema check shared by the unit tests, the
-CLI (which refuses to write an invalid trace) and the CI smoke job.
+The format-level helpers -- ``validate_trace``, ``track_name_problems``
+and ``write_trace`` -- live in :mod:`repro.trace_event`, shared with
+the orchestration-plane exporter (:mod:`repro.tracing.perfetto`) and
+the cache-analytics exporter (:mod:`repro.analysis.report`). They are
+re-exported here so existing imports keep working.
 """
 
-import json
-from pathlib import Path
+from repro.trace_event import (  # noqa: F401  (re-exported compatibility API)
+    metadata_events,
+    track_name_problems,
+    validate_trace,
+    write_trace,
+)
 
 PID = 1
 
-_METADATA = [
-    {"ph": "M", "pid": PID, "name": "process_name", "args": {"name": "repro board"}},
-    {"ph": "M", "pid": PID, "tid": 1, "name": "thread_name",
-     "args": {"name": "call stack"}},
-    {"ph": "M", "pid": PID, "tid": 2, "name": "thread_name",
-     "args": {"name": "cache events"}},
-]
+_METADATA = metadata_events(
+    PID, "repro board", {1: "call stack", 2: "cache events"}
+)
 
 
 def perfetto_events(session):
@@ -102,122 +105,3 @@ def perfetto_trace(session, extra_metadata=None):
     if extra_metadata:
         trace["otherData"].update(extra_metadata)
     return trace
-
-
-def validate_trace(trace):
-    """Schema-check a trace object; returns a list of problems (empty = ok).
-
-    Checks the invariants Perfetto's importer relies on: required keys
-    per phase, per-thread timestamp monotonicity for duration events,
-    and properly nested, name-matched B/E pairs.
-    """
-    problems = []
-    if not isinstance(trace, dict) or not isinstance(
-        trace.get("traceEvents"), list
-    ):
-        return ["trace is not an object with a traceEvents list"]
-    stacks = {}  # tid -> [name, ...]
-    last_ts = {}  # tid -> ts
-    for index, event in enumerate(trace["traceEvents"]):
-        if not isinstance(event, dict):
-            problems.append(f"event {index}: not an object")
-            continue
-        ph = event.get("ph")
-        if ph not in ("B", "E", "i", "C", "M", "X"):
-            problems.append(f"event {index}: unknown phase {ph!r}")
-            continue
-        if ph == "M":
-            continue
-        if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
-            problems.append(f"event {index}: missing/negative ts")
-            continue
-        if "pid" not in event:
-            problems.append(f"event {index}: missing pid")
-        if ph in ("B", "E", "i", "X"):
-            tid = event.get("tid")
-            if tid is None:
-                problems.append(f"event {index}: missing tid")
-                continue
-            previous = last_ts.get(tid)
-            if previous is not None and event["ts"] < previous:
-                problems.append(
-                    f"event {index}: ts {event['ts']} < previous "
-                    f"{previous} on tid {tid}"
-                )
-            last_ts[tid] = event["ts"]
-        if ph in ("B", "i", "C", "X") and not event.get("name"):
-            problems.append(f"event {index}: missing name")
-        if ph == "B":
-            stacks.setdefault(tid, []).append(event.get("name"))
-        elif ph == "E":
-            stack = stacks.setdefault(tid, [])
-            if not stack:
-                problems.append(f"event {index}: E without matching B")
-            else:
-                opened = stack.pop()
-                name = event.get("name")
-                if name and name != opened:
-                    problems.append(
-                        f"event {index}: E name {name!r} does not match "
-                        f"open B {opened!r}"
-                    )
-        elif ph == "C" and not isinstance(event.get("args"), dict):
-            problems.append(f"event {index}: counter without args")
-    for tid, stack in stacks.items():
-        if stack:
-            problems.append(f"tid {tid}: {len(stack)} unclosed B event(s)")
-    return problems
-
-
-def track_name_problems(trace):
-    """Tracks that would render as bare integers in the Perfetto UI.
-
-    Every pid that emits events must carry a ``process_name`` "M"
-    metadata event, and every (pid, tid) pair used by duration/instant
-    events a ``thread_name`` one. Returns a sorted list of problem
-    strings (empty = every track is named).
-    """
-    if not isinstance(trace, dict) or not isinstance(
-        trace.get("traceEvents"), list
-    ):
-        return ["trace is not an object with a traceEvents list"]
-    named_processes = set()
-    named_threads = set()
-    for event in trace["traceEvents"]:
-        if not isinstance(event, dict) or event.get("ph") != "M":
-            continue
-        if event.get("name") == "process_name":
-            named_processes.add(event.get("pid"))
-        elif event.get("name") == "thread_name":
-            named_threads.add((event.get("pid"), event.get("tid")))
-    problems = set()
-    for event in trace["traceEvents"]:
-        if not isinstance(event, dict) or event.get("ph") == "M":
-            continue
-        pid = event.get("pid")
-        if pid not in named_processes:
-            problems.add(f"pid {pid} has no process_name metadata")
-        if event.get("ph") in ("B", "E", "i", "X"):
-            tid = event.get("tid")
-            if (pid, tid) not in named_threads:
-                problems.add(
-                    f"pid {pid} tid {tid} has no thread_name metadata"
-                )
-    return sorted(problems)
-
-
-def write_trace(path, trace):
-    """Validate and write *trace* as JSON; returns the path.
-
-    Raises :class:`ValueError` on schema problems so callers never ship
-    a trace Perfetto would reject.
-    """
-    problems = validate_trace(trace)
-    if problems:
-        raise ValueError(
-            "refusing to write invalid trace: " + "; ".join(problems[:5])
-        )
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(trace, indent=None, separators=(",", ":")))
-    return path

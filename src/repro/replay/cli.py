@@ -22,6 +22,7 @@ errors.
 """
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import asdict
@@ -186,6 +187,11 @@ def _parser():
     _common(sweep)
 
     listing = commands.add_parser("list", help="show the trace store index")
+    listing.add_argument(
+        "--json",
+        action="store_true",
+        help="print one sorted-key JSON object instead of text",
+    )
     _common(listing)
     return parser
 
@@ -337,6 +343,14 @@ def main(argv=None, out=sys.stdout):
     if args.command == "list":
         store = TraceStore(args.store)
         entries = store.entries()
+        if args.json:
+            document = {
+                "root": str(store.root),
+                "count": len(entries),
+                "traces": {name: meta for name, meta in entries},
+            }
+            print(json.dumps(document, sort_keys=True, indent=2), file=out)
+            return 0
         if not entries:
             print(f"no traces under {store.root}", file=out)
             return 0

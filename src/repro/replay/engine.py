@@ -48,6 +48,7 @@ from repro.core.transform import ACTIVE_TABLE, REDIR_TABLE
 from repro.core.transform import instrument_for_swapram
 from repro.isa.registers import PC
 from repro.machine.board import Board
+from repro.machine.fram_cache import FramReadCache
 from repro.machine.memory import (
     DEBUG_OUT_PORT,
     HALT_PORT,
@@ -288,10 +289,19 @@ class ReplayEngine:
     # -- per-configuration construction ---------------------------------------------
 
     def _build_target(
-        self, policy, cache_limit, frequency_mhz, thrash_guard, prefetcher
+        self, policy, cache_limit, frequency_mhz, thrash_guard, prefetcher,
+        fram_cache=None,
     ):
         linked, meta, cost_model = self._artifacts
         board = Board(memory_map=linked.memory_map, frequency_mhz=frequency_mhz)
+        if fram_cache is not None:
+            # The FRAM read cache is timing-only (never feeds back into
+            # the instruction stream), so any geometry is a free replay
+            # dimension for every system -- hw_cache_sweep's precedent.
+            sets, ways, line_bytes = fram_cache
+            board.bus.fram_cache = FramReadCache(
+                sets=sets, ways=ways, line_bytes=line_bytes
+            )
         board.load(linked.image)
         board.linked = linked
         if self.system == SWAPRAM:
@@ -331,14 +341,18 @@ class ReplayEngine:
         frequency_mhz=None,
         thrash_guard=None,
         prefetcher=None,
+        fram_cache=None,
     ):
         """Replay one configuration; returns a :class:`ReplayOutcome`.
 
         Defaults replay the captured configuration. For SwapRAM traces
         *policy* (name from ``core.policy.POLICIES``), *cache_limit*
         and *frequency_mhz* are free dimensions; for block-cache traces
-        only the frequency is. Invalid requests raise
-        :class:`ReplayRefused` without touching the models.
+        only the frequency is. *fram_cache* -- a ``(sets, ways,
+        line_bytes)`` triple -- swaps the FRAM read-cache geometry and
+        is free for every system because that cache is timing-only.
+        Invalid requests raise :class:`ReplayRefused` without touching
+        the models.
         """
         config = self.header.get("capture_config") or {}
         if policy is AS_CAPTURED:
@@ -360,6 +374,7 @@ class ReplayEngine:
             frequency_mhz=frequency_mhz,
             thrash_guard=thrash_guard,
             prefetcher=prefetcher,
+            fram_cache=fram_cache,
         )
         if reasons:
             self._refused()
@@ -368,7 +383,8 @@ class ReplayEngine:
         self._ensure_artifacts()
         compiled = self._ensure_compiled()
         board, runtime = self._build_target(
-            policy, cache_limit, frequency_mhz, thrash_guard, prefetcher
+            policy, cache_limit, frequency_mhz, thrash_guard, prefetcher,
+            fram_cache=fram_cache,
         )
         if self.system == BLOCK:
             # Chained branches in the stream encode capture-time slot
@@ -404,6 +420,9 @@ class ReplayEngine:
                 "policy": policy,
                 "cache_limit": cache_limit,
                 "frequency_mhz": frequency_mhz,
+                "fram_cache": (
+                    tuple(fram_cache) if fram_cache is not None else None
+                ),
             },
             seconds=seconds,
             events=len(compiled),

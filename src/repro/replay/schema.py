@@ -43,6 +43,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import NamedTuple, Tuple
 
 SCHEMA = "repro-replay-trace/1"
 MAGIC = b"RPRT"
@@ -75,6 +76,42 @@ class TraceTruncatedError(TraceError):
     """The file ends early or its payload fails integrity checks."""
 
 
+class Access(NamedTuple):
+    """One decoded data access, with the flag bits unpacked as properties."""
+
+    flags: int
+    address: int
+    value: int
+
+    @property
+    def is_write(self):
+        return bool(self.flags & ACC_WRITE)
+
+    @property
+    def is_byte(self):
+        return bool(self.flags & ACC_BYTE)
+
+    @property
+    def has_value(self):
+        return bool(self.flags & ACC_VALUE)
+
+
+class Instruction(NamedTuple):
+    """One retired instruction, as :meth:`TraceDocument.iter_instructions`
+    yields it. ``func`` is the SwapRAM funcId, or -1 when ``pc`` is an
+    absolute address."""
+
+    func: int
+    pc: int
+    words: int
+    cycles: int
+    accesses: Tuple[Access, ...]
+
+    @property
+    def is_absolute(self):
+        return self.func < 0
+
+
 @dataclass
 class TraceDocument:
     """A parsed (or to-be-written) trace: header facts + event records."""
@@ -93,6 +130,23 @@ class TraceDocument:
     @property
     def events(self):
         return self.header["events"]
+
+    def iter_instructions(self):
+        """Yield every instruction record as a typed :class:`Instruction`.
+
+        Hook markers (``None`` records) are skipped -- callers that need
+        them walk ``records`` directly. This is the stable iteration
+        surface analysis passes build on, insulating them from the raw
+        tuple layout.
+        """
+        for record in self.records:
+            if record is None:
+                continue
+            func, pc, words, cycles, accesses = record
+            yield Instruction(
+                func, pc, words, cycles,
+                tuple(Access(*access) for access in accesses),
+            )
 
     def to_bytes(self):
         return dump_trace(self)

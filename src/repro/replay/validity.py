@@ -50,6 +50,7 @@ def check_request(
     thrash_guard=None,
     prefetcher=None,
     slot_bytes=None,
+    fram_cache=None,
 ):
     """Reasons the request cannot be served from *header*'s trace.
 
@@ -59,6 +60,10 @@ def check_request(
     """
     del frequency_mhz  # always free: wait states are recomputed
     reasons = []
+    # The FRAM read cache only models timing (hits skip wait states),
+    # so its geometry is a free dimension for *every* system -- like
+    # frequency, it can never change the instruction stream.
+    reasons.extend(check_fram_cache(fram_cache))
     system = header.get("system")
     if system not in SYSTEMS:
         return [f"unknown system {system!r} in trace header"]
@@ -101,6 +106,31 @@ def check_request(
             reasons.append(
                 f"block-cache slot_bytes is fixed at capture "
                 f"({config.get('slot_bytes')!r}, requested {slot_bytes!r})"
+            )
+    return reasons
+
+
+def check_fram_cache(fram_cache):
+    """Reasons a ``(sets, ways, line_bytes)`` request is malformed."""
+    if fram_cache is None:
+        return []
+    try:
+        sets, ways, line_bytes = fram_cache
+    except (TypeError, ValueError):
+        return [
+            f"fram_cache must be a (sets, ways, line_bytes) triple, "
+            f"got {fram_cache!r}"
+        ]
+    reasons = []
+    for name, value in (("sets", sets), ("ways", ways),
+                        ("line_bytes", line_bytes)):
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            reasons.append(f"fram_cache {name} must be a positive int")
+    if not reasons:
+        if line_bytes & (line_bytes - 1) or line_bytes < 2:
+            reasons.append(
+                f"fram_cache line_bytes must be a power of two >= 2, "
+                f"got {line_bytes}"
             )
     return reasons
 

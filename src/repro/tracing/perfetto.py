@@ -9,14 +9,19 @@ execute, compiles, captures, the final merge -- and an instant track
 pool respawns. Timestamps are microseconds relative to the earliest
 record, so the Perfetto time axis reads as campaign wall clock.
 
-Validation and writing reuse :mod:`repro.obs.perfetto` -- the same
+Validation and writing reuse :mod:`repro.trace_event` -- the same
 schema checker the guest traces go through, plus its
 ``track_name_problems`` naming audit.
 """
 
 from pathlib import Path
 
-from repro.obs.perfetto import track_name_problems, validate_trace, write_trace
+from repro.trace_event import (
+    metadata_events,
+    track_name_problems,
+    validate_trace,
+    write_trace,
+)
 from repro.tracing.log import read_raw
 
 SPAN_TID = 1
@@ -43,15 +48,7 @@ def campaign_events(records):
     names = _process_names(records)
     events = []
     for pid in sorted(names):
-        events.append(
-            {"ph": "M", "pid": pid, "name": "process_name",
-             "args": {"name": names[pid]}}
-        )
-        for tid, track in _TRACK_NAMES.items():
-            events.append(
-                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
-                 "args": {"name": track}}
-            )
+        events.extend(metadata_events(pid, names[pid], _TRACK_NAMES))
 
     t0 = min((r["ts"] for r in records if r.get("ts") is not None), default=0.0)
     body = []

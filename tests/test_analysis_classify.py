@@ -1,0 +1,230 @@
+"""Miss classification, eviction causality, and the windowed series."""
+
+import pytest
+
+from repro.analysis import (
+    build_stream,
+    classify_stream,
+    eviction_causality,
+    window_series,
+    working_set,
+)
+from repro.analysis.stream import INVALIDATE, TOUCH, ReferenceStream
+from repro.replay import ReplayEngine, capture_source
+
+SOURCE = """
+int table[24];
+
+int churn(int n) {
+    int total = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        table[i % 24] = total;
+        total += table[(i * 5) % 24] + i;
+    }
+    return total;
+}
+
+int main(void) {
+    __debug_out((unsigned)churn(50));
+    return 0;
+}
+"""
+
+_CACHE = {}
+
+
+def baseline_stream():
+    if "stream" not in _CACHE:
+        document, _, _ = capture_source(SOURCE, system="baseline")
+        _CACHE["document"] = document
+        _CACHE["stream"] = build_stream(document)
+    return _CACHE["stream"]
+
+
+def make_stream(ops):
+    events = [(op, tag, index + 1) for index, (op, tag) in enumerate(ops)]
+    owners = {tag: f"f{tag % 3}" for _, tag in ops}
+    return ReferenceStream(
+        header={
+            "benchmark": "synthetic",
+            "system": "baseline",
+            "plan": "unified",
+            "scale": 1,
+            "image_sha256": "0" * 64,
+            "events": len(ops),
+            "frequency_mhz": 24,
+        },
+        line_bytes=8,
+        events=events,
+        owners=owners,
+        total_instructions=len(ops),
+        total_cycles=len(ops),
+    )
+
+
+# -- classification -----------------------------------------------------------------
+
+
+def test_hand_computed_three_c_breakdown():
+    """T0 T1 T0 INV0 T0 T1 through a 1x1 cache, worked by hand."""
+    ops = [
+        (TOUCH, 0),
+        (TOUCH, 1),
+        (TOUCH, 0),  # capacity: infinite hits, 1-line full cache does not
+        (INVALIDATE, 0),
+        (TOUCH, 0),  # compulsory (invalidation): the write killed the line
+        (TOUCH, 1),  # capacity again
+    ]
+    result = classify_stream(make_stream(ops), sets=1, ways=1)
+    assert result.touches == 5
+    assert result.hits == 0
+    assert result.compulsory == 3
+    assert result.cold == 2
+    assert result.invalidation == 1
+    assert result.capacity == 2
+    assert result.conflict == 0
+    assert result.invalidations == 1
+    assert result.misses == 5
+
+
+def test_conflict_requires_set_indexing():
+    """Tags 0 and 2 collide in set 0 of a 2x1 cache; a fully-assoc
+    cache of the same 2 lines would have held both."""
+    ops = [(TOUCH, 0), (TOUCH, 2), (TOUCH, 0)]
+    result = classify_stream(make_stream(ops), sets=2, ways=1)
+    assert result.cold == 2
+    assert result.conflict == 1
+    assert result.capacity == 0
+    # The same stream in fully-associative form has no conflict misses.
+    fully = classify_stream(make_stream(ops), sets=1, ways=2)
+    assert fully.conflict == 0
+    assert fully.hits == 1
+
+
+def test_classification_matches_replay_exactly():
+    """The acceptance invariant on a real trace: the classified miss
+    total equals fc.misses from a replay at the same geometry."""
+    stream = baseline_stream()
+    document = _CACHE["document"]
+    for sets, ways in ((2, 2), (1, 4), (4, 1)):
+        result = classify_stream(stream, sets=sets, ways=ways)
+        outcome = ReplayEngine(document).replay(fram_cache=(sets, ways, 8))
+        fc = outcome.board.bus.fram_cache
+        assert result.misses == fc.misses
+        assert result.hits == fc.hits
+        assert result.compulsory + result.capacity + result.conflict == (
+            result.misses
+        )
+        assert result.cold <= stream.distinct_lines
+
+
+def test_per_owner_stats_sum_to_totals():
+    stream = baseline_stream()
+    result = classify_stream(stream, sets=2, ways=2)
+    owners = result.per_owner
+    assert owners  # churn, main, <data> at minimum
+    for column in ("touches", "hits", "compulsory", "capacity", "conflict",
+                   "invalidations"):
+        total = sum(getattr(stats, column) for stats in owners.values())
+        assert total == getattr(
+            result, column if column != "invalidations" else "invalidations"
+        )
+    doc = result.as_dict()
+    assert doc["misses"] == result.misses
+    assert set(doc["per_function"]) == set(owners)
+
+
+def test_classification_metrics():
+    from repro.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    ops = [(TOUCH, 0), (TOUCH, 0)]
+    classify_stream(make_stream(ops), sets=1, ways=1, metrics=registry)
+    assert registry.counter("analysis.classified_accesses").value == 2
+    assert registry.counter("analysis.misses.compulsory").value == 1
+
+
+# -- causality -----------------------------------------------------------------------
+
+
+def test_hand_computed_causality():
+    """T0 T1 T0 T1 through one line: a textbook ping-pong."""
+    ops = [(TOUCH, 0), (TOUCH, 1), (TOUCH, 0), (TOUCH, 1)]
+    result = eviction_causality(make_stream(ops), sets=1, ways=1)
+    assert result.evictions == 3
+    assert result.harmful_evictions == 2
+    assert result.matrix == {("f1", "f0"): 2, ("f0", "f1"): 1}
+    (row,) = result.pairs()
+    assert row["functions"] == ["f0", "f1"]
+    assert row["evictions"] == 3
+    assert row["mutual"] == 1
+    assert row["forward"] == 1  # f0 evicts f1
+    assert row["backward"] == 2
+
+
+def test_invalidation_resets_causality():
+    """An invalidation between eviction and re-touch absolves the evictor:
+    the re-miss would have happened anyway."""
+    ops = [(TOUCH, 0), (TOUCH, 1), (INVALIDATE, 0), (TOUCH, 0)]
+    result = eviction_causality(make_stream(ops), sets=1, ways=1)
+    assert result.evictions == 2
+    assert result.harmful_evictions == 0
+
+
+def test_causality_consistency_on_real_trace():
+    stream = baseline_stream()
+    result = eviction_causality(stream, sets=2, ways=2)
+    assert sum(result.matrix.values()) == result.evictions
+    assert result.harmful_evictions <= result.evictions
+    rows = result.pairs()
+    assert sum(row["evictions"] for row in rows) == result.evictions
+    # Ranked: mutual pressure first, then volume.
+    keys = [(-row["mutual"], -row["evictions"]) for row in rows]
+    assert keys == sorted(keys)
+
+
+def test_self_eviction_pair_shape():
+    ops = [(TOUCH, 0), (TOUCH, 3), (TOUCH, 0), (TOUCH, 3)]  # both owner f0
+    result = eviction_causality(make_stream(ops), sets=1, ways=1)
+    (row,) = result.pairs()
+    assert row["functions"] == ["f0", "f0"]
+    assert row["evictions"] == 3
+    assert row["forward"] == row["backward"] == 3
+
+
+# -- windows -------------------------------------------------------------------------
+
+
+def test_window_series_final_cumulative_matches_totals():
+    stream = baseline_stream()
+    windows = window_series(stream, sets=2, ways=2)
+    totals = classify_stream(stream, sets=2, ways=2)
+    last = windows[-1]
+    assert last.cum_hits == totals.hits
+    assert last.cum_compulsory == totals.compulsory
+    assert last.cum_capacity == totals.capacity
+    assert last.cum_conflict == totals.conflict
+    assert sum(window.touches for window in windows) == stream.touches
+    assert last.end_cycle <= stream.total_cycles
+    # Cumulative curves are nondecreasing.
+    for column in ("cum_hits", "cum_compulsory", "cum_capacity",
+                   "cum_conflict"):
+        values = [getattr(window, column) for window in windows]
+        assert values == sorted(values)
+    for window in windows:
+        assert 0 <= window.occupancy_lines <= 4  # 2x2 geometry
+
+
+def test_working_set_rows():
+    stream = baseline_stream()
+    rows = working_set(stream, window_cycles=stream.total_cycles + 1)
+    (row,) = rows
+    assert row["working_set_lines"] <= stream.distinct_lines
+    assert row["working_set_bytes"] == row["working_set_lines"] * 8
+    assert row["working_set_functions"] >= 2
+
+
+def test_window_series_rejects_bad_width():
+    with pytest.raises(ValueError):
+        window_series(baseline_stream(), window_cycles=0)

@@ -1,0 +1,137 @@
+"""The ``repro cache`` CLI: determinism, structure, refusals."""
+
+import io
+import json
+
+from repro.analysis.cli import main as cache_main
+from repro.cli import main as repro_main
+from repro.replay import capture_source
+from repro.trace_event import track_name_problems, validate_trace
+
+SOURCE = """
+int table[24];
+
+int spin(int n) {
+    int total = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        table[i % 24] = total;
+        total += table[(i * 3) % 24] + i;
+    }
+    return total;
+}
+
+int main(void) {
+    __debug_out((unsigned)spin(40));
+    return 0;
+}
+"""
+
+_CACHE = {}
+
+
+def trace_path(tmp_path_factory=None, tmp_path=None):
+    if "path" not in _CACHE:
+        document, _, _ = capture_source(SOURCE, system="baseline")
+        target = (tmp_path or tmp_path_factory.mktemp("traces")) / "t.trace"
+        document.save(target)
+        _CACHE["path"] = target
+    return _CACHE["path"]
+
+
+def run(argv):
+    out = io.StringIO()
+    code = cache_main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_report_json_is_byte_identical_across_runs(tmp_path):
+    path = str(trace_path(tmp_path=tmp_path))
+    code_a, first = run(["report", path, "--json"])
+    code_b, second = run(["report", path, "--json"])
+    assert code_a == code_b == 0
+    assert first == second
+    document = json.loads(first)
+    assert document["schema"] == "repro-cache-report/1"
+    classified = document["classification"]
+    assert classified["hits"] + classified["misses"] == classified["touches"]
+    assert classified["compulsory"] + classified["capacity"] + (
+        classified["conflict"]
+    ) == classified["misses"]
+    assert document["geometry"] == {
+        "sets": 2, "ways": 2, "line_bytes": 8, "total_bytes": 32,
+    }
+    assert document["working_set"]["windows"]
+    assert document["mrc"]["points"]
+
+
+def test_mrc_validate_passes_and_is_deterministic(tmp_path):
+    path = str(trace_path(tmp_path=tmp_path))
+    code, text = run(["mrc", path, "--validate"])
+    assert code == 0
+    assert "all exact" in text
+    _, first = run(["mrc", path, "--json"])
+    _, second = run(["mrc", path, "--json"])
+    assert first == second
+    document = json.loads(first)
+    misses = [point["misses"] for point in document["points"]]
+    assert misses == sorted(misses, reverse=True)
+    assert document["points"][-1]["misses"] == document["compulsory_floor"]
+
+
+def test_mrc_explicit_way_counts(tmp_path):
+    path = str(trace_path(tmp_path=tmp_path))
+    code, text = run(["mrc", path, "--json", "--ways", "1", "2", "4"])
+    assert code == 0
+    document = json.loads(text)
+    assert [point["ways"] for point in document["points"]] == [1, 2, 4]
+
+
+def test_report_perfetto_output_is_valid(tmp_path):
+    path = str(trace_path(tmp_path=tmp_path))
+    perfetto = tmp_path / "counters.json"
+    code, _ = run(["report", path, "--perfetto", str(perfetto)])
+    assert code == 0
+    trace = json.loads(perfetto.read_text())
+    assert validate_trace(trace) == []
+    assert track_name_problems(trace) == []
+    counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+    assert "working-set-lines" in counters
+    assert "cum-misses-capacity" in counters
+    ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert ts == sorted(ts)
+
+
+def test_out_flag_writes_the_json_document(tmp_path):
+    path = str(trace_path(tmp_path=tmp_path))
+    target = tmp_path / "thrash.json"
+    code, text = run(["thrash", path, "--out", str(target), "--top", "3"])
+    assert code == 0
+    assert f"wrote {target}" in text
+    document = json.loads(target.read_text())
+    assert document["schema"] == "repro-cache-thrash/1"
+    assert len(document["pairs"]) <= 3
+
+
+def test_non_baseline_trace_exits_2(tmp_path):
+    document, _, _ = capture_source(SOURCE, system="swapram")
+    path = tmp_path / "swapram.trace"
+    document.save(path)
+    code, text = run(["report", str(path)])
+    assert code == 2
+    assert "error:" in text
+    assert "baseline" in text
+
+
+def test_unknown_program_exits_2():
+    code, text = run(["mrc", "definitely-not-a-benchmark"])
+    assert code == 2
+    assert "error:" in text
+
+
+def test_top_level_dispatch(tmp_path):
+    path = str(trace_path(tmp_path=tmp_path))
+    out = io.StringIO()
+    code = repro_main(["cache", "thrash", path], out=out)
+    assert code == 0
+    assert "thrash" in out.getvalue()

@@ -1,0 +1,183 @@
+"""The hole-aware Mattson stack: exactness is the whole point.
+
+The hypothesis sweep is the load-bearing test: plain Mattson stack
+distances are *wrong* under write invalidation (see the counterexample
+in ``repro/analysis/mrc.py``), so the single-pass profile is checked
+against brute-force per-size simulation with the real
+:class:`FramReadCache` -- the same class the machine model and the
+replay engine use -- across random streams and every geometry.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mrc import ReuseProfile, _HoleStack, reuse_profile
+from repro.analysis.stream import INVALIDATE, TOUCH, ReferenceStream
+from repro.machine.fram_cache import FramReadCache
+from repro.metrics import MetricsRegistry
+
+LINE = 8
+
+
+def make_stream(ops):
+    """A synthetic ReferenceStream from (op, tag) pairs."""
+    events = [(op, tag, index + 1) for index, (op, tag) in enumerate(ops)]
+    owners = {tag: f"f{tag % 3}" for _, tag in ops}
+    return ReferenceStream(
+        header={
+            "benchmark": "synthetic",
+            "system": "baseline",
+            "plan": "unified",
+            "scale": 1,
+            "image_sha256": "0" * 64,
+            "events": len(ops),
+            "frequency_mhz": 24,
+        },
+        line_bytes=LINE,
+        events=events,
+        owners=owners,
+        total_instructions=len(ops),
+        total_cycles=len(ops),
+    )
+
+
+def brute_force_misses(ops, sets, ways):
+    cache = FramReadCache(sets=sets, ways=ways, line_bytes=LINE)
+    for op, tag in ops:
+        if op == TOUCH:
+            cache.access(tag * LINE)
+        else:
+            cache.invalidate(tag * LINE)
+    return cache.misses
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from([TOUCH, TOUCH, TOUCH, INVALIDATE]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=ops_strategy, sets=st.integers(1, 3), ways=st.integers(1, 6))
+def test_profile_matches_brute_force(ops, sets, ways):
+    profile = reuse_profile(make_stream(ops), sets=sets)
+    assert profile.misses(ways) == brute_force_misses(ops, sets, ways)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_strategy)
+def test_curve_is_monotone_and_floors_at_compulsory(ops):
+    profile = reuse_profile(make_stream(ops), sets=1)
+    curve = profile.curve()
+    misses = [m for _, m in curve]
+    assert misses == sorted(misses, reverse=True)
+    if curve:
+        last_ways = curve[-1][0]
+        # Beyond the largest change point the curve sits exactly on the
+        # compulsory floor: cold + invalidation misses.
+        assert profile.misses(last_ways) == profile.compulsory_misses
+        assert profile.misses(last_ways + 100) == profile.compulsory_misses
+
+
+def test_invalidation_counterexample_is_handled():
+    """The stream that breaks naive Mattson: A B C, kill C, touch A.
+
+    A real 2-line LRU holds only {B} at the final touch, so A misses;
+    a naive stack (delete-on-invalidate) would predict a hit at
+    distance 1. The hole-aware profile must agree with the hardware.
+    """
+    ops = [
+        (TOUCH, 0),  # A
+        (TOUCH, 1),  # B
+        (TOUCH, 2),  # C
+        (INVALIDATE, 2),
+        (TOUCH, 0),  # A again: distance must count the hole
+    ]
+    profile = reuse_profile(make_stream(ops), sets=1)
+    for ways in (1, 2, 3, 4):
+        assert profile.misses(ways) == brute_force_misses(ops, 1, ways)
+    # Explicitly: 2 ways still miss all 4 touches, 3 ways save one.
+    assert profile.misses(2) == 4
+    assert profile.misses(3) == 3
+
+
+def test_set_decomposition_merges_per_set_stacks():
+    ops = [(TOUCH, tag) for tag in (0, 1, 2, 3, 0, 1, 2, 3)]
+    profile = reuse_profile(make_stream(ops), sets=2)
+    # Tags 0/2 land in set 0, tags 1/3 in set 1; each set sees a
+    # 2-block cycle, so 2 ways per set hold everything after warmup.
+    assert profile.misses(2) == 4
+    assert profile.misses(1) == 8
+    assert profile.cold_misses == 4
+
+
+def test_profile_counts_cold_and_invalidation_misses():
+    ops = [(TOUCH, 0), (INVALIDATE, 0), (TOUCH, 0), (TOUCH, 1)]
+    profile = reuse_profile(make_stream(ops), sets=1)
+    assert profile.cold_misses == 2
+    assert profile.invalidation_misses == 1
+    assert profile.compulsory_misses == 3
+    assert profile.touches == 3
+
+
+def test_hole_stack_rejects_bad_sizes():
+    profile = ReuseProfile(1, LINE, [_HoleStack(4)])
+    try:
+        profile.misses(0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("ways=0 must be rejected")
+
+
+def test_metrics_instrumentation():
+    registry = MetricsRegistry()
+    ops = [(TOUCH, 0), (TOUCH, 0), (INVALIDATE, 0)]
+    reuse_profile(make_stream(ops), sets=1, metrics=registry)
+    assert registry.counter("analysis.mrc_profiles").value == 1
+    assert registry.counter("analysis.mrc_touches").value == 2
+    # One finite distance observed (the re-touch at distance 0).
+    assert registry.histogram("analysis.stack_distance").count == 1
+
+
+# -- the acceptance bar: exactness on every quick-set benchmark ---------------------
+
+
+def _quick_exactness(name):
+    import pytest
+
+    from repro.analysis import build_stream
+    from repro.bench import get_benchmark
+    from repro.replay import ReplayEngine, capture_source
+
+    bench = get_benchmark(name)
+    document, _, _ = capture_source(
+        bench.source, system="baseline", benchmark=name
+    )
+    profile = reuse_profile(build_stream(document), sets=1)
+    curve = profile.curve()
+    if len(curve) < 3:
+        pytest.skip(f"{name}: fewer than 3 MRC change points")
+    ways = sorted({curve[0][0], curve[len(curve) // 2][0], curve[-1][0],
+                   curve[-1][0] + 2})
+    engine = ReplayEngine(document)
+    for way_count in ways:
+        outcome = engine.replay(fram_cache=(1, way_count, 8))
+        assert outcome.result.debug_words == bench.expected
+        measured = outcome.board.bus.fram_cache.misses
+        assert profile.misses(way_count) == measured, (
+            name, way_count, profile.misses(way_count), measured
+        )
+
+
+def test_quick_set_mrc_predictions_are_exact():
+    """ISSUE acceptance: for every quick-set benchmark, MRC-predicted
+    miss counts at 3+ cache sizes (plus one past the last change point)
+    equal what the replay engine measures, bit for bit."""
+    from repro.bench import QUICK_NAMES
+
+    for name in QUICK_NAMES:
+        _quick_exactness(name)

@@ -164,3 +164,48 @@ def test_queue_skip_active_never_plans_active_victims_when_avoidable(
         policy.commit(func_id, placement, size)
     for node in policy.nodes:
         assert BASE <= node.address and node.end <= BASE + SIZE
+
+
+# -- eviction-victim identity surface -------------------------------------------------
+
+
+def test_commit_exposes_eviction_victims():
+    policy = CircularQueuePolicy(BASE, SIZE)
+    assert policy.last_evictions == ()
+    fill(policy, [400, 400, 200])
+    assert policy.last_evictions == ()  # no evictions yet
+    placement = policy.plan(100)  # wraps, evicts func 0
+    victims = tuple(placement.victims)
+    policy.commit(3, placement, 100)
+    assert policy.last_evictions == victims
+    assert [victim.func_id for victim in policy.last_evictions] == [0]
+    identity = policy.last_evictions[0].identity()
+    assert identity == {"func_id": 0, "address": BASE, "size": 400}
+
+
+def test_last_evictions_cleared_on_reset():
+    policy = StackPolicy(BASE, SIZE)
+    fill(policy, [SIZE - 50])
+    placement = policy.plan(200)
+    policy.commit(1, placement, 200)
+    assert policy.last_evictions  # the stack popped its newest entry
+    policy.reset()
+    assert policy.last_evictions == ()
+
+
+def test_victim_exposure_does_not_change_decisions():
+    """The observability surface is write-only for the policies: a
+    scripted plan/commit sequence lands exactly where it always did."""
+    for policy_class in (CircularQueuePolicy, StackPolicy,
+                         CostAwareQueuePolicy):
+        policy = policy_class(BASE, SIZE)
+        fill(policy, [300, 300, 300])
+        placement = policy.plan(300)
+        assert placement is not None
+        node = policy.commit(3, placement, 300)
+        # Same accounting invariants as before the surface existed.
+        assert policy.used_bytes() + policy.free_bytes() == SIZE
+        assert policy.lookup(3) is node
+        assert list(policy.last_evictions) == list(placement.victims)
+        for victim in placement.victims:
+            assert policy.lookup(victim.func_id) is None

@@ -244,3 +244,55 @@ def test_cli_truncated_trace_reported(tmp_path):
     status, text = _cli(["replay", "run", str(path)])
     assert status == 2
     assert "error:" in text
+
+
+def test_cli_list_json_is_deterministic(tmp_path):
+    import json
+
+    store = str(tmp_path / "traces")
+    TraceStore(store).save(tiny_document())
+    status, first = _cli(["replay", "list", "--store", store, "--json"])
+    assert status == 0
+    _, second = _cli(["replay", "list", "--store", store, "--json"])
+    assert first == second
+    doc = json.loads(first)
+    assert doc["count"] == 1
+    assert doc["root"] == store
+    (meta,) = doc["traces"].values()
+    assert meta["system"] == "swapram"
+
+
+# -- the fram_cache replay dimension ------------------------------------------------
+
+
+def test_fram_cache_validity_rules():
+    from repro.replay.validity import check_fram_cache
+
+    assert check_fram_cache(None) == []
+    assert check_fram_cache((2, 2, 8)) == []
+    for bad in (
+        (0, 2, 8),      # sets must be positive
+        (2, -1, 8),     # ways must be positive
+        (2, 2, 7),      # line_bytes must be a power of two
+        (2, 2, 1),      # ...of at least 2
+        (True, 2, 8),   # bools are not sizes
+        (2, 2),         # malformed tuple
+        "2x2x8",        # not a tuple at all
+    ):
+        assert check_fram_cache(bad), bad
+
+
+def test_fram_cache_is_a_free_dimension_for_all_systems():
+    from repro.replay import ReplayEngine
+
+    engine = ReplayEngine(tiny_document())  # a swapram trace
+    outcome = engine.replay(fram_cache=(1, 8, 8))
+    fc = outcome.board.bus.fram_cache
+    assert (fc.sets, fc.ways, fc.line_bytes) == (1, 8, 8)
+    assert fc.hits + fc.misses > 0
+    # Baseline semantics are untouched: same words out either way.
+    assert outcome.result.debug_words == engine.replay().result.debug_words
+
+    with pytest.raises(Exception) as excinfo:
+        engine.replay(fram_cache=(2, 2, 7))
+    assert "line_bytes" in str(excinfo.value)

@@ -1,0 +1,86 @@
+"""The shared trace_event helpers all three Perfetto exporters use."""
+
+import json
+
+import pytest
+
+from repro.trace_event import (
+    metadata_events,
+    track_name_problems,
+    validate_trace,
+    write_trace,
+)
+
+
+def good_trace():
+    events = metadata_events(1, "proc", threads={2: "tick", 1: "main"})
+    events += [
+        {"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "work"},
+        {"ph": "C", "pid": 1, "ts": 1, "name": "depth", "args": {"value": 3}},
+        {"ph": "i", "pid": 1, "tid": 2, "ts": 1, "name": "mark", "s": "t"},
+        {"ph": "E", "pid": 1, "tid": 1, "ts": 5, "name": "work"},
+    ]
+    return {"traceEvents": events}
+
+
+def test_metadata_events_shape_and_order():
+    events = metadata_events(7, "cache analysis", threads={5: "b", 2: "a"})
+    assert events[0] == {
+        "ph": "M", "pid": 7, "name": "process_name",
+        "args": {"name": "cache analysis"},
+    }
+    assert [e["tid"] for e in events[1:]] == [2, 5]  # sorted tid order
+    assert [e["args"]["name"] for e in events[1:]] == ["a", "b"]
+    assert metadata_events(1, "solo") == [
+        {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "solo"}}
+    ]
+
+
+def test_validate_accepts_well_formed_trace():
+    assert validate_trace(good_trace()) == []
+    assert track_name_problems(good_trace()) == []
+
+
+def test_validate_catches_structural_problems():
+    assert validate_trace([]) == [
+        "trace is not an object with a traceEvents list"
+    ]
+    bad = {"traceEvents": [{"ph": "Z", "ts": 0, "pid": 1}]}
+    assert any("unknown phase" in p for p in validate_trace(bad))
+    bad = {"traceEvents": [{"ph": "E", "pid": 1, "tid": 1, "ts": 0}]}
+    assert any("E without matching B" in p for p in validate_trace(bad))
+    bad = {"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "ts": 0,
+                            "name": "x"}]}
+    assert any("unclosed" in p for p in validate_trace(bad))
+    bad = {"traceEvents": [
+        {"ph": "i", "pid": 1, "tid": 1, "ts": 5, "name": "a"},
+        {"ph": "i", "pid": 1, "tid": 1, "ts": 2, "name": "b"},
+    ]}
+    assert any("ts" in p for p in validate_trace(bad))
+    bad = {"traceEvents": [{"ph": "C", "pid": 1, "ts": 0, "name": "n"}]}
+    assert any("counter without args" in p for p in validate_trace(bad))
+
+
+def test_track_name_audit_flags_unnamed_tracks():
+    trace = {"traceEvents": [
+        {"ph": "C", "pid": 9, "ts": 0, "name": "n", "args": {"value": 1}},
+    ]}
+    assert track_name_problems(trace) == [
+        "pid 9 has no process_name metadata"
+    ]
+    trace["traceEvents"] = metadata_events(9, "p") + [
+        {"ph": "i", "pid": 9, "tid": 4, "ts": 0, "name": "n"},
+    ]
+    assert track_name_problems(trace) == [
+        "pid 9 tid 4 has no thread_name metadata"
+    ]
+
+
+def test_write_trace_round_trips_and_refuses_invalid(tmp_path):
+    path = write_trace(tmp_path / "t.json", good_trace())
+    assert json.loads(path.read_text()) == good_trace()
+    with pytest.raises(ValueError, match="refusing to write"):
+        write_trace(tmp_path / "bad.json", {"traceEvents": [
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 0},
+        ]})
+    assert not (tmp_path / "bad.json").exists()
