@@ -16,12 +16,19 @@ per FRAM write. Feeding the stream to a :class:`FramReadCache` of any
 geometry therefore reproduces the replay engine's hit/miss totals for
 that geometry bit-exactly -- the property the test suite pins.
 
-**Scope.** Only **baseline** traces are analysable: their event stream
-is the complete application reference string and every PC is absolute.
-A swapram or block trace's FRAM traffic depends on the captured cache
-configuration (code executes from SRAM on a hit), so line-level
-analytics over it would silently describe one configuration while
-claiming generality -- :func:`build_stream` refuses loudly instead.
+**Scope.** Only **baseline-shaped** traces are analysable: their event
+stream is the complete application reference string and every PC is
+absolute. A swapram or block trace's FRAM traffic depends on the
+captured cache configuration (code executes from SRAM on a hit), so
+line-level analytics over it would silently describe one configuration
+while claiming generality -- :func:`build_stream` refuses loudly
+instead. A *write-through* data-cache trace qualifies: the recorder
+taps sit above the bus-level interception, so the recorded stream is
+the raw application reference string and every store reached FRAM when
+recorded (the derived stream describes the uncached reference string,
+exactly as for baseline). A **write-back** capture does not: dirty
+lines defer the durable FRAM writes, so the recorded store events no
+longer say when FRAM was written -- refused, naming the config knob.
 
 Line *owners* come from :mod:`repro.obs.funcmap`: a line holding code
 is attributed to the function occupying its base address; FRAM lines
@@ -111,7 +118,25 @@ def build_stream(document, line_bytes=8, metrics=None):
             f"line_bytes must be a power of two >= 2, got {line_bytes}"
         )
     system = document.header.get("system")
-    if system != "baseline":
+    if system == "datacache":
+        config = document.header.get("capture_config") or {}
+        if config.get("mode") == "back":
+            if metrics is not None:
+                metrics.counter("analysis.refused").inc()
+            raise AnalysisRefused(
+                "this trace was captured with a write-back data cache "
+                "(DataCacheConfig mode='back'): dirty lines defer the "
+                "durable FRAM writes, so the recorded store events no "
+                "longer say when FRAM was actually written and "
+                "line-level analytics over them would be fiction; "
+                "recapture with DataCacheConfig(mode='through') -- "
+                "write-through traces are baseline-shaped and analyse "
+                "exactly"
+            )
+        # Write-through: the recorder taps sit above the bus-level
+        # interception, so the stream is the raw application reference
+        # string -- baseline-shaped, analysable as-is.
+    elif system != "baseline":
         if metrics is not None:
             metrics.counter("analysis.refused").inc()
         raise AnalysisRefused(

@@ -20,6 +20,9 @@
     python -m repro trace export --campaign difftest-1a2b3c4d   # Perfetto
     python -m repro cache report crc                  # miss classification
     python -m repro cache mrc crc --validate          # exact miss-ratio curve
+    python -m repro program.c --system datacache      # write-back data cache
+    python -m repro datacache sweep --jobs 4          # mode x cleaning grid
+    python -m repro datacache report results/datacache/sweep.json
 
 Prints the program's debug-port output and a run report (cycles,
 accesses, energy); ``--stats`` adds cache-runtime statistics,
@@ -37,7 +40,10 @@ the wall clock (see :mod:`repro.replay.cli`); the ``sweep`` subcommand
 runs sharded, resumable configuration-matrix campaigns on a worker
 pool (see :mod:`repro.sweep.cli`); the ``cache`` subcommand derives
 exact miss classification, miss-ratio curves and eviction-causality
-reports from captured baseline traces (see :mod:`repro.analysis.cli`).
+reports from captured baseline traces (see :mod:`repro.analysis.cli`);
+the ``datacache`` subcommand sweeps and reports the FRAM data-plane
+cache's mode x cleaning x geometry grid (see
+:mod:`repro.datacache.cli`).
 
 ``--max-cycles`` arms a cycle watchdog: a run that exceeds the budget
 is reported as a first-class DNF (exit status 2) instead of spinning to
@@ -63,9 +69,15 @@ def _parser():
     parser.add_argument("source", help="mini-C source file (or '-' for stdin)")
     parser.add_argument(
         "--system",
-        choices=("baseline", "swapram", "block"),
+        choices=("baseline", "swapram", "block", "datacache"),
         default="baseline",
         help="execution system (default: baseline)",
+    )
+    parser.add_argument(
+        "--datacache-mode",
+        choices=("through", "back"),
+        default="back",
+        help="data-cache write policy (--system datacache; default: back)",
     )
     parser.add_argument(
         "--plan",
@@ -125,6 +137,17 @@ def _build(args, source):
             frequency_mhz=args.mhz,
             cache_limit=args.cache_limit,
             thrash_guard=ThrashGuard() if args.thrash_guard else None,
+        )
+        return system, system.board, system.stats
+    if args.system == "datacache":
+        from repro.datacache.cache import DataCacheConfig
+        from repro.datacache.system import build_datacache
+
+        config = DataCacheConfig(mode=args.datacache_mode)
+        if args.datacache_mode == "through":
+            config = DataCacheConfig(mode="through", cleaning="none")
+        system = build_datacache(
+            source, PLANS[args.plan], config=config, frequency_mhz=args.mhz
         )
         return system, system.board, system.stats
     system = build_blockcache(
@@ -188,6 +211,10 @@ def main(argv=None, out=sys.stdout):
         from repro.analysis.cli import main as cache_main
 
         return cache_main(argv[1:], out=out)
+    if argv and argv[0] == "datacache":
+        from repro.datacache.cli import main as datacache_main
+
+        return datacache_main(argv[1:], out=out)
     args = _parser().parse_args(argv)
     if args.source == "-":
         source = sys.stdin.read()

@@ -48,6 +48,34 @@ class RuntimeCostModel:
         return self.handler_base_bytes + self.handler_bytes_per_reloc * total_relocs
 
 
+@dataclass(frozen=True)
+class DataCacheCostModel:
+    """Tunable constants for the data-plane cache runtime's costs.
+
+    Hits are free of instruction overhead: the lookup is modelled as
+    compiler-assisted region remapping (the access already addresses
+    the SRAM line), so a hit is exactly one SRAM access -- the same
+    assumption SwapRAM makes for code hits once the redirection entry
+    points into SRAM. Everything else -- the miss path, the line-copy
+    loops, the cleaning walk -- is charged instruction by instruction
+    at real FRAM addresses inside the runtime's reserved area.
+    """
+
+    lookup_instructions: int = 0  # compiler-assisted remapping (see above)
+    miss_instructions: int = 8  # tag probe, victim choice, bookkeeping
+    writeback_instructions: int = 4  # per line written back (setup)
+    clean_instructions: int = 4  # per cleaning-policy activation
+    bypass_instructions: int = 1  # sequential-cutoff / promotion gate
+    memcpy_setup_instructions: int = 4
+    memcpy_instructions_per_word: int = 3  # same loop shape as SwapRAM's
+
+    cycles_per_instruction: int = 3
+
+    # Static size model (bytes) for the reserved FRAM runtime area.
+    handler_bytes: int = 512
+    memcpy_bytes: int = 64
+
+
 class CostCharger:
     """Charges modelled instructions against the bus at real addresses."""
 

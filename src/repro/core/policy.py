@@ -1,12 +1,27 @@
-"""Cache memory structures / replacement policies (paper §3.4).
+"""Cache memory structures / replacement and cleaning policies.
 
-The data structure organising cached functions in SRAM *is* the
-replacement policy. The paper's proof-of-concept uses a circular queue
-("least-recently-cached" eviction, good density, evicts ancestors
-rarely); it explicitly argues a stack ("most-recently-cached") is
-counterproductive -- we implement both so the ablation benchmark can
-show the difference -- and sketches priority-based schemes as future
-work, which :class:`CostAwareQueuePolicy` explores.
+Two policy families live here so every cache subsystem shares one
+registry surface:
+
+* **Replacement** (paper §3.4) -- the data structure organising cached
+  functions in SRAM *is* the replacement policy. The paper's
+  proof-of-concept uses a circular queue ("least-recently-cached"
+  eviction, good density, evicts ancestors rarely); it explicitly
+  argues a stack ("most-recently-cached") is counterproductive -- we
+  implement both so the ablation benchmark can show the difference --
+  and sketches priority-based schemes as future work, which
+  :class:`CostAwareQueuePolicy` explores. Registered in
+  :data:`POLICIES`.
+* **Cleaning** -- when the data-plane cache (:mod:`repro.datacache`)
+  runs write-back, dirty lines accumulate and something must decide
+  when to write them to FRAM. The strategies are modeled on Open-CAS:
+  :class:`AlruCleaning` (lazy, age-gated, LRU-dirty-first) and
+  :class:`AcpCleaning` (aggressive, periodic, address order), plus
+  :class:`NopCleaning` (evict/flush only). Registered in
+  :data:`CLEANING_POLICIES`.
+
+:func:`lookup_policy` is the shared entry point both SwapRAM and the
+data cache resolve names through.
 """
 
 from dataclasses import dataclass, field
@@ -249,3 +264,173 @@ POLICIES = {
     policy.name: policy
     for policy in (CircularQueuePolicy, StackPolicy, CostAwareQueuePolicy)
 }
+
+
+class CleaningPolicy:
+    """When to write dirty data-cache lines back, outside of evictions.
+
+    ``tick(cache)`` is consulted once per application access to the
+    cached window and returns the lines to clean *now* (possibly none).
+    *cache* is any object exposing ``ticks`` (monotonic access count)
+    and ``dirty_lines()`` (line objects carrying ``tag``, ``set_index``,
+    ``dirty_since`` and ``last_tick``). Policies never touch memory
+    themselves -- the
+    runtime performs the writebacks it is told to, so every cleaning
+    decision is charged as real bus traffic.
+    """
+
+    name = "abstract"
+
+    def reset(self):
+        pass
+
+    def tick(self, cache):
+        raise NotImplementedError
+
+    def describe(self):
+        """Deterministic plain-data identity for reports and sweeps."""
+        return {"name": self.name}
+
+
+class NopCleaning(CleaningPolicy):
+    """Never clean: dirty lines persist until eviction or final flush.
+
+    The maximum-deferral corner -- cheapest while running, and the
+    worst case for crash consistency (every dirty line is exposed to a
+    power failure for its whole residency).
+    """
+
+    name = "none"
+
+    def tick(self, cache):
+        return ()
+
+
+class AlruCleaning(CleaningPolicy):
+    """Open-CAS ALRU-style lazy cleaning.
+
+    Every *interval* accesses, clean up to *batch* dirty lines that
+    have gone *stale* -- not touched for at least *age* accesses --
+    least recently used first. Hot lines are left alone (they are
+    likely to be written again, and cleaning them early would waste
+    FRAM writes), so a busy line is cleaned once when it goes cold
+    instead of once per store burst.
+    """
+
+    name = "alru"
+
+    def __init__(self, interval=256, batch=1, age=1024):
+        self.interval = interval
+        self.batch = batch
+        self.age = age
+
+    def tick(self, cache):
+        if cache.ticks % self.interval:
+            return ()
+        ripe = [
+            line
+            for line in cache.dirty_lines()
+            if cache.ticks - line.last_tick >= self.age
+        ]
+        ripe.sort(key=lambda line: (line.last_tick, line.tag))
+        return ripe[: self.batch]
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "interval": self.interval,
+            "batch": self.batch,
+            "age": self.age,
+        }
+
+
+class AcpCleaning(CleaningPolicy):
+    """Open-CAS ACP-style aggressive cleaning.
+
+    Every *interval* accesses, clean up to *batch* dirty lines in
+    ascending address order regardless of age. Keeps the dirty
+    population near zero (shortest crash-exposure window) at the price
+    of re-writing hot lines -- and the address order means FRAM
+    durability follows line layout, not program order, which is exactly
+    the reordering hazard the fault harness demonstrates.
+    """
+
+    name = "acp"
+
+    def __init__(self, interval=256, batch=1):
+        self.interval = interval
+        self.batch = batch
+
+    def tick(self, cache):
+        if cache.ticks % self.interval:
+            return ()
+        dirty = sorted(cache.dirty_lines(), key=lambda line: line.tag)
+        return dirty[: self.batch]
+
+    def describe(self):
+        return {"name": self.name, "interval": self.interval, "batch": self.batch}
+
+
+CLEANING_POLICIES = {
+    policy.name: policy for policy in (NopCleaning, AlruCleaning, AcpCleaning)
+}
+
+#: The registry surface shared by every cache subsystem: SwapRAM and
+#: the block cache resolve replacement policies, the data cache both.
+POLICY_REGISTRIES = {
+    "replacement": POLICIES,
+    "cleaning": CLEANING_POLICIES,
+}
+
+
+def lookup_policy(kind, name):
+    """Resolve a policy class from the shared registry; loud on miss."""
+    registry = POLICY_REGISTRIES.get(kind)
+    if registry is None:
+        raise KeyError(
+            f"unknown policy kind {kind!r} "
+            f"(have: {', '.join(sorted(POLICY_REGISTRIES))})"
+        )
+    policy = registry.get(name)
+    if policy is None:
+        raise KeyError(
+            f"unknown {kind} policy {name!r} "
+            f"(have: {', '.join(sorted(registry))})"
+        )
+    return policy
+
+
+def make_cleaning(spec):
+    """Build a cleaning policy from a spec string.
+
+    ``"alru"`` takes the defaults; ``"alru:interval=128,age=64"``
+    overrides constructor keywords. Raises ``ValueError`` on malformed
+    specs -- callers (CLI, sweep executors) surface it verbatim.
+    """
+    if isinstance(spec, CleaningPolicy):
+        return spec
+    name, _, params = str(spec).partition(":")
+    try:
+        policy_class = lookup_policy("cleaning", name)
+    except KeyError as error:
+        raise ValueError(str(error)) from None
+    kwargs = {}
+    if params:
+        for pair in params.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key:
+                raise ValueError(
+                    f"malformed cleaning parameter {pair!r} in {spec!r} "
+                    f"(expected key=int)"
+                )
+            try:
+                kwargs[key] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"cleaning parameter {key!r} in {spec!r} must be an "
+                    f"integer, got {value!r}"
+                ) from None
+    try:
+        return policy_class(**kwargs)
+    except TypeError as error:
+        raise ValueError(f"bad cleaning spec {spec!r}: {error}") from None

@@ -1,0 +1,70 @@
+"""The write-back crash-hazard demo: a persistent init-flag guard.
+
+``dcguard`` is the canonical non-idempotent embedded idiom: a table in
+FRAM is initialised once, then a magic flag is set *last* so a reboot
+can skip the (expensive) initialisation. The idiom is crash-safe on
+systems whose stores reach FRAM in program order -- the baseline, and
+write-through data caches -- because the flag only becomes durable
+after every table write already is.
+
+A write-back data cache breaks the idiom in a specific, demonstrable
+way: the flag and the table sit in *dirty SRAM lines*, and the order in
+which those lines reach FRAM is the cleaning policy's choice, not the
+program's. ACP cleans in ascending address order, and the flag word is
+linked below the table -- so the flag's line is cleaned while table
+lines are still dirty. A power failure in that window leaves FRAM with
+the flag set and the table unwritten: the next boot trusts the flag,
+skips initialisation, and silently computes over stale bytes. The fault
+harness classifies exactly this as ``wrong-result``, and the datacache
+audit names the lost lines (see docs/faults.md).
+
+The program's phases are sized so the hazard window is a wide, stable
+fraction of the run: a short init phase, then a long flag-guarded
+compute phase during which the cleaner drains the dirty lines one
+batch at a time.
+"""
+
+GUARD_MAGIC = 21931
+
+_TEMPLATE = """
+#define MAGIC {magic}
+#define TABLE_WORDS {table_words}
+#define SPIN {spin}
+
+int dc_magic;
+int dc_table[TABLE_WORDS];
+
+int main(void) {{
+    int i;
+    unsigned acc = 0;
+    if (dc_magic != MAGIC) {{
+        for (i = 0; i < TABLE_WORDS; i++) {{
+            dc_table[i] = (i * 17 + 3) & 0xFF;
+        }}
+        dc_magic = MAGIC;
+    }}
+    for (i = 0; i < SPIN; i++) {{
+        acc = (acc + i) & 0x7FFF;
+    }}
+    for (i = 0; i < TABLE_WORDS; i++) {{
+        acc = (acc + dc_table[i]) & 0xFFFF;
+    }}
+    __debug_out(acc);
+    return 0;
+}}
+"""
+
+
+def build(scale=1):
+    """The guard program at *scale*; returns ``(source, expected)``."""
+    table_words = 48
+    spin = 2000 * scale
+    source = _TEMPLATE.format(
+        magic=GUARD_MAGIC, table_words=table_words, spin=spin
+    )
+    acc = 0
+    for i in range(spin):
+        acc = (acc + i) & 0x7FFF
+    for i in range(table_words):
+        acc = (acc + ((i * 17 + 3) & 0xFF)) & 0xFFFF
+    return source, [acc]

@@ -30,6 +30,18 @@ Chaining legitimately patches branch immediates inside healthy cached
 slots, so that comparison is only meaningful immediately after a
 reboot -- when any surviving hash entry necessarily points at scrambled
 SRAM -- and :func:`audit_system` runs it only then.
+
+The data cache (:mod:`repro.datacache`) inverts the hazard: its
+metadata is host-side and volatile, so nothing dangles -- instead the
+*data itself* is at risk. A write-back configuration holds dirty lines
+in SRAM, and a power failure silently discards every deferred store:
+
+* ``lost-dirty-line`` -- a dirty line died in the most recent power
+  cycle (post-reboot audit) or at some point of the whole campaign
+  (final audit); the finding names the FRAM range whose writes were
+  lost. This is the new hazard class write-back introduces: FRAM is
+  internally consistent (no torn metadata to find), just *stale*, which
+  is why these cases classify as ``wrong-result`` rather than ``crash``.
 """
 
 
@@ -102,6 +114,34 @@ def audit_blockcache(system):
     return findings
 
 
+def audit_datacache(system, post_reboot=False):
+    """Report the FRAM ranges whose deferred writes power loss discarded.
+
+    Immediately after a reboot the findings cover exactly the lines the
+    just-finished power cycle dropped; at campaign end they cover every
+    boot, indexed in order, so a case report names each lost range once.
+    """
+    runtime = system.runtime
+    line_bytes = runtime.config.line_bytes
+    findings = []
+    if post_reboot:
+        for record in runtime.last_drop:
+            lo = record["fram_address"]
+            findings.append(
+                f"lost-dirty-line: {lo:#06x}..{lo + line_bytes:#06x} "
+                "dropped with the power (writes silently lost)"
+            )
+        return findings
+    for boot, dropped in enumerate(runtime.lost_lines):
+        for record in dropped:
+            lo = record["fram_address"]
+            findings.append(
+                f"lost-dirty-line: {lo:#06x}..{lo + line_bytes:#06x} "
+                f"dropped at power loss {boot} (writes silently lost)"
+            )
+    return findings
+
+
 def audit_system(system, post_reboot=False):
     """Dispatch on system shape; baselines have no durable metadata.
 
@@ -115,4 +155,6 @@ def audit_system(system, post_reboot=False):
         return audit_swapram(system)
     if hasattr(runtime, "hash_base") and post_reboot:
         return audit_blockcache(system)
+    if hasattr(runtime, "lost_lines"):
+        return audit_datacache(system, post_reboot=post_reboot)
     return []

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from repro.blockcache.system import build_blockcache
 from repro.core.policy import POLICIES
 from repro.core.system import build_swapram
+from repro.datacache.cache import DataCacheConfig
+from repro.datacache.system import build_datacache
 from repro.difftest.generator import generate_program
 from repro.faults.consistency import audit_system
 from repro.faults.schedule import parse_schedule
@@ -55,7 +57,16 @@ MAX_REBOOTS = 16
 #: FRAM sections restored by ``recovery='meta'`` (whichever exist).
 RECOVERY_SECTIONS = ("srmeta", "srruntime", "bbmeta", "bbstubs", "bbruntime")
 
-SYSTEMS = ("baseline", "swapram", "blockcache")
+#: Data-cache fault variants: the crash question is a (mode, cleaning)
+#: question, so each interesting corner is its own system name and
+#: flows through target matrices, sweep units and CLI choices unchanged.
+DATACACHE_VARIANTS = {
+    "datacache-wt": DataCacheConfig(mode="through", cleaning="none"),
+    "datacache-wb": DataCacheConfig(mode="back", cleaning="alru"),
+    "datacache-acp": DataCacheConfig(mode="back", cleaning="acp"),
+}
+
+SYSTEMS = ("baseline", "swapram", "blockcache", *DATACACHE_VARIANTS)
 
 
 @dataclass(frozen=True)
@@ -74,6 +85,14 @@ class FaultTarget:
 
 
 def benchmark_target(benchmark, system, plan="unified", scale=1):
+    if benchmark == "dcguard":
+        # The write-back crash-hazard demo program (not a Table 1
+        # benchmark): a persistent init-flag guard whose durability
+        # order the cleaning policy controls. See repro.datacache.demo.
+        from repro.datacache.demo import build
+
+        source, _ = build(scale=scale)
+        return FaultTarget(label=benchmark, source=source, system=system, plan=plan)
     from repro.bench import get_benchmark
 
     program = get_benchmark(benchmark, scale=scale)
@@ -102,6 +121,11 @@ def build_target(target, counters=None):
         return system, system.board
     if target.system == "blockcache":
         system = build_blockcache(target.source, plan, **kwargs)
+        return system, system.board
+    if target.system in DATACACHE_VARIANTS:
+        system = build_datacache(
+            target.source, plan, DATACACHE_VARIANTS[target.system], **kwargs
+        )
         return system, system.board
     raise ValueError(f"unknown system {target.system!r} (one of {SYSTEMS})")
 

@@ -72,6 +72,13 @@ class Bus:
         self.output_chars = []
         self._kinds = memory_map._kinds
         self._fram_touches = 0
+        #: Opt-in data-plane cache (see :mod:`repro.datacache`). When
+        #: attached, application data accesses to FRAM addresses inside
+        #: its window are delegated to the runtime, which performs its
+        #: own exact accounting; runtime- and memcpy-attributed traffic
+        #: (including the cache's own fills and writebacks) always takes
+        #: the plain path below. ``None`` costs one comparison.
+        self.data_cache = None
 
     # -- attribution -----------------------------------------------------------
 
@@ -138,6 +145,13 @@ class Bus:
         kind = self._kinds[address]
         if kind is RegionKind.UNMAPPED:
             raise BusError(f"read from unmapped address {address:#06x}")
+        if (
+            self.data_cache is not None
+            and kind is RegionKind.FRAM
+            and self.attribution is Attribution.APP
+            and self.data_cache.covers(address)
+        ):
+            return self.data_cache.app_read(address, byte)
         self.counters.record_data(self.attribution, kind, READ)
         if kind is RegionKind.MMIO:
             return 0
@@ -155,6 +169,14 @@ class Bus:
         kind = self._kinds[address]
         if kind is RegionKind.UNMAPPED:
             raise BusError(f"write to unmapped address {address:#06x}")
+        if (
+            self.data_cache is not None
+            and kind is RegionKind.FRAM
+            and self.attribution is Attribution.APP
+            and self.data_cache.covers(address)
+        ):
+            self.data_cache.app_write(address, value, byte)
+            return
         self.counters.record_data(self.attribution, kind, WRITE)
         if kind is RegionKind.MMIO:
             self._mmio_write(address, value)
@@ -166,10 +188,41 @@ class Bus:
         else:
             self.memory.write_word(address, value)
 
+    # -- the data-cache bypass path ------------------------------------------------
+
+    def fram_read_direct(self, address, byte=False):
+        """The plain FRAM data-read path, callable by the data cache.
+
+        Identical accounting to an uncached :meth:`read` of a FRAM
+        address -- used for bypasses (sequential cutoff, promotion
+        deferrals) so a bypassed access costs exactly what the access
+        would have cost with no data cache attached.
+        """
+        self.counters.record_data(self.attribution, RegionKind.FRAM, READ)
+        self._fram_read_timing(address)
+        if byte:
+            return self.memory.read_byte(address)
+        return self.memory.read_word(address)
+
+    def fram_write_direct(self, address, value, byte=False):
+        """The plain FRAM data-write path, callable by the data cache."""
+        self.counters.record_data(self.attribution, RegionKind.FRAM, WRITE)
+        self._fram_write_timing(address)
+        if byte:
+            self.memory.write_byte(address, value)
+        else:
+            self.memory.write_word(address, value)
+
     def _mmio_write(self, address, value):
         if address == DEBUG_OUT_PORT:
             self.debug_words.append(value & 0xFFFF)
         elif address == HALT_PORT:
+            # The data-cache runtime flushes dirty lines on a clean
+            # shutdown -- this is the write-back mode's durability
+            # point, and the halt store is the one place both run paths
+            # (board.run and the fault harness's cpu.run) pass through.
+            if self.data_cache is not None:
+                self.data_cache.on_halt()
             self.halted = True
         elif address == PUTC_PORT:
             self.output_chars.append(chr(value & 0xFF))
@@ -185,6 +238,9 @@ class Bus:
             "attribution": self.attribution,
             "fram_touches": self._fram_touches,
             "fram_cache": self.fram_cache.snapshot(),
+            "data_cache": (
+                self.data_cache.snapshot() if self.data_cache is not None else None
+            ),
         }
 
     def restore(self, snapshot):
@@ -195,6 +251,8 @@ class Bus:
         self.attribution = snapshot["attribution"]
         self._fram_touches = snapshot["fram_touches"]
         self.fram_cache.restore(snapshot["fram_cache"])
+        if self.data_cache is not None and snapshot.get("data_cache") is not None:
+            self.data_cache.restore(snapshot["data_cache"])
         return self
 
     def power_reset(self):
@@ -210,6 +268,11 @@ class Bus:
         self.attribution = Attribution.APP
         self._fram_touches = 0
         self.fram_cache.invalidate()
+        if self.data_cache is not None:
+            # Dirty lines die with the SRAM that held them; the runtime
+            # records exactly which FRAM bytes lost their writes so the
+            # fault harness's audit can name them.
+            self.data_cache.power_reset()
         return self
 
     # -- unaccounted host access (loader / inspection) ----------------------------

@@ -24,6 +24,10 @@ class FramReadCache:
         self.line_bytes = line_bytes
         self.hits = 0
         self.misses = 0
+        #: Lines actually dropped by :meth:`invalidate` -- a write to an
+        #: uncached address costs nothing here, so it is not counted. A
+        #: full invalidation counts every line that was live.
+        self.invalidates = 0
         # Per set: list of tags, most-recently-used last.
         self._lines = [[] for _ in range(sets)]
 
@@ -53,25 +57,34 @@ class FramReadCache:
     def invalidate(self, address=None):
         """Drop one line (or everything) -- used on FRAM writes."""
         if address is None:
+            self.invalidates += sum(len(ways) for ways in self._lines)
             self._lines = [[] for _ in range(self.sets)]
             return
         index, tag = self._locate(address)
         ways = self._lines[index]
         if tag in ways:
             ways.remove(tag)
+            self.invalidates += 1
 
     def reset_stats(self):
         self.hits = 0
         self.misses = 0
+        self.invalidates = 0
 
     def snapshot(self):
-        """Capture line contents and hit/miss tallies."""
-        return (self.hits, self.misses, [list(ways) for ways in self._lines])
+        """Capture line contents and hit/miss/invalidate tallies."""
+        return (
+            self.hits,
+            self.misses,
+            self.invalidates,
+            [list(ways) for ways in self._lines],
+        )
 
     def restore(self, snapshot):
-        hits, misses, lines = snapshot
+        hits, misses, invalidates, lines = snapshot
         self.hits = hits
         self.misses = misses
+        self.invalidates = invalidates
         self._lines = [list(ways) for ways in lines]
         return self
 
@@ -79,3 +92,17 @@ class FramReadCache:
     def hit_rate(self):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self):
+        """Plain-data view, the same stats protocol the runtimes expose
+        (``SwapRamStats.as_dict`` / ``BlockCacheStats.as_dict``)."""
+        return {
+            "sets": self.sets,
+            "ways": self.ways,
+            "line_bytes": self.line_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidates": self.invalidates,
+            "accesses": self.hits + self.misses,
+            "hit_rate": self.hit_rate,
+        }

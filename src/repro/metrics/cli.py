@@ -55,7 +55,14 @@ def _parser():
         "--systems",
         nargs="+",
         default=list(DEFAULT_SYSTEMS),
-        choices=("baseline", "swapram", "block", "swapram-replay"),
+        choices=(
+            "baseline",
+            "swapram",
+            "block",
+            "swapram-replay",
+            "datacache-wt",
+            "datacache-wb",
+        ),
         help=f"systems to measure (default: {' '.join(DEFAULT_SYSTEMS)}; "
         "swapram-replay measures the trace-replay engine and asserts it "
         "bit-identical to execution)",

@@ -108,12 +108,28 @@ def derive_run_metrics(registry, result, host_seconds=None):
 def derive_stats_metrics(registry, stats):
     """Rate metrics over a runtime's stats counters.
 
-    Dispatches on shape: SwapRAM stats carry ``misses``/``caches``/
-    ``evictions``/``aborts``, block-cache stats carry ``entries``/
-    ``hits``. Rates are per miss-handler entry so they stay comparable
-    across cache-size and policy changes.
+    Dispatches on shape: data-cache stats carry ``lost_dirty_lines``
+    (checked first -- they also expose a ``misses`` property), SwapRAM
+    stats carry ``misses``/``caches``/``evictions``/``aborts``,
+    block-cache stats carry ``entries``/``hits``. Rates are per
+    miss-handler entry so they stay comparable across cache-size and
+    policy changes.
     """
-    if hasattr(stats, "entries"):  # BlockCacheStats
+    if hasattr(stats, "lost_dirty_lines"):  # DataCacheStats
+        accesses = max(stats.accesses, 1)
+        registry.gauge("datacache.hit_rate").set(stats.hits / accesses)
+        registry.gauge("datacache.miss_rate").set(stats.misses / accesses)
+        registry.gauge("datacache.bypass_rate").set(stats.bypasses / accesses)
+        registry.gauge("datacache.writeback_rate").set(
+            stats.writebacks / accesses
+        )
+        registry.gauge("datacache.clean_rate").set(
+            stats.clean_writebacks / accesses
+        )
+        registry.gauge("datacache.lost_dirty_lines").set(
+            stats.lost_dirty_lines
+        )
+    elif hasattr(stats, "entries"):  # BlockCacheStats
         entries = max(stats.entries, 1)
         registry.gauge("blockcache.hit_rate").set(stats.hits / entries)
         registry.gauge("blockcache.miss_rate").set(stats.misses / entries)

@@ -20,6 +20,8 @@ from pathlib import Path
 from repro.bench import QUICK_NAMES, get_benchmark
 from repro.blockcache import build_blockcache
 from repro.core import build_swapram
+from repro.datacache.cache import DataCacheConfig
+from repro.datacache.system import build_datacache
 from repro.metrics.instrument import MetricsSession
 from repro.metrics.registry import MetricsRegistry, PhaseTimer
 from repro.toolchain import FitError, PLANS, build_baseline, compile_program
@@ -34,8 +36,20 @@ REPLAY_SYSTEM = "swapram-replay"
 
 #: Systems measured by default. ``block`` is opt-in: the prior-work
 #: comparison point matters for the paper artifacts, not for tracking
-#: this repo's own hot paths.
-DEFAULT_SYSTEMS = ("baseline", "swapram", REPLAY_SYSTEM)
+#: this repo's own hot paths. The two data-cache rows pin the
+#: write-back win: ``datacache-wb`` (default back/alru configuration)
+#: must beat ``datacache-wt`` (through/none) on write-heavy kernels
+#: and lose nowhere -- the snapshot asserts the stats invariants on
+#: both before recording them.
+DATACACHE_WT = "datacache-wt"
+DATACACHE_WB = "datacache-wb"
+DEFAULT_SYSTEMS = (
+    "baseline",
+    "swapram",
+    REPLAY_SYSTEM,
+    DATACACHE_WT,
+    DATACACHE_WB,
+)
 
 #: The ablation grid timed by ``measure_replay_grid``: every eviction
 #: policy crossed with an uncapped, a mid, and a thrashing cache limit.
@@ -55,10 +69,25 @@ _GUEST_KEYS = (
     "energy_nj",
 )
 
+def _build_datacache_wt(program, plan, frequency_mhz=24):
+    return build_datacache(
+        program,
+        plan,
+        config=DataCacheConfig(mode="through", cleaning="none"),
+        frequency_mhz=frequency_mhz,
+    )
+
+
+def _build_datacache_wb(program, plan, frequency_mhz=24):
+    return build_datacache(program, plan, frequency_mhz=frequency_mhz)
+
+
 _BUILDERS = {
     "baseline": build_baseline,
     "swapram": build_swapram,
     "block": build_blockcache,
+    DATACACHE_WT: _build_datacache_wt,
+    DATACACHE_WB: _build_datacache_wb,
 }
 
 
@@ -130,6 +159,13 @@ def snapshot_run(
     }
     stats = getattr(built, "stats", None)
     if stats is not None:
+        if hasattr(stats, "invariant_problems"):
+            problems = stats.invariant_problems(built.runtime.model.line_words)
+            if problems:
+                raise AssertionError(
+                    f"{benchmark}/{system}: datacache exact-sum "
+                    f"invariants violated: {'; '.join(problems)}"
+                )
         row["stats"] = stats.as_dict()
     row["metrics"] = session.registry.as_dict()
     return row

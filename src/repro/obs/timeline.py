@@ -39,6 +39,12 @@ CALL_KINDS = ("call", "return")
 #: power cycle (see :mod:`repro.faults.harness`).
 POWER_KINDS = ("power-down", "power-up")
 
+#: Event kinds emitted by the data-plane cache runtime
+#: (:mod:`repro.datacache.runtime`). ``writeback`` covers both
+#: eviction- and halt-driven drains; ``clean`` is a cleaning-policy
+#: drain; ``lost-dirty`` marks a dirty line discarded by power loss.
+DATACACHE_KINDS = ("line-fill", "writeback", "clean", "bypass", "lost-dirty")
+
 
 @dataclass
 class TimelineEvent:

@@ -33,6 +33,7 @@ from dataclasses import asdict
 
 from repro.core.runtime import SwapRamRuntime
 from repro.blockcache.runtime import BlockCacheRuntime
+from repro.datacache.runtime import DataCacheRuntime
 from repro.isa.registers import PC
 from repro.machine.cpu import RunawayError
 from repro.machine.trace import Attribution
@@ -47,6 +48,7 @@ from repro.replay.schema import (
 BASELINE = "baseline"
 SWAPRAM = "swapram"
 BLOCK = "block"
+DATACACHE = "datacache"
 
 
 class CaptureError(RuntimeError):
@@ -63,6 +65,11 @@ def classify(target):
         return SWAPRAM, board, runtime
     if isinstance(runtime, BlockCacheRuntime):
         return BLOCK, board, runtime
+    if isinstance(runtime, DataCacheRuntime):
+        # The data cache intercepts at the bus, below the recorder's
+        # taps, so the recorded stream is the *application* stream --
+        # baseline-shaped regardless of hits, fills or writebacks.
+        return DATACACHE, board, runtime
     raise CaptureError(f"cannot capture system with runtime {type(runtime)!r}")
 
 
@@ -102,10 +109,12 @@ class _Recorder:
         else:
             self._window = None
         self._hook_addr = None
-        if runtime is not None:
-            self._hook_addr = (
-                runtime.handler_addr if self._swapram else runtime.entry_addr
-            )
+        if kind == SWAPRAM:
+            self._hook_addr = runtime.handler_addr
+        elif kind == BLOCK:
+            self._hook_addr = runtime.entry_addr
+        # DATACACHE installs no CPU hook: its interception lives inside
+        # bus.read/bus.write, *below* these taps, so nothing to wrap.
 
     # -- activation tracking (SwapRAM) -----------------------------------------
 
@@ -338,6 +347,9 @@ def capture_run(
         config.setdefault("cache_size", runtime.num_slots * runtime.slot_bytes)
         config.setdefault("slot_bytes", runtime.slot_bytes)
         config.setdefault("num_slots", runtime.num_slots)
+    elif kind == DATACACHE:
+        for name, value in runtime.config.as_dict().items():
+            config.setdefault(name, value)
 
     header = {
         "system": kind,
@@ -368,12 +380,15 @@ def capture_source(
     policy="queue",
     cache_limit=None,
     slot_bytes=48,
+    datacache=None,
     max_instructions=50_000_000,
 ):
     """Build a system for *source* and capture one run of it.
 
     Returns ``(TraceDocument, system, RunResult)`` so callers can also
-    inspect the executed system's statistics directly.
+    inspect the executed system's statistics directly. *datacache* is a
+    :class:`~repro.datacache.cache.DataCacheConfig` (``system="datacache"``
+    only; ``None`` builds the default configuration).
     """
     from repro.core import build_swapram
     from repro.core.policy import POLICIES
@@ -384,6 +399,12 @@ def capture_source(
     capture_config = {}
     if system == BASELINE:
         target = build_baseline(source, plan, frequency_mhz=frequency_mhz)
+    elif system == DATACACHE:
+        from repro.datacache.system import build_datacache
+
+        target = build_datacache(
+            source, plan, config=datacache, frequency_mhz=frequency_mhz
+        )
     elif system == SWAPRAM:
         target = build_swapram(
             source,

@@ -56,7 +56,7 @@ from repro.machine.memory import (
     RegionKind,
 )
 from repro.machine.trace import FETCH, READ, WRITE, Attribution
-from repro.replay.capture import BLOCK, SWAPRAM
+from repro.replay.capture import BLOCK, DATACACHE, SWAPRAM
 from repro.replay.schema import (
     ACC_BYTE,
     ACC_WRITE,
@@ -290,7 +290,7 @@ class ReplayEngine:
 
     def _build_target(
         self, policy, cache_limit, frequency_mhz, thrash_guard, prefetcher,
-        fram_cache=None,
+        fram_cache=None, datacache=None,
     ):
         linked, meta, cost_model = self._artifacts
         board = Board(memory_map=linked.memory_map, frequency_mhz=frequency_mhz)
@@ -304,6 +304,13 @@ class ReplayEngine:
             )
         board.load(linked.image)
         board.linked = linked
+        if datacache is not None:
+            # Validity has already refused write-back; a write-through
+            # data cache is a free dimension over baseline-shaped
+            # streams (lookups never alter the instruction stream).
+            from repro.datacache.system import attach_datacache
+
+            return board, attach_datacache(board, linked, datacache)
         if self.system == SWAPRAM:
             cache_size = linked.cache_size & ~1
             cache_base = (linked.cache_base + 1) & ~1
@@ -342,6 +349,7 @@ class ReplayEngine:
         thrash_guard=None,
         prefetcher=None,
         fram_cache=None,
+        datacache=AS_CAPTURED,
     ):
         """Replay one configuration; returns a :class:`ReplayOutcome`.
 
@@ -351,8 +359,12 @@ class ReplayEngine:
         only the frequency is. *fram_cache* -- a ``(sets, ways,
         line_bytes)`` triple -- swaps the FRAM read-cache geometry and
         is free for every system because that cache is timing-only.
-        Invalid requests raise :class:`ReplayRefused` without touching
-        the models.
+        *datacache* -- a :class:`~repro.datacache.cache.DataCacheConfig`
+        -- attaches a write-through data cache over a baseline-shaped
+        stream (baseline or datacache traces); write-back is refused by
+        validity because it decouples durable FRAM writes from the
+        recorded store events. Invalid requests raise
+        :class:`ReplayRefused` without touching the models.
         """
         config = self.header.get("capture_config") or {}
         if policy is AS_CAPTURED:
@@ -366,6 +378,13 @@ class ReplayEngine:
                 cache_limit = config.get("cache_limit", config.get("cache_size"))
         if frequency_mhz is None:
             frequency_mhz = self.header["frequency_mhz"]
+        if datacache is AS_CAPTURED:
+            if self.system == DATACACHE:
+                from repro.datacache.cache import DataCacheConfig
+
+                datacache = DataCacheConfig.from_dict(config)
+            else:
+                datacache = None
 
         reasons = check_request(
             self.header,
@@ -375,6 +394,7 @@ class ReplayEngine:
             thrash_guard=thrash_guard,
             prefetcher=prefetcher,
             fram_cache=fram_cache,
+            datacache=datacache,
         )
         if reasons:
             self._refused()
@@ -384,7 +404,7 @@ class ReplayEngine:
         compiled = self._ensure_compiled()
         board, runtime = self._build_target(
             policy, cache_limit, frequency_mhz, thrash_guard, prefetcher,
-            fram_cache=fram_cache,
+            fram_cache=fram_cache, datacache=datacache,
         )
         if self.system == BLOCK:
             # Chained branches in the stream encode capture-time slot
@@ -404,7 +424,10 @@ class ReplayEngine:
                 )
 
         started = time.perf_counter()
-        hook_invocations = self._walk(board, runtime, compiled)
+        if datacache is not None:
+            hook_invocations = self._walk_via_bus(board, compiled)
+        else:
+            hook_invocations = self._walk(board, runtime, compiled)
         seconds = time.perf_counter() - started
 
         if not board.bus.halted:
@@ -422,6 +445,9 @@ class ReplayEngine:
                 "frequency_mhz": frequency_mhz,
                 "fram_cache": (
                     tuple(fram_cache) if fram_cache is not None else None
+                ),
+                "datacache": (
+                    datacache.as_dict() if datacache is not None else None
                 ),
             },
             seconds=seconds,
@@ -465,7 +491,7 @@ class ReplayEngine:
             stacks = [[] for _ in runtime.meta.functions]
         hist0 = hist1 = hist2 = 0
 
-        hits = misses = stall = 0
+        hits = misses = invals = stall = 0
         cycles_total = 0
         fetch_fram = fetch_sram = 0
         instr_fram = instr_sram = 0
@@ -547,6 +573,7 @@ class ReplayEngine:
                         ways = lines[tag % nsets]
                         if tag in ways:
                             ways.remove(tag)
+                            invals += 1
                         if extra >= 0 and value < (
                             data[addr] | (data[addr + 1] << 8)
                         ):
@@ -570,6 +597,7 @@ class ReplayEngine:
                         ways = lines[tag % nsets]
                         if tag in ways:
                             ways.remove(tag)
+                            invals += 1
                         data[addr] = value
                     elif op == _RD_MMIO:
                         rd_mmio += 1
@@ -633,4 +661,50 @@ class ReplayEngine:
         counters.stall_cycles += stall
         fc.hits += hits
         fc.misses += misses
+        fc.invalidates += invals
         return hook_invocations
+
+    def _walk_via_bus(self, board, compiled):
+        """The data-cache walk: re-issue every event through the real bus.
+
+        A data cache cannot use :meth:`_walk`'s local tallies: its hit
+        path, fill/writeback chargers and cleaning-policy drains share
+        per-instruction contention state with the application access
+        that triggered them (``begin_instruction`` resets the FRAM touch
+        count, and the runtime's RUNTIME/MEMCPY traffic lands *inside*
+        the triggering instruction). So this walk mirrors the CPU's
+        step sequence exactly -- ``begin_instruction``, fetch
+        accounting, data accesses, ``record_instruction`` -- against
+        the genuine bus, and the interception, chargers, FRAM read
+        cache and contention interleave precisely as execution did.
+        Slower than :meth:`_walk`, but still decode/dispatch-free.
+
+        Recorded reads carry no byte flag; ``byte=addr & 1`` is safe
+        because byte- and word-reads account identically and replay
+        discards the value.
+        """
+        bus = board.bus
+        begin = bus.begin_instruction
+        account = bus.account_fetch
+        read = bus.read
+        write = bus.write
+        record = board.counters.record_instruction
+        app = Attribution.APP
+        fram = RegionKind.FRAM
+        sram = RegionKind.SRAM
+        for entry in compiled:
+            if entry is None:
+                raise ReplayError("hook marker in a baseline-shaped trace")
+            _func, pc, words, cycles, fram_fetch, ops = entry
+            begin()
+            account(pc, words)
+            if ops is not None:
+                for op, addr, value, _extra in ops:
+                    if op == _RD_FRAM or op == _RD_SRAM or op == _RD_MMIO:
+                        read(addr, byte=bool(addr & 1))
+                    elif op == _WR_FRAM_B or op == _WR_SRAM_B:
+                        write(addr, value, byte=True)
+                    else:
+                        write(addr, value)
+            record(app, fram if fram_fetch else sram, cycles)
+        return 0

@@ -23,13 +23,24 @@ executed instruction stream:
   place, so cache state feeds back into the executed stream. A block
   trace replays only against the captured cache geometry (same
   ``cache_limit`` and ``slot_bytes``); frequency may still vary.
+* **datacache** -- the data cache never alters the instruction stream
+  (lookups are transparent; only timing and the durable write stream
+  change), so a *write-through* data cache is a free replay dimension
+  over baseline-shaped streams: any geometry, promotion gate or
+  sequential cutoff may be requested against a baseline or
+  write-through datacache trace. **Write-back is refused**, both as a
+  requested configuration and as a captured trace: deferred stores
+  decouple the durable FRAM write stream from the recorded store
+  events, so the trace no longer witnesses what FRAM held at any
+  point mid-run -- set ``DataCacheConfig(mode="through")`` to keep a
+  run replayable.
 
 Anything outside these rules raises :class:`ReplayRefused` with the
 full list of reasons; callers that own a fallback (the experiment
 runner) log the reasons and execute normally instead.
 """
 
-SYSTEMS = ("baseline", "swapram", "block")
+SYSTEMS = ("baseline", "swapram", "block", "datacache")
 
 
 class ReplayRefused(RuntimeError):
@@ -51,6 +62,7 @@ def check_request(
     prefetcher=None,
     slot_bytes=None,
     fram_cache=None,
+    datacache=None,
 ):
     """Reasons the request cannot be served from *header*'s trace.
 
@@ -69,6 +81,14 @@ def check_request(
         return [f"unknown system {system!r} in trace header"]
     config = header.get("capture_config") or {}
 
+    if datacache is not None:
+        reasons.extend(check_datacache(datacache))
+        if system not in ("baseline", "datacache"):
+            reasons.append(
+                f"a data cache only replays over a baseline-shaped "
+                f"stream (baseline or datacache trace), not {system}"
+            )
+
     if system == "baseline":
         for name, value in (
             ("policy", policy),
@@ -79,6 +99,26 @@ def check_request(
         ):
             if value is not None:
                 reasons.append(f"baseline replay takes no {name}")
+
+    elif system == "datacache":
+        if config.get("mode") == "back":
+            reasons.append(
+                "this trace was captured with a write-back data cache "
+                "(capture_config mode='back'): deferred stores decouple "
+                "the durable FRAM write stream from the recorded store "
+                "events, so the trace does not witness FRAM state over "
+                "time and is not replayable -- recapture with "
+                "DataCacheConfig(mode='through')"
+            )
+        for name, value in (
+            ("policy", policy),
+            ("cache_limit", cache_limit),
+            ("thrash_guard", thrash_guard),
+            ("prefetcher", prefetcher),
+            ("slot_bytes", slot_bytes),
+        ):
+            if value is not None:
+                reasons.append(f"datacache replay takes no {name}")
 
     elif system == "swapram":
         if header.get("app_writes_cache_window"):
@@ -132,6 +172,39 @@ def check_fram_cache(fram_cache):
                 f"fram_cache line_bytes must be a power of two >= 2, "
                 f"got {line_bytes}"
             )
+    return reasons
+
+
+def check_datacache(datacache):
+    """Reasons a requested data-cache configuration is not replayable.
+
+    Accepts a :class:`~repro.datacache.cache.DataCacheConfig` or its
+    ``as_dict`` form. Malformed geometry is refused with the model's
+    own reasons; a well-formed *write-back* request is refused by
+    policy -- replay only witnesses the recorded store events, and
+    write-back defers the durable FRAM writes those events used to pin.
+    """
+    from repro.datacache.cache import DataCacheConfig
+
+    if isinstance(datacache, DataCacheConfig):
+        config = datacache
+    else:
+        try:
+            config = DataCacheConfig.from_dict(datacache)
+        except (TypeError, ValueError):
+            return [
+                f"datacache must be a DataCacheConfig or its as_dict "
+                f"form, got {datacache!r}"
+            ]
+    reasons = config.problems()
+    if not reasons and config.mode == "back":
+        reasons.append(
+            "a write-back data cache is not replayable: deferred stores "
+            "decouple the durable FRAM write stream from the recorded "
+            "store events, so replay cannot witness FRAM state over "
+            "time -- set DataCacheConfig(mode='through') to keep the "
+            "configuration replayable"
+        )
     return reasons
 
 

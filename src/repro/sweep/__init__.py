@@ -9,6 +9,7 @@ and merged into a bit-reproducible JSON document under
 from repro.sweep.campaigns import (
     PRESETS,
     cache_size_campaign,
+    datacache_campaign,
     difftest_campaign,
     fault_campaign,
     matrix_campaign,
@@ -40,6 +41,7 @@ __all__ = [
     "cache_size_campaign",
     "campaign_id",
     "canonical_json",
+    "datacache_campaign",
     "difftest_campaign",
     "execute_unit",
     "fault_campaign",

@@ -139,10 +139,45 @@ def cache_size_campaign(
     )
 
 
+def datacache_campaign(
+    benchmarks=("crc", "rc4", "rsa", "lzfx"),
+    modes=("through", "back"),
+    cleanings=("none", "alru", "acp"),
+    geometries=("16x2x16", "8x2x16", "16x2x8"),
+    plan="unified",
+    frequency_mhz=24,
+    scale=1,
+    name=None,
+):
+    """One unit per (benchmark, mode, cleaning, geometry) data-cache cell.
+
+    The executor skips the meaningless corners deterministically
+    (cleaning policies only act in write-back mode), so the grid stays
+    rectangular -- and therefore resumable and shardable -- while the
+    merged document only carries the cells that ran.
+    """
+    return CampaignConfig(
+        "datacache",
+        name or "datacache",
+        params={
+            "plan": plan,
+            "frequency_mhz": frequency_mhz,
+            "scale": scale,
+        },
+        matrix={
+            "benchmark": list(benchmarks),
+            "mode": list(modes),
+            "cleaning": list(cleanings),
+            "geometry": list(geometries),
+        },
+    )
+
+
 PRESETS = {
     "difftest": difftest_campaign,
     "faults": fault_campaign,
     "replay": replay_campaign,
     "matrix": matrix_campaign,
     "cache-size": cache_size_campaign,
+    "datacache": datacache_campaign,
 }

@@ -128,6 +128,9 @@ def _parser():
     run.add_argument("--compare-execute", action="store_true")
     run.add_argument("--engine", choices=("execute", "replay"), default=None)
     run.add_argument("--trace-store", default=None, metavar="DIR")
+    run.add_argument("--modes", nargs="+", default=None, metavar="MODE")
+    run.add_argument("--cleanings", nargs="+", default=None, metavar="SPEC")
+    run.add_argument("--geometries", nargs="+", default=None, metavar="SxWxL")
 
     for name, text in (
         ("status", "report done/pending counts for a campaign"),
@@ -202,6 +205,7 @@ _PRESET_KEYS = {
     ),
     "matrix": ("benchmarks", "systems", "frequencies", "plans", "scale", "engine"),
     "cache-size": ("benchmark", "cache_sizes", "engine"),
+    "datacache": ("benchmarks", "modes", "cleanings", "geometries", "scale"),
 }
 
 

@@ -27,7 +27,7 @@ SCHEMA = "repro-sweep/1"
 #: Unit kinds the executor dispatch (:mod:`repro.sweep.units`) knows.
 #: ``probe`` is the engine's self-test kind: cheap host-side units
 #: (echo/fail/sleep/kill) that exercise the pool without the simulator.
-KINDS = ("run", "difftest", "fault", "replay", "cache_size", "probe")
+KINDS = ("run", "difftest", "fault", "replay", "cache_size", "datacache", "probe")
 
 
 class ConfigError(ValueError):

@@ -353,6 +353,66 @@ def _execute_cache_size(spec):
     return _sweep_row(cache_bytes, baseline, result, stats)
 
 
+# -- kind: datacache (one cell of a mode x cleaning x geometry grid) -------
+
+
+def _execute_datacache(spec):
+    from repro.bench import get_benchmark
+    from repro.datacache.cache import DataCacheConfig
+    from repro.datacache.system import build_datacache
+    from repro.toolchain import PLANS
+
+    benchmark = spec["benchmark"]
+    mode = spec.get("mode", "back")
+    cleaning = spec.get("cleaning", "alru")
+    geometry = spec.get("geometry", "16x2x16")
+    payload = {
+        "benchmark": benchmark,
+        "mode": mode,
+        "cleaning": cleaning,
+        "geometry": geometry,
+    }
+    if mode == "through" and cleaning != "none":
+        # Cleaning policies only act on dirty lines; write-through never
+        # has any. Mark the corner skipped instead of re-measuring the
+        # through/none cell under a different label.
+        payload["skipped"] = "cleaning is a write-back knob"
+        return payload
+    config = DataCacheConfig(mode=mode, cleaning=cleaning).with_geometry(geometry)
+    bench = get_benchmark(benchmark, scale=spec.get("scale", 1))
+    recorder = current_recorder()
+    span = NULL_SPAN
+    if recorder is not None:
+        span = recorder.span(
+            "datacache.run",
+            attrs={"benchmark": benchmark, "mode": mode, "cleaning": cleaning},
+        )
+    with span:
+        system = build_datacache(
+            bench.source,
+            PLANS[spec.get("plan", "unified")],
+            config=config,
+            frequency_mhz=spec.get("frequency_mhz", 24),
+        )
+        result = system.run()
+    if result.debug_words != bench.expected:
+        raise UnitError(
+            f"{benchmark}/{mode}/{cleaning}/{geometry}: wrong debug output "
+            f"{result.debug_words[:4]} != {bench.expected[:4]}"
+        )
+    problems = system.stats.invariant_problems(system.runtime.model.line_words)
+    if problems:
+        raise UnitError(
+            f"{benchmark}/{mode}/{cleaning}/{geometry}: exact-sum "
+            f"invariants violated: {'; '.join(problems)}"
+        )
+    payload["correct"] = True
+    payload["result"] = result.as_dict()
+    payload["stats"] = system.stats.as_dict()
+    payload["config"] = config.as_dict()
+    return payload
+
+
 # -- kind: probe (engine self-test units; no simulator involved) -----------
 
 
@@ -378,5 +438,6 @@ _EXECUTORS = {
     "fault": _execute_fault,
     "replay": _execute_replay,
     "cache_size": _execute_cache_size,
+    "datacache": _execute_datacache,
     "probe": _execute_probe,
 }

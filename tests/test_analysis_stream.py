@@ -162,3 +162,47 @@ def test_stream_events_are_line_granular():
     narrow = build_stream(baseline_document(), line_bytes=8).distinct_lines
     assert wide <= narrow  # wider lines cover the footprint with fewer tags
     assert all(op in (TOUCH, INVALIDATE) for op, _, _ in stream.events)
+
+
+# -- the data-cache scope rule -----------------------------------------------------
+
+
+def _datacache_document(mode):
+    from repro.datacache.cache import DataCacheConfig
+
+    key = f"datacache-{mode}"
+    if key not in _CACHE:
+        cleaning = "none" if mode == "through" else "alru"
+        _CACHE[key], _, _ = capture_source(
+            SOURCE,
+            system="datacache",
+            datacache=DataCacheConfig(mode=mode, cleaning=cleaning),
+        )
+    return _CACHE[key]
+
+
+def test_write_through_datacache_trace_analyses_as_baseline():
+    # The capture taps sit *above* the data-cache interception, so a
+    # write-through trace records the raw application reference string
+    # -- the derived stream must be event-identical to the baseline's.
+    wt = build_stream(_datacache_document("through"))
+    baseline = build_stream(baseline_document())
+    # Cycles differ (write-through timing != baseline timing); the
+    # reference string itself -- op and line, in order -- must not.
+    assert [
+        (op, tag) for op, tag, _ in wt.events
+    ] == [
+        (op, tag) for op, tag, _ in baseline.events
+    ]
+
+
+def test_write_back_datacache_trace_is_refused_naming_the_knob():
+    from repro.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    with pytest.raises(AnalysisRefused) as excinfo:
+        build_stream(_datacache_document("back"), metrics=registry)
+    message = str(excinfo.value)
+    assert "write-back" in message
+    assert "DataCacheConfig(mode='through')" in message
+    assert registry.counter("analysis.refused").value == 1

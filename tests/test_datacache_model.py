@@ -1,0 +1,188 @@
+"""The data-cache model: config validation, decisions, exact-sum stats.
+
+The model is the pure half of :mod:`repro.datacache`: every test here
+runs without a board. The exact-sum invariants are the same partitions
+CI asserts on every sweep cell and snapshot row, so a drift here is a
+drift everywhere.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacache.cache import (
+    BYPASS,
+    FILL,
+    HIT,
+    NO_ALLOCATE,
+    PROMOTE,
+    SEQ,
+    DataCacheConfig,
+    DataCacheModel,
+    DataCacheStats,
+    parse_geometry,
+)
+
+BASE = 0x2000
+
+
+def model(**overrides):
+    defaults = dict(mode="back", sets=4, ways=2, line_bytes=16, cleaning="none")
+    defaults.update(overrides)
+    return DataCacheModel(DataCacheConfig(**defaults), base=BASE)
+
+
+# -- configuration -----------------------------------------------------------------
+
+
+def test_default_config_is_valid():
+    config = DataCacheConfig()
+    assert config.problems() == []
+    assert config.total_bytes == 16 * 2 * 16
+
+
+def test_bad_mode_and_geometry_are_loud():
+    assert DataCacheConfig(mode="writeback").problems()
+    assert DataCacheConfig(sets=0).problems()
+    assert DataCacheConfig(line_bytes=12).problems()  # not a power of two
+    with pytest.raises(ValueError):
+        DataCacheConfig(mode="nope").validated()
+
+
+def test_geometry_spec_round_trip():
+    config = DataCacheConfig().with_geometry("8x4x32")
+    assert (config.sets, config.ways, config.line_bytes) == (8, 4, 32)
+    assert parse_geometry((2, 2, 8)) == (2, 2, 8)
+    with pytest.raises(ValueError):
+        parse_geometry("8x4")
+    with pytest.raises(ValueError):
+        parse_geometry("axbxc")
+
+
+def test_from_dict_filters_unknown_keys():
+    record = DataCacheConfig(mode="through").as_dict()
+    record["benchmark"] = "crc"  # sweep payloads carry extra keys
+    config = DataCacheConfig.from_dict(record)
+    assert config.mode == "through"
+    assert config.as_dict() == DataCacheConfig(mode="through").as_dict()
+
+
+# -- decisions ---------------------------------------------------------------------
+
+
+def test_miss_fill_then_hit():
+    cache = model()
+    first = cache.decide(0x9000, False)
+    assert first.kind is FILL
+    again = cache.decide(0x9002, False)  # same 16-byte line
+    assert again.kind is HIT
+    assert cache.stats.read_misses == 1
+    assert cache.stats.read_hits == 1
+
+
+def test_write_back_marks_dirty_write_through_does_not():
+    back = model(mode="back")
+    decision = back.decide(0x9000, True)
+    assert decision.kind is FILL and decision.line.dirty
+
+    through = model(mode="through", cleaning="none")
+    decision = through.decide(0x9000, True)
+    assert decision.kind is BYPASS and decision.cause == NO_ALLOCATE
+    # A resident line still takes write hits in write-through mode.
+    through.decide(0x9000, False)
+    hit = through.decide(0x9000, True)
+    assert hit.kind is HIT and not hit.line.dirty
+
+
+def test_lru_eviction_flags_dirty_victim_writeback():
+    cache = model(sets=1, ways=2)
+    cache.decide(0x9000, True)  # dirty
+    cache.decide(0x9010, False)
+    cache.decide(0x9010, False)  # 0x9000's line is now LRU
+    third = cache.decide(0x9020, False)
+    assert third.kind is FILL
+    assert third.evicted_tag == 0x9000 // 16
+    assert third.writeback
+    assert cache.stats.evictions == 1
+    assert cache.stats.evict_writebacks == 1
+
+
+def test_promotion_gate_defers_first_requests():
+    cache = model(promote_after=2)
+    first = cache.decide(0x9000, False)
+    assert first.kind is BYPASS and first.cause == PROMOTE
+    second = cache.decide(0x9000, False)
+    assert second.kind is FILL
+    assert cache.stats.promote_deferrals == 1
+
+
+def test_sequential_cutoff_screens_streams():
+    cache = model(seq_cutoff_lines=2)
+    kinds = [cache.decide(0x9000 + 16 * i, False).kind for i in range(5)]
+    assert kinds[:2] == [FILL, FILL]
+    assert kinds[2:] == [BYPASS, BYPASS, BYPASS]
+    assert cache.stats.seq_bypasses == 3
+    # Breaking the run re-admits.
+    assert cache.decide(0x9200, False).kind is FILL
+
+
+def test_drop_all_names_the_lost_dirty_lines():
+    cache = model(sets=1, ways=2)
+    cache.decide(0x9000, True)
+    cache.decide(0x9010, False)
+    lost = cache.drop_all()
+    assert [entry["fram_address"] for entry in lost] == [0x9000]
+    assert cache.stats.lost_dirty_lines == 1
+    assert cache.resident_lines() == []
+
+
+# -- exact-sum stats ---------------------------------------------------------------
+
+
+def test_as_dict_mirrors_properties():
+    stats = DataCacheStats(reads=3, writes=2, read_hits=2, write_hits=1,
+                           read_misses=1, write_misses=1, read_fills=1,
+                           write_fills=1)
+    record = stats.as_dict()
+    assert record["accesses"] == 5
+    assert record["hits"] == 3
+    assert record["misses"] == 2
+    assert record["fills"] == 2
+    assert stats.invariant_problems() == []
+
+
+def test_invariant_problems_catch_drift():
+    stats = DataCacheStats(reads=2, read_hits=1)  # missing the miss
+    assert "reads == read_hits + read_misses" in stats.invariant_problems()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(0x9000, 0x93FF),
+            st.booleans(),
+        ),
+        max_size=200,
+    ),
+    mode=st.sampled_from(["through", "back"]),
+    promote_after=st.integers(1, 3),
+    seq_cutoff=st.integers(0, 2),
+)
+def test_decision_stream_keeps_exact_sums(accesses, mode, promote_after, seq_cutoff):
+    cache = model(
+        mode=mode,
+        cleaning="none",
+        promote_after=promote_after,
+        seq_cutoff_lines=seq_cutoff,
+    )
+    for address, is_write in accesses:
+        decision = cache.decide(address, is_write)
+        if decision.writeback:
+            # The runtime accounts the copy when it performs it; mirror
+            # that contract so the word totals stay exact here too.
+            cache.note_evict_writeback()
+    assert cache.stats.invariant_problems(cache.line_words) == []
+    assert cache.stats.accesses == len(accesses)
+    # Capacity: never more resident lines than the geometry holds.
+    assert len(cache.resident_lines()) <= cache.config.sets * cache.config.ways

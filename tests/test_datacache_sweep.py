@@ -1,0 +1,96 @@
+"""The datacache sweep: deterministic units, rectangular grid, CLI.
+
+The grid discipline everything downstream leans on: the campaign stays
+rectangular (so it shards and resumes like any other), the executor
+skips the meaningless write-through x cleaning corners with a
+deterministic payload, and the ``repro datacache`` CLI writes a
+byte-reproducible document whose report renders the write-back verdict.
+CI's ``datacache-smoke`` job runs the same sweep twice and byte-diffs.
+"""
+
+import io
+import json
+
+from repro.datacache.cli import main as datacache_main
+from repro.sweep import PRESETS, datacache_campaign, execute_unit
+
+
+def spec(**overrides):
+    base = {
+        "kind": "datacache",
+        "benchmark": "crc",
+        "mode": "back",
+        "cleaning": "alru",
+        "geometry": "16x2x16",
+        "plan": "unified",
+        "frequency_mhz": 24,
+        "scale": 1,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_campaign_is_rectangular_and_registered():
+    config = datacache_campaign(
+        benchmarks=("crc",), geometries=("16x2x16", "8x2x16")
+    )
+    assert config.kind == "datacache"
+    assert config.total_units == 1 * 2 * 3 * 2  # bench x mode x cleaning x geom
+    keys = [key for key, _ in config.expand()]
+    assert len(set(keys)) == len(keys)
+    assert "datacache" in PRESETS
+
+
+def test_executor_payload_is_deterministic():
+    first = execute_unit(spec())
+    second = execute_unit(spec())
+    assert first == second
+    assert first["correct"] is True
+    assert first["config"]["mode"] == "back"
+    assert first["stats"]["hits"] + first["stats"]["misses"] == (
+        first["stats"]["accesses"]
+    )
+    assert first["result"]["total_cycles"] > 0
+
+
+def test_meaningless_corner_is_skipped_not_rerun():
+    payload = execute_unit(spec(mode="through", cleaning="alru"))
+    assert payload["skipped"] == "cleaning is a write-back knob"
+    assert "result" not in payload
+    # The real write-through cell still runs.
+    ran = execute_unit(spec(mode="through", cleaning="none"))
+    assert ran["correct"] is True
+
+
+def test_cli_sweep_document_is_byte_reproducible(tmp_path):
+    args = [
+        "sweep",
+        "--benchmarks", "crc",
+        "--modes", "through", "back",
+        "--cleanings", "none",
+        "--geometries", "16x2x16",
+        "--quiet",
+    ]
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert datacache_main(args + ["--out", str(first)]) == 0
+    assert datacache_main(args + ["--out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+
+    document = json.loads(first.read_text())
+    assert document["schema"] == "repro-datacache-sweep/1"
+    assert len(document["cells"]) == 2
+    modes = {cell["mode"] for cell in document["cells"]}
+    assert modes == {"through", "back"}
+
+    rendered = io.StringIO()
+    assert datacache_main(["report", str(first)], out=rendered) == 0
+    assert "write-back vs write-through" in rendered.getvalue()
+    assert "crc" in rendered.getvalue()
+
+
+def test_cli_report_is_loud_on_missing_document(tmp_path):
+    missing = tmp_path / "nope.json"
+    out = io.StringIO()
+    assert datacache_main(["report", str(missing)], out=out) == 2
+    assert "error:" in out.getvalue()

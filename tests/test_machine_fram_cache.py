@@ -141,3 +141,56 @@ def test_snapshot_restore_round_trip():
     # The snapshot is a copy, not a view: restoring again still works.
     cache.restore(snap)
     assert (cache.hits, cache.misses) == (1, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["access", "invalidate", "invalidate_all"]),
+            st.integers(min_value=0x8000, max_value=0x80FF),
+        ),
+        max_size=150,
+    )
+)
+def test_as_dict_exact_sums_under_any_history(events):
+    # The counter regression satellite: as_dict() must stay an exact-sum
+    # view (accesses == hits + misses) no matter how accesses and
+    # invalidations interleave, and invalidates must count exactly the
+    # lines actually dropped.
+    cache = FramReadCache()
+    accesses = 0
+    for kind, address in events:
+        if kind == "access":
+            cache.access(address)
+            accesses += 1
+        elif kind == "invalidate":
+            resident = any(
+                line == address // cache.line_bytes
+                for ways in cache._lines
+                for line in ways
+            )
+            before = cache.invalidates
+            cache.invalidate(address)
+            assert cache.invalidates - before == (1 if resident else 0)
+        else:
+            live = sum(len(ways) for ways in cache._lines)
+            before = cache.invalidates
+            cache.invalidate()
+            assert cache.invalidates - before == live
+    record = cache.as_dict()
+    assert record["accesses"] == record["hits"] + record["misses"] == accesses
+    assert record["invalidates"] == cache.invalidates
+    assert record["hit_rate"] == cache.hit_rate
+
+
+def test_as_dict_round_trips_through_snapshot():
+    cache = FramReadCache()
+    for address in (0x8000, 0x8000, 0x8010):
+        cache.access(address)
+    cache.invalidate(0x8010)
+    saved = cache.snapshot()
+    record = cache.as_dict()
+    cache.access(0x8020)
+    cache.restore(saved)
+    assert cache.as_dict() == record

@@ -190,3 +190,22 @@ def test_derive_run_metrics_accepts_plain_dict():
     registry = derive_run_metrics(MetricsRegistry(), record, host_seconds=2.0)
     assert registry["guest.total_cycles"].value == 2000
     assert registry["host.instructions_per_s"].value == pytest.approx(500.0)
+
+
+def test_derive_stats_metrics_handles_datacache_shape():
+    from repro.datacache.cache import DataCacheStats
+
+    stats = DataCacheStats(
+        reads=6, writes=4, read_hits=4, write_hits=2, read_misses=2,
+        write_misses=2, read_fills=2, write_fills=2,
+        clean_writebacks=1, flush_writebacks=1, lost_dirty_lines=3,
+    )
+    registry = derive_stats_metrics(MetricsRegistry(), stats)
+    assert registry.gauge("datacache.hit_rate").value == 0.6
+    assert registry.gauge("datacache.miss_rate").value == 0.4
+    assert registry.gauge("datacache.clean_rate").value == 0.1
+    assert registry.gauge("datacache.lost_dirty_lines").value == 3
+    # DataCacheStats also exposes .misses/.hits, so the dispatch must
+    # not fall through to the SwapRAM branch.
+    assert "swapram.cache_rate" not in registry
+    assert "blockcache.hit_rate" not in registry
